@@ -1,0 +1,209 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+Each test isolates one mechanism of the runtime and shows its
+contribution: the MGPS history window, adaptive loop unbalancing, the
+granularity governor, the EDTLP context-switch cost, and the
+spin-contention model behind the Linux baseline.
+"""
+
+from conftest import run_once
+
+from repro import BladeParams, CellParams, Workload, run_experiment
+from repro.analysis import format_table
+from repro.core.llp import LLPConfig
+from repro.core.schedulers import edtlp, linux, mgps, static_hybrid
+from repro.workloads import FixedTraceWorkload, mixed_granularity_trace
+
+
+def test_ablation_mgps_history_window(benchmark, record_table):
+    """Window length trades reactivity against hysteresis (Section 5.4
+    uses window = n_spes = 8)."""
+
+    def sweep():
+        rows = []
+        wl = Workload(bootstraps=12, tasks_per_bootstrap=300)
+        for window in (2, 4, 8, 16, 32):
+            r = run_experiment(mgps(history_window=window), wl)
+            rows.append(
+                [window, r.makespan, r.llp_invocations, r.llp_mode_switches]
+            )
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    record_table(
+        "ablation_history_window",
+        format_table(
+            ["window", "makespan [s]", "LLP invocations", "mode switches"],
+            rows,
+            title="MGPS history window (12 bootstraps: 8 + adaptive tail)",
+        ),
+    )
+    times = {w: t for w, t, _, _ in rows}
+    # The paper's window=8 performs within 10% of the best choice.
+    assert times[8] <= 1.10 * min(times.values())
+
+
+def test_ablation_adaptive_unbalancing(benchmark, record_table):
+    """Master head-start compensation (Section 5.3's purposeful load
+    unbalancing) vs a frozen equal split."""
+
+    def run_pair():
+        wl = Workload(bootstraps=1, tasks_per_bootstrap=400)
+        out = {}
+        for label, adaptive in (("adaptive", True), ("frozen", False)):
+            spec = static_hybrid(
+                4, n_processes=1, llp_config=LLPConfig(adaptive=adaptive)
+            )
+            out[label] = run_experiment(spec, wl)
+        return out
+
+    out = run_once(benchmark, run_pair)
+    record_table(
+        "ablation_adaptive_unbalancing",
+        format_table(
+            ["variant", "makespan [s]", "total join idle [ms]",
+             "idle/invocation [us]"],
+            [
+                [
+                    k,
+                    r.makespan,
+                    r.extras["llp_join_idle"] * 1e3,
+                    r.extras["llp_join_idle"]
+                    / max(1, r.extras["llp_invocations_model"]) * 1e6,
+                ]
+                for k, r in out.items()
+            ],
+            title="LLP adaptive load unbalancing (1 bootstrap, 4 SPEs/loop)",
+        ),
+    )
+    # Adaptation reduces total master idle time at the join.
+    assert (
+        out["adaptive"].extras["llp_join_idle"]
+        < out["frozen"].extras["llp_join_idle"]
+    )
+    assert out["adaptive"].makespan <= 1.02 * out["frozen"].makespan
+
+
+def test_ablation_granularity_governor(benchmark, record_table):
+    """On a stream with fine-grained kernels, throttling off-loads is the
+    difference between winning and losing to the PPE."""
+
+    def run_pair():
+        traces = [mixed_granularity_trace(n_tasks=300, index=i, seed=i)
+                  for i in range(4)]
+        wl = FixedTraceWorkload(traces)
+        on = run_experiment(edtlp(), wl)
+        off = run_experiment(edtlp(granularity_enabled=False), wl)
+        return on, off
+
+    on, off = run_once(benchmark, run_pair)
+    record_table(
+        "ablation_granularity",
+        format_table(
+            ["governor", "makespan [ms]", "off-loads", "PPE fallbacks"],
+            [
+                ["enabled", on.makespan * 1e3, on.offloads, on.ppe_fallbacks],
+                ["disabled", off.makespan * 1e3, off.offloads,
+                 off.ppe_fallbacks],
+            ],
+            title="Granularity test on a mixed coarse/fine task stream",
+        ),
+    )
+    assert on.makespan < off.makespan
+    assert on.ppe_fallbacks > 0
+
+
+def test_ablation_context_switch_cost(benchmark, record_table):
+    """EDTLP's feasibility depends on cheap user-level switches: the
+    paper notes 1.5 us tolerates up to 7 switches per 96 us task."""
+
+    def sweep():
+        rows = []
+        wl = Workload(bootstraps=8, tasks_per_bootstrap=300)
+        for cs_us in (0.5, 1.5, 5.0, 20.0, 100.0):
+            blade = BladeParams(
+                cell=CellParams(context_switch=cs_us * 1e-6)
+            )
+            r = run_experiment(edtlp(), wl, blade=blade)
+            rows.append([cs_us, r.makespan, r.ppe_context_switches])
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    record_table(
+        "ablation_context_switch",
+        format_table(
+            ["switch cost [us]", "makespan [s]", "switches"],
+            rows,
+            title="EDTLP sensitivity to PPE context-switch cost (8 workers)",
+        ),
+    )
+    times = [t for _, t, _ in rows]
+    # Monotone degradation; 100 us switches wreck the event-driven model.
+    assert times[-1] > 1.3 * times[1]
+    assert times == sorted(times)
+
+
+def test_ablation_spin_contention(benchmark, record_table):
+    """The Linux baseline depends on spinning processes polluting the
+    sibling SMT context only lightly; treating a spinner as a full
+    computing thread would overstate the baseline's slowdown at w=2."""
+
+    def run_pair():
+        wl = Workload(bootstraps=2, tasks_per_bootstrap=300)
+        out = {}
+        for label, weight in (("polling (0.2)", 0.2), ("full (1.0)", 1.0)):
+            blade = BladeParams(cell=CellParams(spin_contention=weight))
+            out[label] = run_experiment(linux(), wl, blade=blade)
+        return out
+
+    out = run_once(benchmark, run_pair)
+    record_table(
+        "ablation_spin_contention",
+        format_table(
+            ["spinner weight", "makespan [s]"],
+            [[k, r.makespan] for k, r in out.items()],
+            title="Linux baseline, 2 workers: SMT weight of a spinning thread",
+        ),
+    )
+    assert out["polling (0.2)"].makespan < out["full (1.0)"].makespan
+
+
+def test_ablation_mgps_vs_oracle(benchmark, record_table):
+    """Section 5.4's framing: the static schemes need 'an oracle for the
+    future'; MGPS must track the oracle's pick without one."""
+    from repro import Workload
+    from repro.core import run_experiment
+    from repro.core.oracle import OracleSelector
+    from repro.core.schedulers import edtlp as _edtlp
+    from repro.core.schedulers import mgps as _mgps
+    from repro.core.schedulers import static_hybrid as _static
+
+    def sweep():
+        oracle = OracleSelector(
+            candidates=[_edtlp(), _static(2), _static(4)]
+        )
+        rows = []
+        for b in (1, 2, 4, 8, 12, 16):
+            wl = Workload(bootstraps=b, tasks_per_bootstrap=200)
+            choice = oracle.choose(wl)
+            m = run_experiment(_mgps(), wl)
+            rows.append(
+                [b, choice.best_name, choice.best.makespan, m.makespan,
+                 m.makespan / choice.best.makespan]
+            )
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    record_table(
+        "ablation_oracle",
+        format_table(
+            ["bootstraps", "oracle pick", "oracle [s]", "MGPS [s]",
+             "MGPS/oracle"],
+            rows,
+            title="MGPS vs the oracle-guided static scheduler",
+        ),
+    )
+    # The oracle's pick changes across the sweep (it needs the future);
+    # MGPS stays within 10% of it everywhere without that knowledge.
+    assert len({r[1] for r in rows}) >= 2
+    assert all(r[4] <= 1.10 for r in rows)

@@ -1,0 +1,62 @@
+"""Figure 7 — static EDTLP-LLP hybrids vs plain EDTLP.
+
+Paper shapes: the hybrid wins up to 4 bootstraps (only it can use more
+than 4 SPEs), EDTLP wins at 5-8 and from 13 on, and the benefit of LLP
+shrinks as task-level parallelism grows.  Panels (a) 1-16 and (b) 1-128.
+"""
+
+from conftest import run_once
+
+from repro.analysis import SWEEP_LARGE, SWEEP_SMALL, figure_sweep
+from repro.core.schedulers import edtlp, static_hybrid
+
+SCHEDULERS = {
+    "EDTLP-LLP2": static_hybrid(2),
+    "EDTLP-LLP4": static_hybrid(4),
+    "EDTLP": edtlp(),
+}
+
+
+def test_fig7a_small_counts(benchmark, record_table):
+    result = run_once(
+        benchmark,
+        lambda: figure_sweep(
+            SWEEP_SMALL, schedulers=dict(SCHEDULERS),
+            tasks_per_bootstrap=300,
+            name="Figure 7a: 1-16 bootstraps, one Cell (seconds)",
+        ),
+    )
+    record_table("fig7a_static_hybrid", result.render())
+
+    xs = result.xs
+    llp2 = dict(zip(xs, result.series["EDTLP-LLP2"]))
+    llp4 = dict(zip(xs, result.series["EDTLP-LLP4"]))
+    ed = dict(zip(xs, result.series["EDTLP"]))
+    # Hybrid wins at <= 4 bootstraps.
+    for b in (1, 2, 4):
+        assert min(llp2[b], llp4[b]) < ed[b]
+    # EDTLP wins at 8 and at >= 14.
+    assert ed[8] < llp2[8]
+    for b in (14, 16):
+        assert ed[b] < min(llp2[b], llp4[b])
+
+
+def test_fig7b_large_counts(benchmark, record_table):
+    result = run_once(
+        benchmark,
+        lambda: figure_sweep(
+            SWEEP_LARGE, schedulers=dict(SCHEDULERS),
+            tasks_per_bootstrap=150,
+            name="Figure 7b: 1-128 bootstraps, one Cell (seconds)",
+        ),
+    )
+    record_table("fig7b_static_hybrid", result.render())
+
+    xs = result.xs
+    llp2 = dict(zip(xs, result.series["EDTLP-LLP2"]))
+    ed = dict(zip(xs, result.series["EDTLP"]))
+    # The occasional LLP benefit vanishes at scale: EDTLP increasingly
+    # faster as bootstraps grow.
+    for b in (32, 64, 96, 128):
+        assert ed[b] < llp2[b]
+    assert llp2[128] / ed[128] > llp2[16] / ed[16] * 0.95

@@ -1,0 +1,55 @@
+"""Figure 8 — MGPS against the static schemes.
+
+Paper shapes: MGPS tracks the lower envelope of EDTLP and EDTLP-LLP
+without oracle knowledge, shows benefits up to ~28 bootstraps (the
+draining tail exposes low task parallelism), and converges to EDTLP
+beyond (the curves overlap completely in panel b).
+"""
+
+from conftest import run_once
+
+from repro.analysis import SWEEP_LARGE, SWEEP_SMALL, figure_sweep
+
+
+def test_fig8a_small_counts(benchmark, record_table):
+    result = run_once(
+        benchmark,
+        lambda: figure_sweep(
+            SWEEP_SMALL, tasks_per_bootstrap=300,
+            name="Figure 8a: MGPS vs static schemes, 1-16 bootstraps (s)",
+        ),
+    )
+    record_table("fig8a_mgps", result.render())
+
+    xs = result.xs
+    for i, b in enumerate(xs):
+        best_static = min(
+            result.series["EDTLP"][i],
+            result.series["EDTLP-LLP2"][i],
+            result.series["EDTLP-LLP4"][i],
+        )
+        assert result.series["MGPS"][i] <= 1.10 * best_static
+    # Clear win over plain EDTLP at low TLP.
+    assert result.series["MGPS"][0] < 0.75 * result.series["EDTLP"][0]
+
+
+def test_fig8b_large_counts(benchmark, record_table):
+    result = run_once(
+        benchmark,
+        lambda: figure_sweep(
+            SWEEP_LARGE, tasks_per_bootstrap=150,
+            name="Figure 8b: MGPS vs static schemes, 1-128 bootstraps (s)",
+        ),
+    )
+    record_table("fig8b_mgps", result.render())
+
+    xs = result.xs
+    mg = dict(zip(xs, result.series["MGPS"]))
+    ed = dict(zip(xs, result.series["EDTLP"]))
+    # "The curves of MGPS and EDTLP overlap completely in (b)."
+    for b in (32, 64, 96, 128):
+        assert abs(mg[b] / ed[b] - 1) < 0.05
+    # MGPS better than both static hybrids at scale.
+    for b in (64, 128):
+        assert mg[b] < dict(zip(xs, result.series["EDTLP-LLP2"]))[b]
+        assert mg[b] < dict(zip(xs, result.series["EDTLP-LLP4"]))[b]

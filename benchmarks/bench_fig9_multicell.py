@@ -1,0 +1,71 @@
+"""Figure 9 — the same comparison on a dual-Cell blade (16 SPEs).
+
+Paper shapes: qualitatively identical to one Cell but the hybrid wins up
+to 8 bootstraps (8 extra SPEs are available for LLP), EDTLP dominates
+beyond, MGPS outperforms both; and two Cells deliver almost twice the
+performance of one.
+"""
+
+from conftest import run_once
+
+from repro.analysis import SWEEP_LARGE, SWEEP_SMALL, figure_sweep
+
+
+def test_fig9a_small_counts(benchmark, record_table):
+    result = run_once(
+        benchmark,
+        lambda: figure_sweep(
+            SWEEP_SMALL, tasks_per_bootstrap=300, n_cells=2,
+            name="Figure 9a: two Cells, 1-16 bootstraps (seconds)",
+        ),
+    )
+    record_table("fig9a_multicell", result.render())
+
+    xs = result.xs
+    llp2 = dict(zip(xs, result.series["EDTLP-LLP2"]))
+    ed = dict(zip(xs, result.series["EDTLP"]))
+    mg = dict(zip(xs, result.series["MGPS"]))
+    # Hybrid window extends to 8 bootstraps on 16 SPEs.
+    for b in (2, 4, 8):
+        assert llp2[b] < ed[b]
+    # EDTLP wins beyond.
+    for b in (12, 16):
+        assert ed[b] < llp2[b]
+    # MGPS at least matches the better of the two everywhere.
+    for b in xs:
+        assert mg[b] <= 1.10 * min(llp2[b], ed[b])
+
+
+def test_fig9b_large_counts(benchmark, record_table):
+    result = run_once(
+        benchmark,
+        lambda: figure_sweep(
+            SWEEP_LARGE, tasks_per_bootstrap=150, n_cells=2,
+            name="Figure 9b: two Cells, 1-128 bootstraps (seconds)",
+        ),
+    )
+    record_table("fig9b_multicell", result.render())
+
+    xs = result.xs
+    mg = dict(zip(xs, result.series["MGPS"]))
+    ed = dict(zip(xs, result.series["EDTLP"]))
+    for b in (64, 128):
+        assert abs(mg[b] / ed[b] - 1) < 0.05
+
+
+def test_fig9_two_cells_double_one(benchmark, record_table):
+    def sweep_both():
+        one = figure_sweep((16, 32), tasks_per_bootstrap=200, n_cells=1)
+        two = figure_sweep((16, 32), tasks_per_bootstrap=200, n_cells=2)
+        return one, two
+
+    one, two = run_once(benchmark, sweep_both)
+    lines = ["Two Cells vs one (MGPS makespans, seconds)"]
+    for i, b in enumerate(one.xs):
+        r = one.series["MGPS"][i] / two.series["MGPS"][i]
+        lines.append(
+            f"  {b:3d} bootstraps: {one.series['MGPS'][i]:7.2f} -> "
+            f"{two.series['MGPS'][i]:7.2f}  ({r:.2f}x)"
+        )
+        assert 1.6 < r <= 2.2
+    record_table("fig9_scaling", "\n".join(lines))

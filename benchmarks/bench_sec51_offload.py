@@ -1,0 +1,28 @@
+"""Section 5.1 — SPE off-loading and optimization.
+
+Regenerates the three anchor timings: 38.23 s PPE-only, 50.38 s naive
+off-load, 28.82 s optimized (one bootstrap, 42_SC).
+"""
+
+from conftest import run_once
+
+from repro.analysis import PAPER_SEC51, sec51_offload_experiment
+
+
+def test_sec51_offload(benchmark, record_table):
+    result = run_once(
+        benchmark, lambda: sec51_offload_experiment(tasks_per_bootstrap=500)
+    )
+    record_table("sec51_offload", result.render())
+
+    measured = dict(zip(result.xs, result.series["measured"]))
+    assert measured["naive-offload"] > measured["ppe-only"]
+    assert measured["optimized-offload"] < measured["ppe-only"]
+    # The 1.32x optimized-SPE speedup over the PPE.
+    assert 1.25 < measured["ppe-only"] / measured["optimized-offload"] < 1.40
+    for key, paper_key in (
+        ("ppe-only", "ppe_only"),
+        ("naive-offload", "naive_offload"),
+        ("optimized-offload", "optimized_offload"),
+    ):
+        assert abs(measured[key] / PAPER_SEC51[paper_key] - 1) < 0.06

@@ -1,0 +1,42 @@
+"""Table 1 — EDTLP vs the Linux scheduler, 1-8 workers.
+
+The paper's numbers: EDTLP 28.46 -> 43.32 s; Linux stairs 28.42 ->
+115.51 s; EDTLP up to 2.6x faster and within 1.5x of the ideal.
+"""
+
+from conftest import run_once
+
+from repro.analysis import (
+    PAPER_TABLE1_EDTLP,
+    PAPER_TABLE1_LINUX,
+    paper_comparison,
+    table1_experiment,
+)
+
+
+def test_table1(benchmark, record_table):
+    result = run_once(
+        benchmark, lambda: table1_experiment(tasks_per_bootstrap=400)
+    )
+    text = result.render()
+    text += "\n\n" + paper_comparison(
+        "EDTLP vs paper", result.xs, list(PAPER_TABLE1_EDTLP),
+        result.series["edtlp"], label_name="workers",
+    )
+    text += "\n\n" + paper_comparison(
+        "Linux vs paper", result.xs, list(PAPER_TABLE1_LINUX),
+        result.series["linux"], label_name="workers",
+    )
+    record_table("table1_edtlp_vs_linux", text)
+
+    edtlp_t = result.series["edtlp"]
+    linux_t = result.series["linux"]
+    # Who wins: EDTLP at every oversubscribed point.
+    assert all(e < l for e, l in zip(edtlp_t[2:], linux_t[2:]))
+    # By what factor: >2.4x at 8 workers (paper: 2.67x).
+    assert linux_t[-1] / edtlp_t[-1] > 2.4
+    # EDTLP stays within ~1.5x of constant-time ideal.
+    assert edtlp_t[-1] / edtlp_t[0] < 1.6
+    # The Linux stairs: odd worker counts jump, even ones do not.
+    assert linux_t[2] > 1.7 * linux_t[1]
+    assert linux_t[3] < 1.15 * linux_t[2]

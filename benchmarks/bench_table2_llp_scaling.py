@@ -1,0 +1,32 @@
+"""Table 2 — loop-level parallelism across 1-8 SPEs, one bootstrap.
+
+Paper: best 18.10 s at 5 SPEs (1.58x over 28.71 s serial), efficiency
+degrading beyond 5 SPEs because of worker start latency and the global
+reduction serializing at the master.
+"""
+
+from conftest import run_once
+
+from repro.analysis import PAPER_TABLE2, paper_comparison, table2_experiment
+
+
+def test_table2(benchmark, record_table):
+    result = run_once(
+        benchmark, lambda: table2_experiment(tasks_per_bootstrap=400)
+    )
+    text = result.render()
+    text += "\n\n" + paper_comparison(
+        "LLP vs paper", result.xs, list(PAPER_TABLE2),
+        result.series["llp"], label_name="SPEs/loop",
+    )
+    record_table("table2_llp_scaling", text)
+
+    times = dict(zip(result.xs, result.series["llp"]))
+    # Speedup from LLP exists and peaks at 4-5 SPEs.
+    assert times[2] < times[1]
+    best_k = min(times, key=times.get)
+    assert best_k in (4, 5)
+    # Paper's max speedup 1.58x; we accept 1.4-1.75.
+    assert 1.4 < times[1] / times[best_k] < 1.75
+    # Degradation past the sweet spot.
+    assert times[8] > times[best_k]

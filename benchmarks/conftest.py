@@ -1,0 +1,41 @@
+"""Shared benchmark plumbing.
+
+Every benchmark regenerates one of the paper's tables/figures, times the
+harness with pytest-benchmark (``rounds=1`` — these are simulations, not
+microbenchmarks), writes the rendered table to ``benchmarks/out/`` and
+echoes it to the terminal report.
+"""
+
+import pathlib
+
+import pytest
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+_collected = []
+
+
+@pytest.fixture
+def record_table():
+    """Persist and display a rendered experiment table."""
+
+    def _record(name: str, text: str) -> None:
+        OUT_DIR.mkdir(exist_ok=True)
+        (OUT_DIR / f"{name}.txt").write_text(text + "\n")
+        _collected.append((name, text))
+
+    return _record
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _collected:
+        return
+    terminalreporter.section("reproduced tables and figures")
+    for name, text in _collected:
+        terminalreporter.write_line("")
+        terminalreporter.write_line(text)
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

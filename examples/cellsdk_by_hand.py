@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Hand-rolling an off-load loop with the raw (libspe-style) SDK.
+
+Before the paper's runtime existed, Cell programmers wrote this: create
+SPE contexts, load program images, ping-pong mailboxes, manage DMA — for
+*every* application.  This example off-loads a small RAxML-like kernel
+stream twice:
+
+1. by hand, against the `repro.cellsdk` façade (one context, serial
+   mailbox protocol, the naive structure Section 5.1 starts from);
+2. through the EDTLP runtime, which multiplexes all eight SPEs from the
+   same task stream with two lines of user code.
+
+The point is the paper's motivation made concrete: the hand-rolled
+version is longer, easier to get wrong, and leaves 7 of 8 SPEs idle.
+"""
+
+from repro import Workload, edtlp, run_experiment
+from repro.cell.machine import CellMachine
+from repro.cellsdk import SpeProgram, spe_context_create
+from repro.sim import Environment
+
+
+def hand_rolled(workload: Workload) -> float:
+    """One PPE thread drives one SPE through the whole trace by hand."""
+    env = Environment()
+    machine = CellMachine(env)
+    trace = workload.trace(0)
+
+    def spu_kernel(spu):
+        """SPU side: fetch inputs, compute, commit, report."""
+        while True:
+            duration = yield spu.read_mbox()
+            if duration is None:
+                return
+            yield spu.dma_get(32 * 1024)   # likelihood vectors in
+            yield spu.compute(duration)
+            yield spu.dma_put(16 * 1024)   # results out
+            yield from spu.write_mbox("done")
+
+    def ppe_main():
+        ctx = yield from spe_context_create(env, machine)
+        yield from ctx.load_program(
+            SpeProgram("raxml3", spu_kernel, image_kb=117)
+        )
+        run = ctx.run()
+        for item in trace.items:
+            yield env.timeout(item.ppe_gap)        # PPE-side compute
+            yield from ctx.write_in_mbox(item.task.spe_time)
+            yield ctx.read_out_mbox()              # block until done
+        yield from ctx.write_in_mbox(None)
+        yield run
+        ctx.destroy()
+
+    env.run_until_complete(env.process(ppe_main()))
+    return env.now * trace.scale
+
+
+def main() -> None:
+    workload = Workload(bootstraps=8, tasks_per_bootstrap=300, seed=0)
+
+    by_hand = hand_rolled(workload)  # one bootstrap, one SPE, by hand
+    # What the runtime does with the same per-bootstrap stream: all 8
+    # bootstraps, all 8 SPEs, scheduling handled for you.
+    runtime = run_experiment(edtlp(), workload)
+
+    print("Hand-rolled SDK loop (1 bootstrap, 1 SPE, ~40 lines of "
+          "PPE+SPU protocol code):")
+    print(f"    {by_hand:7.2f} s   -> {8 * by_hand:7.2f} s for 8 bootstraps "
+          f"run back to back")
+    print("EDTLP runtime (8 bootstraps, 8 SPEs, 2 lines of user code):")
+    print(f"    {runtime.makespan:7.2f} s   "
+          f"(SPE utilization {runtime.spe_utilization:.0%})")
+    print(f"\nSpeedup from letting the runtime schedule: "
+          f"{8 * by_hand / runtime.makespan:.1f}x")
+    print(
+        "\nThe hand-rolled loop is also *synchronous*: the PPE blocks on\n"
+        "each mailbox reply, which is exactly the structure that strands\n"
+        "SPEs under the stock OS scheduler (Section 5.2, Figure 2b)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Writing your own scheduling policy on the runtime substrate.
+
+The runtimes are designed for extension: subclass
+:class:`~repro.core.runtime.EDTLPRuntime`, override the policy hooks
+(``llp_degree`` / ``on_dispatch`` / ``on_departure``), and drive the same
+machines and workloads as the built-in schedulers.
+
+Here we build GREEDY-LLP — "whenever SPEs are idle right now, split the
+current loop across all of them" — a plausible-sounding alternative to
+MGPS that skips the history window.  The comparison shows why the paper
+bothers with hysteresis: the greedy policy over-commits workers at
+ramp-up and mode boundaries, while MGPS's 8-off-load window filters the
+noise.
+"""
+
+from repro.analysis import format_table
+from repro.cell.machine import CellMachine
+from repro.core import run_experiment
+from repro.core.runtime import EDTLPRuntime, ProcContext
+from repro.core.schedulers import SchedulerSpec, edtlp, mgps
+from repro.sim.engine import Environment
+from repro.workloads import Workload
+
+
+class GreedyLLPRuntime(EDTLPRuntime):
+    """Split loops across whatever is idle at this very instant."""
+
+    name = "greedy-llp"
+
+    def llp_degree(self, ctx: ProcContext) -> int:
+        idle = self.machine.pool.n_free
+        # One master (about to be taken) plus every currently idle SPE,
+        # capped at half the machine (Table 2's efficiency knee).
+        return max(1, min(idle, self.machine.n_spes // 2))
+
+
+class GreedySpec(SchedulerSpec):
+    """Minimal spec wrapper so the runner can instantiate the policy."""
+
+    def __init__(self):
+        super().__init__(kind="edtlp", label="greedy-llp")
+
+    def build(self, env: Environment, machine: CellMachine, tracer=None):
+        return GreedyLLPRuntime(env, machine, tracer=tracer)
+
+
+def main() -> None:
+    rows = []
+    for b in (1, 2, 4, 8, 16):
+        wl = Workload(bootstraps=b, tasks_per_bootstrap=300, seed=0)
+        r_edtlp = run_experiment(edtlp(), wl)
+        r_greedy = run_experiment(GreedySpec(), wl)
+        r_mgps = run_experiment(mgps(), wl)
+        rows.append(
+            [b, r_edtlp.makespan, r_greedy.makespan, r_mgps.makespan]
+        )
+    print(
+        format_table(
+            ["bootstraps", "EDTLP [s]", "greedy-LLP [s]", "MGPS [s]"],
+            rows,
+            title="A custom policy (instantaneous greedy loop-splitting) "
+                  "vs the paper's schedulers",
+        )
+    )
+    print(
+        "\nGreedy splitting matches MGPS at very low task parallelism but\n"
+        "pays at medium counts: every transient idle moment triggers a\n"
+        "loop split whose workers are then missing for the next arriving\n"
+        "task.  MGPS's utilization-history window is exactly the damping\n"
+        "the paper argues for in Section 5.4."
+    )
+
+
+if __name__ == "__main__":
+    main()

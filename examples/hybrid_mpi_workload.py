@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""The generalization claim: MGPS on a hybrid MPI (BSP) workload.
+
+The paper closes by arguing its schedulers generalize "particularly
+[to applications] written in MPI or in the hybrid MPI/OpenMP model"
+(Section 6).  This example tests that claim on the classic hard case for
+bulk-synchronous MPI codes: *load imbalance*.  Eight ranks iterate
+compute phases separated by barriers; rank 0 is a straggler carrying a
+multiple of everyone else's load.
+
+Watch what happens at each phase tail: under EDTLP, seven ranks idle at
+the barrier while the straggler grinds alone on one SPE.  MGPS notices
+the collapse of task-level parallelism (U drops in its history window)
+and work-shares the straggler's loops across the idle SPEs.
+"""
+
+from repro.analysis import format_table
+from repro.core import run_bsp_experiment
+from repro.core.schedulers import edtlp, linux, mgps
+from repro.workloads import BSPWorkload
+
+
+def main() -> None:
+    rows = []
+    for imbalance in (0.0, 1.0, 2.0, 4.0):
+        wl = BSPWorkload(
+            n_processes=8, iterations=8, tasks_per_iteration=60,
+            imbalance=imbalance, seed=3,
+        )
+        e = run_bsp_experiment(edtlp(), wl)
+        m = run_bsp_experiment(mgps(), wl)
+        rows.append(
+            [
+                f"{1 + imbalance:.0f}x",
+                e.makespan * 1e3,
+                m.makespan * 1e3,
+                f"{e.makespan / m.makespan:.2f}x",
+                m.llp_invocations,
+                f"{m.spe_utilization:.0%}",
+            ]
+        )
+    print(
+        format_table(
+            ["straggler load", "EDTLP [ms]", "MGPS [ms]", "MGPS gain",
+             "LLP invocations", "SPE util"],
+            rows,
+            title="Imbalanced bulk-synchronous MPI workload "
+                  "(8 ranks, 8 iterations, barrier-separated)",
+        )
+    )
+    print(
+        "\nWith no imbalance MGPS stays in pure task-parallel mode (the\n"
+        "handful of LLP invocations come from ramp-up).  As the straggler\n"
+        "grows, MGPS converts each phase tail into loop-parallel execution\n"
+        "and pulls the barrier in — adaptivity the static schemes cannot\n"
+        "express because the right mode changes *within* every iteration."
+    )
+
+
+if __name__ == "__main__":
+    main()

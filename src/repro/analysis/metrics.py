@@ -1,0 +1,71 @@
+"""Derived metrics over schedule results."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..core.results import ScheduleResult
+
+__all__ = [
+    "speedup",
+    "efficiency",
+    "scaling_efficiency",
+    "crossover",
+    "best_scheduler",
+]
+
+
+def speedup(baseline: ScheduleResult, improved: ScheduleResult) -> float:
+    """baseline/improved makespan ratio (>1 means ``improved`` is faster)."""
+    if improved.makespan <= 0:
+        raise ValueError("improved makespan must be positive")
+    return baseline.makespan / improved.makespan
+
+
+def efficiency(result: ScheduleResult, serial_seconds: float) -> float:
+    """Parallel efficiency vs a serial estimate on the result's SPEs.
+
+    ``serial_seconds`` is one worker's total time; efficiency 1.0 means
+    perfect scaling over the SPEs that were busy.
+    """
+    if result.makespan <= 0:
+        raise ValueError("makespan must be positive")
+    n = max(1, len(result.per_spe_busy))
+    return serial_seconds / (result.makespan * n)
+
+
+def scaling_efficiency(results: Sequence[ScheduleResult]) -> List[float]:
+    """Throughput of each result relative to the first, per bootstrap.
+
+    For a perfectly scalable scheduler the values stay at 1.0 as the
+    bootstrap count grows.
+    """
+    if not results:
+        return []
+    base = results[0].makespan / results[0].bootstraps
+    return [base / (r.makespan / r.bootstraps) for r in results]
+
+
+def crossover(
+    xs: Sequence[int],
+    series_a: Sequence[float],
+    series_b: Sequence[float],
+) -> int:
+    """First x where series_a stops beating series_b (-1 if never).
+
+    Used to locate the EDTLP-LLP -> EDTLP crossover points of Figures
+    7-9.
+    """
+    if not (len(xs) == len(series_a) == len(series_b)):
+        raise ValueError("series must have equal lengths")
+    for x, a, b in zip(xs, series_a, series_b):
+        if a > b:
+            return x
+    return -1
+
+
+def best_scheduler(results_by_name: Dict[str, ScheduleResult]) -> str:
+    """Name of the scheduler with the smallest makespan."""
+    if not results_by_name:
+        raise ValueError("no results")
+    return min(results_by_name.items(), key=lambda kv: kv[1].makespan)[0]

@@ -1,0 +1,65 @@
+"""Plain-text table and series rendering for benches and examples.
+
+Every benchmark prints its reproduced table/figure through these helpers
+so the output is uniform and diff-able against EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["format_table", "format_series", "paper_comparison"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Aligned ASCII table."""
+    cells = [[str(h) for h in headers]] + [
+        [f"{c:.2f}" if isinstance(c, float) else str(c) for c in row]
+        for row in rows
+    ]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(c.ljust(w) for c, w in zip(cells[0], widths)))
+    lines.append(sep)
+    for row in cells[1:]:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    title: str,
+    x_label: str,
+    xs: Sequence[object],
+    series: Dict[str, Sequence[float]],
+) -> str:
+    """A 'figure' as a table: one x column, one column per curve."""
+    headers = [x_label] + list(series.keys())
+    rows: List[List[object]] = []
+    for i, x in enumerate(xs):
+        rows.append([x] + [series[name][i] for name in series])
+    return format_table(headers, rows, title=title)
+
+
+def paper_comparison(
+    title: str,
+    labels: Sequence[object],
+    paper: Sequence[float],
+    measured: Sequence[float],
+    label_name: str = "config",
+) -> str:
+    """Three-column comparison: paper value, measured value, ratio."""
+    if not (len(labels) == len(paper) == len(measured)):
+        raise ValueError("labels, paper and measured must align")
+    rows = []
+    for l, p, m in zip(labels, paper, measured):
+        rows.append([l, p, m, m / p if p else float("nan")])
+    return format_table(
+        [label_name, "paper [s]", "measured [s]", "ratio"], rows, title=title
+    )

@@ -1,0 +1,122 @@
+"""Memory Flow Controller: DMA timing and transfer decomposition.
+
+Each SPE reaches main memory only through its MFC.  The model implements
+the documented DMA rules (Section 4 of the paper):
+
+* a single request moves at most 16 KB;
+* transfers must be 1, 2, 4, 8 or a multiple of 16 bytes, 128-bit aligned
+  (the model rounds sizes up to a legal transfer size);
+* larger transfers are decomposed into DMA lists of up to 2048 requests.
+
+Transfer time = per-request startup + bytes / effective bandwidth, where
+effective bandwidth is the lesser of the SPE's MFC port and the share of
+the EIB the transfer gets (see :mod:`repro.cell.eib`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, TYPE_CHECKING
+
+from .params import CellParams
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .eib import EIB
+
+__all__ = ["DmaRequest", "MFC", "legal_transfer_size"]
+
+_LEGAL_SMALL = (1, 2, 4, 8)
+
+
+def legal_transfer_size(nbytes: int) -> int:
+    """Round ``nbytes`` up to the nearest legal MFC transfer size.
+
+    The MFC supports transfers of 1, 2, 4, 8 bytes or any multiple of 16
+    bytes.  Zero-byte transfers are rejected.
+    """
+    if nbytes <= 0:
+        raise ValueError(f"transfer size must be positive, got {nbytes}")
+    if nbytes <= 8:
+        for legal in _LEGAL_SMALL:
+            if nbytes <= legal:
+                return legal
+    return 16 * math.ceil(nbytes / 16)
+
+
+@dataclass(frozen=True)
+class DmaRequest:
+    """One element of a DMA list: a legal-size chunk."""
+
+    nbytes: int
+
+    def __post_init__(self) -> None:
+        if self.nbytes not in _LEGAL_SMALL and self.nbytes % 16 != 0:
+            raise ValueError(f"illegal DMA request size {self.nbytes}")
+
+
+class MFC:
+    """DMA engine of one SPE.
+
+    The MFC provides *timing* (how long a transfer takes) and
+    *decomposition* (how a byte count maps onto DMA requests/lists).  The
+    actual waiting is done by callers via the environment, so this class
+    is a pure, deterministic model that is easy to property-test.
+    """
+
+    def __init__(self, params: CellParams, eib: "EIB" = None) -> None:
+        self.params = params
+        self.eib = eib
+
+    # -- decomposition ---------------------------------------------------
+    def decompose(self, nbytes: int) -> List[DmaRequest]:
+        """Split ``nbytes`` into legal DMA requests (a DMA list).
+
+        Raises if more than ``dma_list_max`` requests would be needed.
+        """
+        nbytes = legal_transfer_size(nbytes)
+        maxreq = self.params.dma_max_request
+        full, rest = divmod(nbytes, maxreq)
+        reqs = [DmaRequest(maxreq)] * full
+        if rest:
+            reqs.append(DmaRequest(legal_transfer_size(rest)))
+        if len(reqs) > self.params.dma_list_max:
+            raise ValueError(
+                f"{nbytes} B needs {len(reqs)} DMA requests; the MFC list "
+                f"limit is {self.params.dma_list_max}"
+            )
+        return reqs
+
+    def n_requests(self, nbytes: int) -> int:
+        """Number of DMA requests needed for ``nbytes``."""
+        nbytes = legal_transfer_size(nbytes)
+        return max(1, math.ceil(nbytes / self.params.dma_max_request))
+
+    # -- timing ----------------------------------------------------------
+    def effective_bandwidth(self, concurrent: int = 1) -> float:
+        """Bandwidth one transfer sees with ``concurrent`` active DMAs.
+
+        Limited by the SPE's own MFC port and by an equal share of the EIB
+        (each of the four rings carries several transfers; contention
+        matters only when many SPEs stream simultaneously).
+        """
+        if concurrent < 1:
+            raise ValueError("concurrent must be >= 1")
+        port = self.params.spe_dma_bandwidth
+        if self.eib is not None:
+            return min(port, self.eib.share(concurrent))
+        return min(port, self.params.eib_bandwidth / concurrent)
+
+    def transfer_time(self, nbytes: int, concurrent: int = 1) -> float:
+        """Seconds to move ``nbytes`` between local store and RAM.
+
+        Includes one startup latency per DMA request in the list (requests
+        in a list pipeline, so only a fraction of the startup is exposed
+        after the first request).
+        """
+        nbytes = legal_transfer_size(nbytes)
+        n_req = self.n_requests(nbytes)
+        bw = self.effective_bandwidth(concurrent)
+        # First request pays full startup; pipelined followers expose 20%.
+        startup = self.params.dma_startup * (1 + 0.2 * (n_req - 1))
+        return startup + nbytes / bw

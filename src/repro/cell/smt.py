@@ -1,0 +1,376 @@
+"""The PPE: a dual-thread SMT core with an OS run queue.
+
+This is the mechanism underneath both schedulers in the paper:
+
+* the **Linux baseline** — software threads that *spin* on off-load
+  completion hold their hardware context until the 10 ms quantum expires,
+  so at most ``n_contexts`` off-loads are in flight (Table 1's stairs);
+* **EDTLP** — threads voluntarily yield at off-load points, so the run
+  queue drains in ~10 us bursts and all SPEs stay fed.
+
+The model is a work-conserving multi-context processor:
+
+* up to ``n_contexts`` software threads run simultaneously; a thread's
+  speed degrades with the *contention weight* of its SMT siblings —
+  computing siblings weigh 1.0, spinning siblings ``spin_contention``
+  (a mailbox-polling loop barely touches the pipeline);
+* a thread placed on a context whose previous occupant differs pays the
+  context-switch cost before making progress;
+* round-robin preemption at quantum expiry whenever other threads wait;
+* threads may carry a hard *affinity* to one context, modeling the
+  per-CPU run queues of Linux 2.6 (migration between SMT siblings was
+  rare at sub-second timescales, which is what produces the paper's
+  ceil(w/2) stair pattern in Table 1);
+* a completing thread *lingers* on its context for zero simulated time so
+  a back-to-back follow-up request (same timestamp) continues in place —
+  this lets a Linux-mode thread alternate compute and spin segments
+  without being bounced through the run queue.
+
+Threads interact through :class:`CoreThread`:
+
+* ``run(work)`` — compute ``work`` seconds of full-speed work;
+* ``spin_until(event)`` — busy-wait; completes once the event has fired
+  *and* the thread is on a context (spinners notice completion only while
+  scheduled, exactly the Linux pathology the paper exploits).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional
+
+from ..sim.engine import Environment
+from ..sim.events import Event, NORMAL, URGENT
+
+__all__ = ["SMTCore", "CoreThread"]
+
+_EPS = 1e-12
+
+# CoreThread.state values
+_IDLE = "idle"
+_READY = "ready"
+_RUNNING = "running"
+_LINGER = "linger"
+
+# request kinds
+_WORK = "work"
+_SPIN = "spin"
+
+
+class CoreThread:
+    """A software thread's handle onto an :class:`SMTCore`."""
+
+    __slots__ = (
+        "core",
+        "name",
+        "state",
+        "kind",
+        "remaining",
+        "done_event",
+        "spin_fired",
+        "spin_target",
+        "quantum_left",
+        "penalty_left",
+        "slot",
+        "affinity",
+        "work_done",
+    )
+
+    def __init__(self, core: "SMTCore", name: str,
+                 affinity: Optional[int] = None) -> None:
+        if affinity is not None and not (0 <= affinity < core.n_contexts):
+            raise ValueError(f"affinity {affinity} out of range")
+        self.core = core
+        self.name = name
+        self.state = _IDLE
+        self.kind: Optional[str] = None
+        self.remaining = 0.0
+        self.done_event: Optional[Event] = None
+        self.spin_fired = False
+        self.spin_target: Optional[Event] = None
+        self.quantum_left = 0.0
+        self.penalty_left = 0.0
+        self.slot: Optional[int] = None
+        self.affinity = affinity
+        self.work_done = 0.0  # lifetime full-speed work completed
+
+    def run(self, work: float) -> Event:
+        """Request ``work`` seconds of computation; returns a done event."""
+        return self.core._submit(self, _WORK, work=work)
+
+    def spin_until(self, event: Event) -> Event:
+        """Busy-wait on ``event``; returns a done event.
+
+        The spin occupies a hardware context (lightly contending with the
+        sibling SMT thread) and completes only when the thread is
+        scheduled *and* the target has fired.
+        """
+        return self.core._submit(self, _SPIN, target=event)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<CoreThread {self.name} {self.state}>"
+
+
+class SMTCore:
+    """A multi-context SMT processor core with an OS-style run queue."""
+
+    def __init__(
+        self,
+        env: Environment,
+        n_contexts: int = 2,
+        smt_efficiency: float = 0.62,
+        spin_contention: float = 0.2,
+        quantum: float = 10e-3,
+        switch_cost: float = 1.5e-6,
+        name: str = "ppe",
+    ) -> None:
+        if n_contexts < 1:
+            raise ValueError("n_contexts must be >= 1")
+        if not (0.0 < smt_efficiency <= 1.0):
+            raise ValueError("smt_efficiency must be in (0, 1]")
+        if not (0.0 <= spin_contention <= 1.0):
+            raise ValueError("spin_contention must be in [0, 1]")
+        if quantum <= 0:
+            raise ValueError("quantum must be positive")
+        if switch_cost < 0:
+            raise ValueError("switch_cost must be non-negative")
+        self.env = env
+        self.name = name
+        self.n_contexts = n_contexts
+        self.smt_efficiency = smt_efficiency
+        self.spin_contention = spin_contention
+        self.quantum = quantum
+        self.switch_cost = switch_cost
+
+        self._ready: Deque[CoreThread] = deque()
+        self._ready_aff: List[Deque[CoreThread]] = [
+            deque() for _ in range(n_contexts)
+        ]
+        self._running: List[CoreThread] = []
+        self._slot_last: List[Optional[CoreThread]] = [None] * n_contexts
+        self._slot_free: List[int] = list(range(n_contexts - 1, -1, -1))
+        self._last_ts = env.now
+        self._version = 0
+        # Accounting (for utilization metrics).
+        self.busy_context_seconds = 0.0
+        self.switches = 0
+
+    # -- public introspection ---------------------------------------------
+    @property
+    def n_running(self) -> int:
+        return len(self._running)
+
+    @property
+    def n_ready(self) -> int:
+        return len(self._ready) + sum(len(q) for q in self._ready_aff)
+
+    def thread(self, name: str, affinity: Optional[int] = None) -> CoreThread:
+        """Create a new software-thread handle.
+
+        ``affinity`` pins the thread to one hardware context (Linux 2.6
+        per-CPU run-queue behaviour); None lets it run anywhere.
+        """
+        return CoreThread(self, name, affinity)
+
+    def occupancy(self, window: float) -> float:
+        """Mean fraction of contexts busy over ``window`` seconds."""
+        if window <= 0:
+            return 0.0
+        self._advance()
+        return self.busy_context_seconds / (window * self.n_contexts)
+
+    # -- request submission -------------------------------------------------
+    def _submit(self, thread: CoreThread, kind: str, work: float = 0.0,
+                target: Optional[Event] = None) -> Event:
+        if thread.core is not self:
+            raise ValueError(f"thread {thread.name!r} belongs to another core")
+        if thread.state not in (_IDLE, _LINGER):
+            raise RuntimeError(
+                f"thread {thread.name!r} submitted a request while {thread.state}"
+            )
+        if kind == _WORK and work < 0:
+            raise ValueError("work must be non-negative")
+
+        self._advance()
+        done = Event(self.env)
+        thread.kind = kind
+        thread.remaining = work
+        thread.done_event = done
+        thread.spin_fired = False
+        thread.spin_target = target
+        if kind == _SPIN:
+            if target is None:
+                raise ValueError("spin requires a target event")
+
+            def _notice(_ev: Event, thread=thread, target=target) -> None:
+                # Guard: the thread may have moved on to a different request.
+                if thread.spin_target is target:
+                    thread.spin_fired = True
+                    self._wake()
+
+            target.add_callback(_notice)
+
+        if thread.state == _LINGER:
+            # Continue on the same context: no switch cost, quantum keeps
+            # ticking.  This is the back-to-back fast path.
+            thread.state = _RUNNING
+        else:
+            thread.state = _READY
+            self._enqueue(thread)
+        self._wake()
+        return done
+
+    def _enqueue(self, thread: CoreThread) -> None:
+        if thread.affinity is None:
+            self._ready.append(thread)
+        else:
+            self._ready_aff[thread.affinity].append(thread)
+
+    # -- engine ---------------------------------------------------------------
+    def _thread_speed(self, thread: CoreThread) -> float:
+        """Speed of a working thread given its current SMT siblings.
+
+        Contention weight of siblings: 1.0 per computing thread,
+        ``spin_contention`` per spinning thread.  Speed interpolates from
+        1.0 (alone) down to ``smt_efficiency`` (one fully-computing
+        sibling); with more than one sibling (>2 contexts) the weights
+        accumulate.
+        """
+        w = 0.0
+        for other in self._running:
+            if other is thread:
+                continue
+            w += 1.0 if other.kind == _WORK else self.spin_contention
+        if w <= 0.0:
+            return 1.0
+        return 1.0 / (1.0 + (1.0 / self.smt_efficiency - 1.0) * w)
+
+    def _advance(self) -> None:
+        """Account elapsed time onto running threads."""
+        now = self.env.now
+        dt = now - self._last_ts
+        self._last_ts = now
+        if dt <= 0 or not self._running:
+            return
+        self.busy_context_seconds += dt * len(self._running)
+        for t in self._running:
+            pen = min(t.penalty_left, dt)
+            t.penalty_left -= pen
+            eff = dt - pen
+            if t.kind == _WORK and eff > 0:
+                progress = eff * self._thread_speed(t)
+                t.remaining -= progress
+                t.work_done += progress
+            t.quantum_left -= dt
+
+    def _complete(self, thread: CoreThread) -> None:
+        """Finish the thread's current request; it lingers on its slot."""
+        done = thread.done_event
+        thread.done_event = None
+        thread.kind = None
+        thread.spin_target = None
+        thread.state = _LINGER
+        # Linger expires after every same-timestamp callback has run; a
+        # NORMAL-priority zero timeout sorts after the URGENT completion.
+        expire = Event(self.env)
+        expire.succeed(None, priority=NORMAL)
+
+        def _expire(_ev: Event, thread=thread) -> None:
+            if thread.state == _LINGER:
+                self._release_slot(thread)
+                thread.state = _IDLE
+                self._wake()
+
+        expire.add_callback(_expire)
+        done.succeed(None, priority=URGENT)
+
+    def _release_slot(self, thread: CoreThread) -> None:
+        self._running.remove(thread)
+        slot = thread.slot
+        thread.slot = None
+        self._slot_last[slot] = thread
+        self._slot_free.append(slot)
+
+    def _eligible(self, slot: int) -> Optional[CoreThread]:
+        """Pop the next ready thread allowed to run on ``slot``."""
+        if self._ready_aff[slot]:
+            return self._ready_aff[slot].popleft()
+        if self._ready:
+            return self._ready.popleft()
+        return None
+
+    def _has_eligible(self, slot: int) -> bool:
+        return bool(self._ready_aff[slot]) or bool(self._ready)
+
+    def _wake(self) -> None:
+        """Re-evaluate state after any change; reschedule the timer."""
+        self._version += 1
+        self._advance()
+
+        # Reap completions.
+        for t in list(self._running):
+            if t.penalty_left > _EPS:
+                continue
+            if t.kind == _WORK and t.remaining <= _EPS:
+                self._complete(t)
+            elif t.kind == _SPIN and t.spin_fired:
+                self._complete(t)
+
+        # Quantum preemption (only when a waiter could use the slot).
+        for t in list(self._running):
+            if (
+                t.state == _RUNNING
+                and t.quantum_left <= _EPS
+                and self._has_eligible(t.slot)
+            ):
+                slot = t.slot
+                self._release_slot(t)
+                t.state = _READY
+                self._enqueue(t)
+
+        # Fill free contexts.
+        progressed = True
+        while self._slot_free and progressed:
+            progressed = False
+            for slot in list(self._slot_free):
+                t = self._eligible(slot)
+                if t is None:
+                    continue
+                self._slot_free.remove(slot)
+                t.slot = slot
+                t.state = _RUNNING
+                if self._slot_last[slot] is not t and self._slot_last[slot] is not None:
+                    t.penalty_left = self.switch_cost
+                    self.switches += 1
+                else:
+                    t.penalty_left = 0.0
+                t.quantum_left = self.quantum
+                self._slot_last[slot] = t
+                self._running.append(t)
+                progressed = True
+
+        self._arm_timer()
+
+    def _arm_timer(self) -> None:
+        """Schedule the next state-change time, superseding older timers."""
+        if not self._running:
+            return
+        horizon = float("inf")
+        for t in self._running:
+            if t.kind == _WORK:
+                speed = self._thread_speed(t)
+                horizon = min(horizon, t.penalty_left + t.remaining / speed)
+            elif t.kind == _SPIN and t.spin_fired:
+                horizon = min(horizon, t.penalty_left)
+            if self._has_eligible(t.slot):
+                horizon = min(horizon, max(t.quantum_left, 0.0))
+        if horizon == float("inf"):
+            return
+        version = self._version
+        timer = self.env.timeout(max(horizon, 0.0))
+
+        def _fire(_ev: Event, version=version) -> None:
+            if version == self._version:
+                self._wake()
+
+        timer.add_callback(_fire)

@@ -1,0 +1,12 @@
+"""A libspe2-flavoured programming façade over the simulated Cell.
+
+The level a hand-written Cell application works at: SPE contexts,
+program images, mailboxes, and SPU-side DMA — see
+``examples/cellsdk_by_hand.py``.  The paper's runtime (:mod:`repro.core`)
+automates everything this API makes manual.
+"""
+
+from .context import SpeContext, spe_context_create
+from .program import SpeProgram, SpuRuntime
+
+__all__ = ["SpeContext", "spe_context_create", "SpeProgram", "SpuRuntime"]

@@ -1,0 +1,126 @@
+"""SPE contexts: the libspe2-flavoured programming interface.
+
+Mirrors the workflow of IBM's libspe that Cell applications (and the
+paper's runtime) were written against:
+
+1. ``spe_context_create`` — claim an SPE and get a context;
+2. ``ctx.load_program(program)`` — DMA the code image into local store;
+3. ``ctx.run()`` — start the SPU program (a simulated process);
+4. mailboxes — ``write_in_mbox`` / ``read_out_mbox`` for PPE<->SPE
+   signalling;
+5. ``ctx.destroy()`` — release the SPE back to the pool.
+
+Everything executes inside the discrete-event simulation; see
+``examples/cellsdk_by_hand.py`` for a complete hand-rolled off-load
+loop written at this level.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from ..cell.machine import CellMachine
+from ..cell.spe import SPE
+from ..sim.engine import Environment
+from ..sim.events import Event
+from ..sim.process import Process
+from ..sim.resources import Store
+from .program import SpeProgram, SpuRuntime
+
+__all__ = ["SpeContext", "spe_context_create"]
+
+
+class SpeContext:
+    """One claimed SPE plus its loaded program and mailboxes."""
+
+    def __init__(self, env: Environment, machine: CellMachine, spe: SPE) -> None:
+        self.env = env
+        self.machine = machine
+        self.spe = spe
+        self.program: Optional[SpeProgram] = None
+        self._in_mbox = Store(env)
+        self._out_mbox = Store(env)
+        self._running: Optional[Process] = None
+        self._destroyed = False
+
+    # -- lifecycle ----------------------------------------------------------
+    def load_program(self, program: SpeProgram) -> Generator[Event, None, None]:
+        """DMA the program image into the local store (a generator —
+        drive it with ``yield from``)."""
+        self._check_alive()
+        t_load = self.spe.load_code(program.image)
+        if t_load > 0:
+            yield self.env.timeout(t_load)
+        self.program = program
+
+    def run(self) -> Process:
+        """Start the loaded program; returns its process (an event).
+
+        The SPE is busy for the program's entire run; the program's
+        return value becomes the event value.
+        """
+        self._check_alive()
+        if self.program is None:
+            raise RuntimeError("no program loaded")
+        if self._running is not None and self._running.is_alive:
+            raise RuntimeError("program is already running on this context")
+        spu = SpuRuntime(
+            self.env,
+            self.spe,
+            self._in_mbox,
+            self._out_mbox,
+            self.machine.cell_params.ppe_spe_signal,
+        )
+        program = self.program
+
+        def main():
+            self.spe.mark_busy(f"cellsdk:{program.name}")
+            try:
+                result = yield from program.body(spu)
+            finally:
+                self.spe.mark_idle()
+            self.spe.tasks_executed += 1
+            return result
+
+        self._running = self.env.process(main(), name=f"spu:{program.name}")
+        return self._running
+
+    def destroy(self) -> None:
+        """Release the SPE back to the machine pool."""
+        self._check_alive()
+        if self._running is not None and self._running.is_alive:
+            raise RuntimeError("cannot destroy a context while running")
+        self._destroyed = True
+        self.machine.pool.release(self.spe)
+
+    # -- mailboxes -----------------------------------------------------------
+    def write_in_mbox(self, value: Any) -> Generator[Event, None, None]:
+        """PPE-side write to the SPE's inbound mailbox (signal latency)."""
+        self._check_alive()
+        yield self.env.timeout(
+            self.machine.signal_latency(self.spe.cell_id, self.spe)
+        )
+        self._in_mbox.put(value)
+
+    def read_out_mbox(self) -> Event:
+        """PPE-side blocking read of the SPE's outbound mailbox."""
+        self._check_alive()
+        return self._out_mbox.get()
+
+    # -- internal ---------------------------------------------------------------
+    def _check_alive(self) -> None:
+        if self._destroyed:
+            raise RuntimeError("context has been destroyed")
+
+
+def spe_context_create(
+    env: Environment, machine: CellMachine
+) -> Generator[Event, None, SpeContext]:
+    """Claim an SPE (blocking if none free) and build a context.
+
+    A generator: ``ctx = yield from spe_context_create(env, machine)``.
+    """
+    spe = machine.pool.try_acquire()
+    if spe is None:
+        spe = yield machine.pool.acquire()
+    return SpeContext(env, machine, spe)

@@ -1,0 +1,93 @@
+"""SPU-side programs for the libspe-style façade.
+
+A :class:`SpeProgram` bundles a code image with a *body*: a generator
+written against the SPU-side primitives (:class:`SpuRuntime`) — local
+compute, mailbox reads/writes, DMA gets/puts.  This is the level a
+hand-written Cell application works at; the paper's runtime
+(:mod:`repro.core`) exists so application programmers don't have to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Generator
+
+from ..cell.local_store import CodeImage
+from ..cell.spe import SPE
+from ..sim.engine import Environment
+from ..sim.events import Event
+from ..sim.resources import Store
+
+__all__ = ["SpeProgram", "SpuRuntime"]
+
+KB = 1024
+
+
+class SpuRuntime:
+    """What an SPU program can do: compute, mailboxes, DMA.
+
+    Passed to the program body; every operation returns an event to
+    ``yield`` (or a generator to ``yield from``).
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        spe: SPE,
+        in_mbox: Store,
+        out_mbox: Store,
+        signal_latency: float,
+    ) -> None:
+        self.env = env
+        self.spe = spe
+        self._in = in_mbox
+        self._out = out_mbox
+        self._signal_latency = signal_latency
+        self.dma_bytes = 0
+
+    def compute(self, seconds: float) -> Event:
+        """Burn SPU cycles."""
+        if seconds < 0:
+            raise ValueError("compute time must be non-negative")
+        return self.env.timeout(seconds)
+
+    def read_mbox(self) -> Event:
+        """Blocking read of the PPE->SPE mailbox."""
+        return self._in.get()
+
+    def write_mbox(self, value: Any) -> Generator[Event, None, None]:
+        """Write to the SPE->PPE mailbox (one signal latency)."""
+        yield self.env.timeout(self._signal_latency)
+        self._out.put(value)
+
+    def dma_get(self, nbytes: int) -> Event:
+        """DMA main memory -> local store; returns the transfer event."""
+        self.dma_bytes += nbytes
+        return self.env.timeout(self.spe.mfc.transfer_time(nbytes))
+
+    def dma_put(self, nbytes: int) -> Event:
+        """DMA local store -> main memory."""
+        self.dma_bytes += nbytes
+        return self.env.timeout(self.spe.mfc.transfer_time(nbytes))
+
+
+@dataclass(frozen=True)
+class SpeProgram:
+    """An SPU executable: code image plus its behaviour.
+
+    ``body(spu)`` is a generator using :class:`SpuRuntime`; its return
+    value becomes the value of the context's ``run`` event.
+    """
+
+    name: str
+    body: Callable[[SpuRuntime], Generator[Event, Any, Any]]
+    image_kb: int = 64
+    variant: str = "serial"
+
+    def __post_init__(self) -> None:
+        if self.image_kb <= 0:
+            raise ValueError("image_kb must be positive")
+
+    @property
+    def image(self) -> CodeImage:
+        return CodeImage(self.name, self.variant, self.image_kb * KB)

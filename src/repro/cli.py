@@ -1,0 +1,194 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Regenerates any of the paper's tables/figures, runs a quick scheduler
+comparison, or draws a schedule timeline — without writing a script.
+
+Examples::
+
+    python -m repro table1
+    python -m repro fig8 --panel b
+    python -m repro compare --bootstraps 12 --tasks 300
+    python -m repro timeline --scheduler mgps --bootstraps 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis import (
+    SWEEP_LARGE,
+    SWEEP_SMALL,
+    fig10_sweep,
+    figure_sweep,
+    sec51_offload_experiment,
+    table1_experiment,
+    table2_experiment,
+)
+from .analysis.timeline import render_timeline, utilization_bar
+from .core.runner import run_experiment
+from .core.schedulers import edtlp, linux, mgps, static_hybrid
+from .sim.trace import Tracer
+from .workloads.traces import Workload
+
+__all__ = ["main", "build_parser"]
+
+_SCHEDULERS = {
+    "linux": linux,
+    "edtlp": edtlp,
+    "mgps": mgps,
+    "llp2": lambda: static_hybrid(2),
+    "llp4": lambda: static_hybrid(4),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduce 'Dynamic Multigrain Parallelization on the Cell "
+            "Broadband Engine' (PPoPP 2007)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("sec51", help="Section 5.1 off-load optimization")
+    p.add_argument("--tasks", type=int, default=500)
+
+    p = sub.add_parser("table1", help="Table 1: EDTLP vs Linux")
+    p.add_argument("--tasks", type=int, default=400)
+
+    p = sub.add_parser("table2", help="Table 2: LLP scaling")
+    p.add_argument("--tasks", type=int, default=400)
+
+    for fig in ("fig7", "fig8", "fig9"):
+        p = sub.add_parser(fig, help=f"{fig}: scheduler sweep")
+        p.add_argument("--panel", choices=["a", "b"], default="a")
+        p.add_argument("--tasks", type=int, default=None)
+
+    p = sub.add_parser("fig10", help="Figure 10: Cell vs Xeon vs Power5")
+    p.add_argument("--panel", choices=["a", "b"], default="a")
+    p.add_argument("--tasks", type=int, default=None)
+
+    p = sub.add_parser("compare", help="compare all schedulers on one workload")
+    p.add_argument("--bootstraps", type=int, default=8)
+    p.add_argument("--tasks", type=int, default=300)
+    p.add_argument("--cells", type=int, default=1)
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("bsp", help="MGPS vs EDTLP on an imbalanced BSP workload")
+    p.add_argument("--ranks", type=int, default=8)
+    p.add_argument("--iterations", type=int, default=8)
+    p.add_argument("--imbalance", type=float, default=2.0)
+
+    p = sub.add_parser("timeline", help="draw an SPE schedule timeline")
+    p.add_argument("--scheduler", choices=sorted(_SCHEDULERS), default="mgps")
+    p.add_argument("--bootstraps", type=int, default=4)
+    p.add_argument("--tasks", type=int, default=250)
+    p.add_argument("--width", type=int, default=72)
+
+    return parser
+
+
+def _panel_counts(panel: str):
+    return SWEEP_SMALL if panel == "a" else SWEEP_LARGE
+
+
+def _panel_tasks(panel: str, override: Optional[int]) -> int:
+    if override is not None:
+        return override
+    return 300 if panel == "a" else 150
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.command == "sec51":
+        print(sec51_offload_experiment(tasks_per_bootstrap=args.tasks).render())
+    elif args.command == "table1":
+        print(table1_experiment(tasks_per_bootstrap=args.tasks).render())
+    elif args.command == "table2":
+        print(table2_experiment(tasks_per_bootstrap=args.tasks).render())
+    elif args.command in ("fig7", "fig8", "fig9"):
+        schedulers = None
+        if args.command == "fig7":
+            schedulers = {
+                "EDTLP-LLP2": static_hybrid(2),
+                "EDTLP-LLP4": static_hybrid(4),
+                "EDTLP": edtlp(),
+            }
+        n_cells = 2 if args.command == "fig9" else 1
+        result = figure_sweep(
+            _panel_counts(args.panel),
+            schedulers=schedulers,
+            tasks_per_bootstrap=_panel_tasks(args.panel, args.tasks),
+            n_cells=n_cells,
+            name=f"Figure {args.command[3:]}{args.panel} "
+            f"({'two Cells' if n_cells == 2 else 'one Cell'}, seconds)",
+        )
+        print(result.render())
+    elif args.command == "fig10":
+        result = fig10_sweep(
+            _panel_counts(args.panel),
+            tasks_per_bootstrap=_panel_tasks(args.panel, args.tasks),
+        )
+        print(result.render())
+    elif args.command == "compare":
+        from .cell.params import BladeParams
+        from .analysis.report import format_table
+
+        wl = Workload(bootstraps=args.bootstraps,
+                      tasks_per_bootstrap=args.tasks, seed=args.seed)
+        blade = BladeParams(n_cells=args.cells)
+        rows = []
+        for name, factory in _SCHEDULERS.items():
+            r = run_experiment(factory(), wl, blade=blade, seed=args.seed)
+            rows.append([name, r.makespan, f"{r.spe_utilization:.0%}",
+                         r.llp_invocations, r.ppe_fallbacks])
+        print(format_table(
+            ["scheduler", "makespan [s]", "SPE util", "LLP", "fallbacks"],
+            rows,
+            title=f"{args.bootstraps} bootstraps on {args.cells} Cell(s)",
+        ))
+    elif args.command == "bsp":
+        from .analysis.report import format_table
+        from .core.runner import run_bsp_experiment
+        from .workloads.coupled import BSPWorkload
+
+        wl = BSPWorkload(
+            n_processes=args.ranks, iterations=args.iterations,
+            imbalance=args.imbalance,
+        )
+        rows = []
+        for name, factory in (("edtlp", edtlp), ("mgps", mgps)):
+            r = run_bsp_experiment(factory(), wl)
+            rows.append([name, r.makespan * 1e3,
+                         f"{r.spe_utilization:.0%}", r.llp_invocations])
+        print(format_table(
+            ["scheduler", "makespan [ms]", "SPE util", "LLP"],
+            rows,
+            title=f"BSP: {args.ranks} ranks, {args.iterations} barriers, "
+                  f"straggler {1 + args.imbalance:.0f}x",
+        ))
+    elif args.command == "timeline":
+        tracer = Tracer(enabled=True)
+        wl = Workload(bootstraps=args.bootstraps,
+                      tasks_per_bootstrap=args.tasks)
+        result = run_experiment(
+            _SCHEDULERS[args.scheduler](), wl, tracer=tracer
+        )
+        window = result.raw_makespan * 0.02
+        print(f"{args.scheduler}: makespan {result.makespan:.1f} s, "
+              f"SPE utilization {result.spe_utilization:.0%}")
+        print(render_timeline(tracer, width=args.width, t_start=window,
+                              t_end=2 * window))
+        print()
+        print(utilization_bar(tracer, result.raw_makespan))
+    else:  # pragma: no cover - argparse enforces choices
+        raise SystemExit(2)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

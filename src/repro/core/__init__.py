@@ -1,0 +1,51 @@
+"""The paper's contribution: EDTLP, LLP and MGPS scheduling on Cell."""
+
+from .cluster import ClusterResult, distribute_bootstraps, run_cluster_experiment
+from .granularity import GranularityGovernor, OffloadDecision
+from .history import UtilizationHistory
+from .llp import LLPConfig, LLPInvocation, LoopParallelModel, split_iterations
+from .oracle import OracleChoice, OracleSelector, default_candidates
+from .results import ScheduleResult
+from .runner import run_bsp_experiment, run_experiment, run_sweep
+from .runtime import (
+    EDTLPRuntime,
+    LinuxRuntime,
+    MGPSRuntime,
+    OffloadRuntime,
+    ProcContext,
+    RuntimeStats,
+    StaticHybridRuntime,
+)
+from .schedulers import SchedulerSpec, edtlp, linux, mgps, static_hybrid
+
+__all__ = [
+    "SchedulerSpec",
+    "linux",
+    "edtlp",
+    "static_hybrid",
+    "mgps",
+    "run_experiment",
+    "run_sweep",
+    "run_bsp_experiment",
+    "run_cluster_experiment",
+    "ClusterResult",
+    "distribute_bootstraps",
+    "ScheduleResult",
+    "OffloadRuntime",
+    "LinuxRuntime",
+    "EDTLPRuntime",
+    "StaticHybridRuntime",
+    "MGPSRuntime",
+    "ProcContext",
+    "RuntimeStats",
+    "GranularityGovernor",
+    "OffloadDecision",
+    "UtilizationHistory",
+    "LLPConfig",
+    "LLPInvocation",
+    "LoopParallelModel",
+    "split_iterations",
+    "OracleSelector",
+    "OracleChoice",
+    "default_candidates",
+]

@@ -1,0 +1,94 @@
+"""Multi-blade cluster scaling (Section 5.5).
+
+The paper's closing argument for MGPS: even though a 100-1000-bootstrap
+analysis is task-rich on one Cell, scaling out *spreads* the bootstraps
+— "running fewer bootstraps per Cell is better than clustering
+bootstraps in as few Cells as possible.  With 100 bootstraps, MGPS with
+multigrain (EDTLP-LLP) parallelism will outperform plain EDTLP if the
+bootstraps are distributed between four or more dual-Cell blades."
+
+A cluster here is N independent blades fed by a static block
+distribution of the bootstrap bag (standard MPI practice across nodes);
+each blade is simulated exactly as in :func:`run_experiment` and the
+cluster makespan is the slowest blade's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..cell.params import BladeParams
+from ..workloads.traces import Workload
+from .results import ScheduleResult
+from .runner import run_experiment
+from .schedulers import SchedulerSpec
+
+__all__ = ["ClusterResult", "distribute_bootstraps", "run_cluster_experiment"]
+
+
+def distribute_bootstraps(total: int, n_blades: int) -> List[int]:
+    """Block-distribute ``total`` bootstraps over ``n_blades`` blades.
+
+    Earlier blades take the remainder (sizes differ by at most one).
+    """
+    if total < 1 or n_blades < 1:
+        raise ValueError("need positive totals")
+    if n_blades > total:
+        raise ValueError("more blades than bootstraps")
+    base, extra = divmod(total, n_blades)
+    return [base + (1 if i < extra else 0) for i in range(n_blades)]
+
+
+@dataclass(frozen=True)
+class ClusterResult:
+    """Outcome of one cluster run."""
+
+    scheduler: str
+    total_bootstraps: int
+    n_blades: int
+    makespan: float                      # slowest blade, paper-scale seconds
+    per_blade: Tuple[ScheduleResult, ...]
+
+    @property
+    def mean_spe_utilization(self) -> float:
+        return sum(r.spe_utilization for r in self.per_blade) / len(
+            self.per_blade
+        )
+
+    @property
+    def total_llp_invocations(self) -> int:
+        return sum(r.llp_invocations for r in self.per_blade)
+
+
+def run_cluster_experiment(
+    spec: SchedulerSpec,
+    total_bootstraps: int,
+    n_blades: int,
+    blade: BladeParams = BladeParams(n_cells=2),
+    tasks_per_bootstrap: int = 200,
+    seed: int = 0,
+) -> ClusterResult:
+    """Simulate ``total_bootstraps`` spread over ``n_blades`` blades.
+
+    Blades run independently (inter-node MPI only hands out disjoint
+    bootstrap blocks up front), so the cluster makespan is the maximum
+    blade makespan.  Per-blade workloads draw distinct trace seeds so no
+    two blades see identical jitter.
+    """
+    counts = distribute_bootstraps(total_bootstraps, n_blades)
+    results: List[ScheduleResult] = []
+    for blade_id, b in enumerate(counts):
+        wl = Workload(
+            bootstraps=b,
+            tasks_per_bootstrap=tasks_per_bootstrap,
+            seed=seed + 104729 * blade_id,
+        )
+        results.append(run_experiment(spec, wl, blade=blade, seed=seed))
+    return ClusterResult(
+        scheduler=spec.name,
+        total_bootstraps=total_bootstraps,
+        n_blades=n_blades,
+        makespan=max(r.makespan for r in results),
+        per_blade=tuple(results),
+    )

@@ -1,0 +1,89 @@
+"""MGPS's utilization history window (Section 5.4).
+
+The scheduler keeps a sliding window whose length equals the number of
+SPEs (8 off-loads of hysteresis).  For every off-load it records the
+dispatch time; on each departure it derives ``U`` — how many discrete
+tasks were off-loaded to SPEs while the departing task executed (i.e. the
+degree of task-level parallelism the application exposed).  Every
+``window``-th off-load the scheduler evaluates the smoothed ``U`` and
+decides whether to activate loop-level parallelism (``U <= n_spes/2``)
+and with what degree (``floor(n_spes / T)`` for ``T`` waiting tasks).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional, Tuple
+
+__all__ = ["UtilizationHistory"]
+
+
+class UtilizationHistory:
+    """Sliding-window estimator of exposed task-level parallelism."""
+
+    def __init__(self, n_spes: int, window: Optional[int] = None) -> None:
+        if n_spes < 1:
+            raise ValueError("n_spes must be >= 1")
+        self.n_spes = n_spes
+        self.window = window if window is not None else n_spes
+        if self.window < 1:
+            raise ValueError("window must be >= 1")
+        self._dispatch_times: Deque[float] = deque(maxlen=4 * self.window)
+        self._u_samples: Deque[int] = deque(maxlen=self.window)
+        self.dispatches = 0
+        self.departures = 0
+
+    # -- recording ---------------------------------------------------------
+    def note_dispatch(self, time: float) -> bool:
+        """Record an off-load; returns True when a decision point is due
+        (every ``window``-th off-load)."""
+        self._dispatch_times.append(time)
+        self.dispatches += 1
+        return self.dispatches % self.window == 0
+
+    def note_departure(self, start: float, end: float) -> int:
+        """Record a task completion; returns its ``U`` sample.
+
+        ``U`` counts the departing task plus tasks dispatched *strictly
+        after* it started (its own dispatch at ``start`` is not counted
+        twice), capped at the SPE count.
+        """
+        if end < start:
+            raise ValueError("departure interval is inverted")
+        self.departures += 1
+        u = 1 + sum(1 for t in self._dispatch_times if start < t <= end)
+        u = max(1, min(u, self.n_spes))
+        self._u_samples.append(u)
+        return u
+
+    # -- decision inputs ---------------------------------------------------
+    @property
+    def u_estimate(self) -> int:
+        """Current estimate of exposed TLP: the rounded mean U over the
+        window.
+
+        The mean (not the max) gives the hysteresis the paper asks of the
+        8-off-load window: single long-running outlier tasks that overlap
+        many dispatches must not flip the policy back and forth.
+        """
+        if not self._u_samples:
+            return 0
+        return int(round(sum(self._u_samples) / len(self._u_samples)))
+
+    def llp_decision(self, waiting_tasks: int) -> Tuple[bool, int]:
+        """(activate_llp, degree) per the Section 5.4 rule.
+
+        LLP activates when the window shows U <= n_spes/2; the degree is
+        ``floor(n_spes / T)`` for ``T`` current task sources, clamped to
+        [1, n_spes].
+        """
+        u = self.u_estimate
+        if u == 0 or u > self.n_spes // 2:
+            return False, 1
+        t = max(1, waiting_tasks)
+        degree = max(1, min(self.n_spes, self.n_spes // t))
+        return degree > 1, degree
+
+    def reset(self) -> None:
+        self._dispatch_times.clear()
+        self._u_samples.clear()

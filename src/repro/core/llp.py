@@ -1,0 +1,239 @@
+"""Loop-level parallelism (LLP): the work-sharing runtime across SPEs.
+
+Implements the mechanism of Section 5.3: a master SPE signals worker SPEs
+(one serialized ``mfc_put`` of a ``Pass`` structure per worker), workers
+DMA their input chunks from the master's local store / shared memory,
+everyone computes a contiguous chunk of the loop, workers return results
+via SPE->SPE ``Pass`` sends, and the master serially folds one ``Pass``
+per worker (the global-reduction bottleneck the paper calls out) before
+committing to main memory.
+
+Two features of the paper's runtime are reproduced exactly:
+
+* **master head start** — the master begins its chunk immediately after
+  issuing signals while workers still wait on signal latency + DMA, so a
+  naive equal split leaves the master idle at the join;
+* **adaptive load unbalancing** — idle time observed at the join across
+  repeated invocations of the same loop feeds back into the master's
+  chunk fraction until master and workers finish together.
+
+The per-invocation timing is closed-form (everything is deterministic
+given the chunk sizes), which keeps simulated event counts tractable;
+worker SPE *occupancy* is still realized in simulated time by the runtime
+(see :mod:`repro.core.runtime`), so MGPS observes genuine SPE busyness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..cell.mfc import MFC
+from ..cell.params import CellParams
+from ..workloads.taskspec import TaskSpec
+
+__all__ = ["LLPConfig", "LLPInvocation", "LoopParallelModel", "split_iterations"]
+
+US = 1e-6
+
+
+def split_iterations(n: int, k: int, master_fraction: float) -> List[int]:
+    """Split ``n`` loop iterations over ``k`` SPEs, master first.
+
+    The master receives ``round(master_fraction * n)`` (clamped so every
+    SPE gets at least one iteration); workers split the remainder as
+    evenly as possible, earlier workers taking the odd leftovers.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    if k == 1:
+        return [n]
+    if k > n:
+        raise ValueError(f"cannot split {n} iterations over {k} SPEs")
+    m = int(round(master_fraction * n))
+    m = max(1, min(m, n - (k - 1)))
+    rest = n - m
+    base, extra = divmod(rest, k - 1)
+    chunks = [m] + [base + (1 if i < extra else 0) for i in range(k - 1)]
+    assert sum(chunks) == n
+    return chunks
+
+
+@dataclass(frozen=True)
+class LLPConfig:
+    """Tunable constants of the work-sharing runtime.
+
+    ``signal_issue`` is the master-side cost of posting one ``mfc_put``;
+    ``pass_process`` is the master-side cost of folding one returned
+    ``Pass`` structure (reduction accumulate / commit confirmation);
+    ``setup`` is the per-invocation fixed cost (loop bounds distribution,
+    barrier arming).  ``alpha`` is the feedback gain of adaptive
+    unbalancing; ``adaptive=False`` freezes the master fraction at the
+    equal split (ablation).
+    """
+
+    signal_issue: float = 0.5 * US
+    pass_process: float = 2.75 * US
+    setup: float = 2.0 * US
+    alpha: float = 0.3
+    adaptive: bool = True
+    head_start_bias: float = 0.0  # additive initial bias on master fraction
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.alpha <= 1.0):
+            raise ValueError("alpha must be within [0, 1]")
+        for fieldname in ("signal_issue", "pass_process", "setup"):
+            if getattr(self, fieldname) < 0:
+                raise ValueError(f"{fieldname} must be non-negative")
+
+
+@dataclass(frozen=True)
+class LLPInvocation:
+    """Timing breakdown of one loop-parallel task invocation."""
+
+    duration: float          # total task time on the master SPE
+    k: int                   # SPEs used (master + workers)
+    chunks: Tuple[int, ...]  # iteration split, master first
+    master_compute: float
+    worker_start_delay: float
+    join_idle: float         # master idle at the join (pre-reduction)
+    reduction_time: float
+    master_fraction: float   # fraction used for this invocation
+
+
+class LoopParallelModel:
+    """Computes LLP invocation timings and adapts chunk fractions.
+
+    One instance is shared by all SPEs of a run; adaptive state is keyed
+    by ``(function, k)`` exactly as the paper tunes "iteration
+    distribution in each invocation" of the *same loop*.
+    """
+
+    def __init__(
+        self,
+        params: CellParams,
+        config: Optional[LLPConfig] = None,
+    ) -> None:
+        self.params = params
+        self.config = config or LLPConfig()
+        self.mfc = MFC(params)
+        self._fraction: Dict[Tuple[str, int], float] = {}
+        self.invocations = 0
+        self.total_join_idle = 0.0
+
+    # -- adaptive state ---------------------------------------------------
+    def master_fraction(self, function: str, k: int) -> float:
+        """Current master chunk fraction for ``(function, k)``."""
+        key = (function, k)
+        if key not in self._fraction:
+            self._fraction[key] = min(0.9, 1.0 / k + self.config.head_start_bias)
+        return self._fraction[key]
+
+    def _update_fraction(self, function: str, k: int, f_opt: float) -> None:
+        if not self.config.adaptive:
+            return
+        key = (function, k)
+        f = self._fraction[key]
+        a = self.config.alpha
+        self._fraction[key] = min(0.9, max(1e-3, (1 - a) * f + a * f_opt))
+
+    # -- invocation timing --------------------------------------------------
+    def invoke(
+        self,
+        task: TaskSpec,
+        k: int,
+        cross_cell_workers: int = 0,
+    ) -> LLPInvocation:
+        """Timing of ``task`` executed with work-sharing over ``k`` SPEs.
+
+        ``cross_cell_workers`` counts workers on the other Cell of a
+        blade, whose signals pay the inter-chip penalty.
+        """
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        loop = task.loop
+        if loop is not None:
+            k = min(k, loop.iterations)
+        # Degenerate loops (no coverage, or so little that per-iteration
+        # time underflows) run serially.
+        if (
+            k == 1
+            or loop is None
+            or loop.coverage <= 0.0
+            or task.spe_time * loop.coverage / loop.iterations <= 1e-15
+        ):
+            return LLPInvocation(
+                duration=task.spe_time, k=1, chunks=(loop.iterations if loop else 0,),
+                master_compute=task.spe_time, worker_start_delay=0.0,
+                join_idle=0.0, reduction_time=0.0, master_fraction=1.0,
+            )
+        cfg = self.config
+        p = self.params
+
+        serial = task.spe_time * (1.0 - loop.coverage)
+        loop_total = task.spe_time * loop.coverage
+        t_iter = loop_total / loop.iterations
+
+        f = self.master_fraction(task.function, k)
+        chunks = split_iterations(loop.iterations, k, f)
+
+        # Master: issue k-1 signals back to back, then compute its chunk.
+        t_send = (k - 1) * cfg.signal_issue
+        master_compute = chunks[0] * t_iter
+        master_end = t_send + master_compute
+
+        # Workers: signal latency (+ cross-cell penalty for some), input
+        # DMA (concurrent streams share the EIB), compute, Pass back.
+        worker_ends: List[float] = []
+        start_delays: List[float] = []
+        for j, w_iters in enumerate(chunks[1:]):
+            sig = p.spe_spe_signal
+            if j >= (k - 1) - cross_cell_workers:
+                sig += 0.5 * US  # inter-chip hop
+            fetch = self.mfc.transfer_time(
+                max(16, w_iters * loop.bytes_per_iteration), concurrent=k - 1
+            )
+            start = (j + 1) * cfg.signal_issue + sig + fetch
+            commit_back = self.mfc.transfer_time(
+                max(16, w_iters * max(16, loop.bytes_per_iteration // 2)),
+                concurrent=k - 1,
+            )
+            end = start + w_iters * t_iter + p.spe_spe_signal + (
+                0.0 if loop.reduction else commit_back
+            )
+            worker_ends.append(end)
+            start_delays.append(start)
+
+        join = max(master_end, max(worker_ends))
+        join_idle = join - master_end
+        # Master folds one Pass per worker, serially.
+        reduction = (k - 1) * cfg.pass_process
+        duration = cfg.setup + serial + join + reduction
+
+        # Feedback from measured idle time (the paper's mechanism: "timing
+        # idle periods in the SPEs across multiple invocations of the same
+        # loop").  A positive imbalance means the workers finished after
+        # the master (master idled at the join) -> the master should take
+        # more iterations.  Moving x iterations to the master changes the
+        # finish-time gap by x * t_iter * (1 + 1/(k-1)).
+        d_mean = sum(start_delays) / len(start_delays)
+        imbalance = max(worker_ends) - master_end
+        delta_iters = imbalance / (t_iter * (1.0 + 1.0 / (k - 1)))
+        self._update_fraction(
+            task.function, k, f + delta_iters / loop.iterations
+        )
+
+        self.invocations += 1
+        self.total_join_idle += join_idle
+        return LLPInvocation(
+            duration=duration,
+            k=k,
+            chunks=tuple(chunks),
+            master_compute=master_compute,
+            worker_start_delay=d_mean,
+            join_idle=join_idle,
+            reduction_time=reduction,
+            master_fraction=f,
+        )

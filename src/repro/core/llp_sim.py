@@ -1,0 +1,100 @@
+"""Event-accurate validation of the loop work-sharing model.
+
+:class:`~repro.core.llp.LoopParallelModel` computes each invocation's
+duration in closed form (so sweeps stay within event-count budgets).
+This module executes the *same* protocol as actual concurrent simulation
+processes — master issuing serialized signals, workers waking after
+signal latency + DMA fetch, computing their chunks, returning ``Pass``
+structures, the master folding them serially — and returns the measured
+makespan.
+
+``tests/test_llp_event_validation.py`` asserts the two agree for every
+(task, k) combination, which pins the closed form against ordering and
+bookkeeping mistakes that pure-arithmetic tests cannot see.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..cell.mfc import MFC
+from ..cell.params import CellParams
+from ..sim.engine import Environment
+from ..workloads.taskspec import TaskSpec
+from .llp import LLPConfig, split_iterations
+
+__all__ = ["simulate_invocation"]
+
+US = 1e-6
+
+
+def simulate_invocation(
+    task: TaskSpec,
+    k: int,
+    params: Optional[CellParams] = None,
+    config: Optional[LLPConfig] = None,
+    master_fraction: Optional[float] = None,
+    cross_cell_workers: int = 0,
+) -> float:
+    """Run one loop-parallel invocation as real concurrent processes.
+
+    Returns the master's total task time (the quantity the closed-form
+    model predicts).  Uses a fresh, private
+    :class:`~repro.sim.engine.Environment`.
+    """
+    params = params or CellParams()
+    config = config or LLPConfig()
+    loop = task.loop
+    if loop is not None:
+        k = min(k, loop.iterations)
+    if k == 1 or loop is None or loop.coverage <= 0.0:
+        return task.spe_time
+
+    mfc = MFC(params)
+    serial = task.spe_time * (1.0 - loop.coverage)
+    loop_total = task.spe_time * loop.coverage
+    t_iter = loop_total / loop.iterations
+    f = master_fraction if master_fraction is not None else 1.0 / k
+    chunks = split_iterations(loop.iterations, k, f)
+
+    env = Environment()
+    signal_fired: List = [env.event() for _ in range(k - 1)]
+    pass_returned: List = [env.event() for _ in range(k - 1)]
+
+    def worker(j: int, w_iters: int):
+        yield signal_fired[j]
+        sig = params.spe_spe_signal
+        if j >= (k - 1) - cross_cell_workers:
+            sig += 0.5 * US
+        yield env.timeout(sig)
+        fetch = mfc.transfer_time(
+            max(16, w_iters * loop.bytes_per_iteration), concurrent=k - 1
+        )
+        yield env.timeout(fetch)
+        yield env.timeout(w_iters * t_iter)
+        yield env.timeout(params.spe_spe_signal)  # Pass back to the master
+        if not loop.reduction:
+            commit = mfc.transfer_time(
+                max(16, w_iters * max(16, loop.bytes_per_iteration // 2)),
+                concurrent=k - 1,
+            )
+            yield env.timeout(commit)
+        pass_returned[j].succeed(env.now)
+
+    def master():
+        yield env.timeout(config.setup)
+        yield env.timeout(serial)
+        # Issue one signal per worker, serialized on the master.
+        for j in range(k - 1):
+            yield env.timeout(config.signal_issue)
+            signal_fired[j].succeed(env.now)
+        yield env.timeout(chunks[0] * t_iter)
+        # Join: wait for every worker's Pass, then fold them serially.
+        yield env.all_of(pass_returned)
+        yield env.timeout((k - 1) * config.pass_process)
+        return env.now
+
+    for j, w_iters in enumerate(chunks[1:]):
+        env.process(worker(j, w_iters), name=f"worker{j}")
+    m = env.process(master(), name="master")
+    return env.run_until_complete(m)

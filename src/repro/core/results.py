@@ -1,0 +1,55 @@
+"""Result records for scheduler experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+__all__ = ["ScheduleResult"]
+
+
+@dataclass(frozen=True)
+class ScheduleResult:
+    """Outcome of one scheduler/workload run.
+
+    ``makespan`` is in *paper-scale* seconds (raw simulated makespan times
+    the trace compression ratio); ``raw_makespan`` is the simulated time
+    actually elapsed.
+    """
+
+    scheduler: str
+    bootstraps: int
+    n_processes: int
+    makespan: float
+    raw_makespan: float
+    scale: float
+    spe_utilization: float
+    ppe_occupancy: float
+    offloads: int
+    ppe_fallbacks: int
+    offload_waits: int
+    llp_invocations: int
+    llp_mode_switches: int
+    code_loads: int
+    ppe_context_switches: int
+    per_spe_busy: Tuple[float, ...]
+    extras: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def throughput(self) -> float:
+        """Bootstraps per paper-scale second."""
+        return self.bootstraps / self.makespan if self.makespan > 0 else 0.0
+
+    def speedup_over(self, other: "ScheduleResult") -> float:
+        """How much faster this run is than ``other``."""
+        if self.makespan <= 0:
+            return float("inf")
+        return other.makespan / self.makespan
+
+    def summary(self) -> str:
+        return (
+            f"{self.scheduler:>12s}: {self.bootstraps:4d} bootstraps on "
+            f"{self.n_processes} procs -> {self.makespan:8.2f} s "
+            f"(SPE util {self.spe_utilization:5.1%}, "
+            f"{self.offloads} offloads, {self.llp_invocations} LLP)"
+        )

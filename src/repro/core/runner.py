@@ -1,0 +1,216 @@
+"""The experiment driver: machine + workload + scheduler -> result.
+
+This is the main entry point of the library::
+
+    from repro import Workload, edtlp, mgps, run_experiment
+
+    wl = Workload(bootstraps=16, tasks_per_bootstrap=1000)
+    r1 = run_experiment(edtlp(), wl)
+    r2 = run_experiment(mgps(), wl)
+    print(r2.speedup_over(r1))
+
+Determinism: the same (spec, workload, blade, seed) always produces the
+same result; different schedulers see byte-identical workload traces.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..cell.machine import CellMachine
+from ..cell.params import BladeParams, DEFAULT_BLADE
+from ..mpi.master_worker import WorkDispenser
+from ..mpi.process import mpi_worker
+from ..sim.engine import Environment
+from ..sim.trace import Tracer
+from ..workloads.traces import Workload
+from .results import ScheduleResult
+from .runtime import ProcContext
+from .schedulers import SchedulerSpec
+
+__all__ = ["run_experiment", "run_sweep", "run_bsp_experiment"]
+
+
+def run_experiment(
+    spec: SchedulerSpec,
+    workload: Workload,
+    blade: BladeParams = DEFAULT_BLADE,
+    seed: int = 0,
+    tracer: Optional[Tracer] = None,
+) -> ScheduleResult:
+    """Execute ``workload`` under ``spec`` on a fresh simulated blade.
+
+    Pass a :class:`~repro.sim.trace.Tracer` to record per-SPE task events
+    (for timelines; see :mod:`repro.analysis.timeline`).
+    """
+    env = Environment()
+    machine = CellMachine(env, blade)
+    runtime = spec.build(env, machine, tracer=tracer)
+
+    n_procs = spec.default_processes(machine.n_spes, workload.bootstraps)
+    if spec.kind == "linux" and n_procs > machine.n_spes:
+        raise ValueError(
+            f"the Linux baseline pins one SPE per process: "
+            f"{n_procs} processes > {machine.n_spes} SPEs"
+        )
+
+    dispenser = WorkDispenser(env, workload.bootstraps, n_procs)
+    procs = []
+    for rank in range(n_procs):
+        cell_id = rank % len(machine.cores)
+        core = machine.core_for(rank)
+        local_index = rank // len(machine.cores)  # position among this cell's procs
+        if spec.kind == "linux":
+            # Linux 2.6 keeps per-CPU run queues: processes effectively
+            # stick to one SMT context, producing Table 1's stair pattern.
+            affinity = local_index % core.n_contexts
+        else:
+            affinity = None
+        ctx = ProcContext(
+            rank=rank,
+            cell_id=cell_id,
+            thread=core.thread(f"mpi{rank}", affinity=affinity),
+        )
+        if spec.kind == "linux":
+            # Pin one SPE of the process's own Cell.
+            own = [s for s in machine.spes if s.cell_id == cell_id]
+            ctx.pinned_spe = own[local_index % len(own)]
+        procs.append(
+            env.process(
+                mpi_worker(ctx, runtime, dispenser, workload),
+                name=f"mpi{rank}",
+            )
+        )
+
+    env.run_until_complete(env.all_of(procs))
+    raw = env.now
+    scale = workload.scale
+
+    per_spe = tuple(s.utilization(raw) for s in machine.spes)
+    occupancy = (
+        sum(c.occupancy(raw) * c.n_contexts for c in machine.cores)
+        / sum(c.n_contexts for c in machine.cores)
+        if raw > 0
+        else 0.0
+    )
+    st = runtime.stats
+    return ScheduleResult(
+        scheduler=spec.name,
+        bootstraps=workload.bootstraps,
+        n_processes=n_procs,
+        makespan=raw * scale,
+        raw_makespan=raw,
+        scale=scale,
+        spe_utilization=machine.spe_utilization(raw),
+        ppe_occupancy=occupancy,
+        offloads=st.offloads,
+        ppe_fallbacks=st.ppe_fallbacks,
+        offload_waits=st.offload_waits,
+        llp_invocations=st.llp_invocations,
+        llp_mode_switches=st.llp_mode_switches,
+        code_loads=st.code_loads,
+        ppe_context_switches=sum(c.switches for c in machine.cores),
+        per_spe_busy=per_spe,
+        extras={
+            "granularity_throttled": float(runtime.granularity.throttled),
+            "llp_join_idle": runtime.llp_model.total_join_idle,
+            "llp_invocations_model": float(runtime.llp_model.invocations),
+        },
+    )
+
+
+def run_bsp_experiment(
+    spec: SchedulerSpec,
+    workload,
+    blade: BladeParams = DEFAULT_BLADE,
+    seed: int = 0,
+    tracer: Optional[Tracer] = None,
+) -> ScheduleResult:
+    """Execute a :class:`~repro.workloads.coupled.BSPWorkload`.
+
+    One software thread per BSP rank; iterations are separated by a
+    global barrier.  Reported times are scaled by ``workload.scale``
+    (1.0 by default: BSP workloads are simulated in full).
+    """
+    from ..mpi.process import bsp_worker
+    from ..sim.resources import Barrier
+
+    env = Environment()
+    machine = CellMachine(env, blade)
+    runtime = spec.build(env, machine, tracer=tracer)
+    if spec.kind == "linux" and workload.n_processes > machine.n_spes:
+        raise ValueError("the Linux baseline pins one SPE per process")
+
+    barrier = Barrier(env, workload.n_processes)
+    procs = []
+    for rank in range(workload.n_processes):
+        cell_id = rank % len(machine.cores)
+        core = machine.core_for(rank)
+        local_index = rank // len(machine.cores)
+        affinity = (
+            local_index % core.n_contexts if spec.kind == "linux" else None
+        )
+        ctx = ProcContext(
+            rank=rank,
+            cell_id=cell_id,
+            thread=core.thread(f"bsp{rank}", affinity=affinity),
+        )
+        if spec.kind == "linux":
+            own = [s for s in machine.spes if s.cell_id == cell_id]
+            ctx.pinned_spe = own[local_index % len(own)]
+        procs.append(
+            env.process(
+                bsp_worker(ctx, runtime, workload, barrier),
+                name=f"bsp{rank}",
+            )
+        )
+
+    env.run_until_complete(env.all_of(procs))
+    raw = env.now
+    scale = workload.scale
+    st = runtime.stats
+    occupancy = (
+        sum(c.occupancy(raw) * c.n_contexts for c in machine.cores)
+        / sum(c.n_contexts for c in machine.cores)
+        if raw > 0
+        else 0.0
+    )
+    return ScheduleResult(
+        scheduler=spec.name,
+        bootstraps=workload.iterations,
+        n_processes=workload.n_processes,
+        makespan=raw * scale,
+        raw_makespan=raw,
+        scale=scale,
+        spe_utilization=machine.spe_utilization(raw),
+        ppe_occupancy=occupancy,
+        offloads=st.offloads,
+        ppe_fallbacks=st.ppe_fallbacks,
+        offload_waits=st.offload_waits,
+        llp_invocations=st.llp_invocations,
+        llp_mode_switches=st.llp_mode_switches,
+        code_loads=st.code_loads,
+        ppe_context_switches=sum(c.switches for c in machine.cores),
+        per_spe_busy=tuple(s.utilization(raw) for s in machine.spes),
+        extras={
+            "barrier_generations": float(workload.iterations),
+            "granularity_throttled": float(runtime.granularity.throttled),
+        },
+    )
+
+
+def run_sweep(
+    spec: SchedulerSpec,
+    bootstrap_counts: Sequence[int],
+    tasks_per_bootstrap: int = 400,
+    blade: BladeParams = DEFAULT_BLADE,
+    seed: int = 0,
+) -> List[ScheduleResult]:
+    """Run ``spec`` over a series of bootstrap counts (one figure curve)."""
+    out = []
+    for b in bootstrap_counts:
+        wl = Workload(
+            bootstraps=b, tasks_per_bootstrap=tasks_per_bootstrap, seed=seed
+        )
+        out.append(run_experiment(spec, wl, blade=blade, seed=seed))
+    return out

@@ -1,0 +1,438 @@
+"""Off-load runtimes: the mechanisms beneath every scheduling policy.
+
+Four runtimes share one substrate (the :class:`~repro.cell.CellMachine`)
+and differ only in policy, so measured differences are attributable to
+scheduling alone:
+
+* :class:`LinuxRuntime` — the baseline: each MPI process owns one pinned
+  SPE and **spins** on off-load completion.  Because the spin (~96 us) is
+  far shorter than the OS quantum (10 ms), the OS never switches at
+  off-load points and at most two off-loads are in flight (Section 5.2,
+  Figure 2b, Table 1 right column).
+* :class:`EDTLPRuntime` — event-driven task-level parallelism: processes
+  *block* at off-load points (a voluntary context switch), so the PPE
+  dispatches for every runnable MPI process and all SPEs stay fed.
+* :class:`StaticHybridRuntime` — EDTLP plus always-on loop-level
+  parallelism with a fixed degree (the EDTLP-LLP scheme of Figure 7).
+* :class:`MGPSRuntime` — the paper's contribution: EDTLP extended with
+  the feedback-guided LLP trigger/throttle of Section 5.4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, List, Optional, Set
+
+from ..cell.machine import CellMachine
+from ..cell.smt import CoreThread
+from ..cell.spe import SPE
+from ..sim.engine import Environment
+from ..sim.events import Event
+from ..sim.trace import Tracer
+from ..workloads.taskspec import BootstrapTrace, TaskSpec
+from .granularity import GranularityGovernor
+from .history import UtilizationHistory
+from .llp import LLPConfig, LoopParallelModel
+
+__all__ = [
+    "ProcContext",
+    "RuntimeStats",
+    "OffloadRuntime",
+    "LinuxRuntime",
+    "EDTLPRuntime",
+    "StaticHybridRuntime",
+    "MGPSRuntime",
+]
+
+
+@dataclass
+class ProcContext:
+    """Identity of one MPI process on the machine."""
+
+    rank: int
+    cell_id: int
+    thread: CoreThread
+    pinned_spe: Optional[SPE] = None
+
+
+@dataclass
+class RuntimeStats:
+    """Counters accumulated by a runtime over one run."""
+
+    offloads: int = 0
+    ppe_fallbacks: int = 0
+    offload_waits: int = 0
+    llp_invocations: int = 0
+    llp_mode_switches: int = 0
+    code_loads: int = 0
+    llp_worker_seconds: float = 0.0
+    bootstraps_done: int = 0
+    data_hits: int = 0
+    data_misses: int = 0
+    data_bytes_transferred: int = 0
+
+
+class OffloadRuntime:
+    """Base: shared off-load mechanics (dispatch, code, execute, signal)."""
+
+    name = "base"
+
+    def __init__(
+        self,
+        env: Environment,
+        machine: CellMachine,
+        granularity_enabled: bool = True,
+        optimized: bool = True,
+        llp_config: Optional[LLPConfig] = None,
+        offload_enabled: bool = True,
+        tracer: Optional[Tracer] = None,
+        locality_aware: bool = False,
+    ) -> None:
+        self.env = env
+        self.machine = machine
+        self.cell = machine.cell_params
+        self.optimized = optimized
+        self.offload_enabled = offload_enabled
+        self.locality_aware = locality_aware
+        self.tracer = tracer if tracer is not None else Tracer(enabled=False)
+        self.granularity = GranularityGovernor(
+            t_comm=self.cell.ppe_spe_signal, enabled=granularity_enabled
+        )
+        self.llp_model = LoopParallelModel(self.cell, llp_config)
+        self.stats = RuntimeStats()
+        self._active_sources: Set[int] = set()
+
+    # -- bookkeeping hooks ----------------------------------------------------
+    def note_bootstrap_start(self, ctx: ProcContext, index: int) -> None:
+        self._active_sources.add(ctx.rank)
+
+    def note_bootstrap_end(self, ctx: ProcContext, index: int) -> None:
+        self._active_sources.discard(ctx.rank)
+        self.stats.bootstraps_done += 1
+
+    @property
+    def active_sources(self) -> int:
+        return len(self._active_sources)
+
+    def current_sources(self, include_dispatcher: bool = False) -> int:
+        """Task sources with work *right now*: distinct owners of busy
+        SPEs plus processes queued for an SPE.  This is the paper's "T,
+        the number of tasks waiting for off-loading" at a decision point
+        (bounded above by the processes still inside a bootstrap/phase).
+
+        ``include_dispatcher`` adds the process performing the current
+        off-load, whose task is not yet marked busy at sampling time.
+        """
+        owners = {
+            s.owner for s in self.machine.spes if s.busy and s.owner
+        }
+        t = len(owners) + self.machine.pool.n_waiting
+        if include_dispatcher:
+            t += 1
+        if self._active_sources:
+            t = min(max(t, 1), len(self._active_sources))
+        return max(1, t)
+
+    # -- policy hooks -----------------------------------------------------------
+    def llp_degree(self, ctx: ProcContext) -> int:
+        """Desired SPEs per off-loaded task (1 = no loop parallelism)."""
+        return 1
+
+    def on_dispatch(self, time: float) -> None:
+        """Called at every off-load dispatch."""
+
+    def on_departure(self, start: float, end: float) -> None:
+        """Called at every off-load completion."""
+
+    # -- mechanics ------------------------------------------------------------
+    def _exec_time(self, task: TaskSpec) -> float:
+        return task.spe_time if self.optimized else task.naive_spe_time
+
+    def _spe_exec(
+        self,
+        ctx: ProcContext,
+        spe: SPE,
+        workers: List[SPE],
+        task: TaskSpec,
+        trace: BootstrapTrace,
+        release: bool,
+    ) -> Generator[Event, None, None]:
+        """Run ``task`` on ``spe`` (with optional LLP workers); a process."""
+        env = self.env
+        # PPE -> SPE start signal.
+        yield env.timeout(self.machine.signal_latency(ctx.cell_id, spe))
+        # Make the right code image resident (t_code; Section 5.4 notes the
+        # replacement cost when toggling between serial and LLP variants).
+        image = trace.llp_image if workers else trace.code_image
+        t_load = spe.load_code(image)
+        for w in workers:
+            t_load = max(t_load, w.load_code(trace.llp_image))
+        if t_load > 0:
+            self.stats.code_loads += 1
+            yield env.timeout(t_load)
+
+        # Stage the task's working set (memory-aware extension): a hit
+        # costs nothing, a miss pays the DMA of the data set.
+        if task.working_set > 0 and task.data_key is not None:
+            moved = spe.load_data(task.data_key, task.working_set)
+            if moved:
+                self.stats.data_misses += 1
+                self.stats.data_bytes_transferred += moved
+                yield env.timeout(spe.mfc.transfer_time(moved))
+            else:
+                self.stats.data_hits += 1
+
+        if workers:
+            cross = sum(1 for w in workers if w.cell_id != spe.cell_id)
+            inv = self.llp_model.invoke(task, 1 + len(workers), cross)
+            duration = inv.duration
+            self.stats.llp_invocations += 1
+            self.stats.llp_worker_seconds += duration * len(workers)
+        else:
+            duration = self._exec_time(task)
+        owner = f"p{ctx.rank}"
+        # Shared XDR / EIB contention: busy SPEs of *other* tasks on the
+        # same Cell slow this one (each Cell has its own EIB and memory
+        # channel; LLP workers of this task are already priced by the
+        # loop model).  Superlinear: the memory controller queues.
+        busy_others = sum(
+            1
+            for s in self.machine.spes
+            if s.busy and s.cell_id == spe.cell_id and s.owner != owner
+        )
+        base_duration = duration
+        duration *= 1.0 + min(
+            self.cell.memory_contention_cap,
+            self.cell.memory_contention_quadratic * busy_others**2,
+        )
+
+        for w in workers:
+            w.mark_busy(owner)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                env.now, "spe", spe.name, "task_start",
+                proc=ctx.rank, function=task.function, duration=duration,
+                workers=tuple(w.name for w in workers),
+            )
+            for w in workers:
+                self.tracer.emit(
+                    env.now, "spe", w.name, "task_start",
+                    proc=ctx.rank, function=task.function, role="worker",
+                )
+        try:
+            yield from spe.occupy(duration, owner)
+        finally:
+            for w in workers:
+                w.mark_idle()
+        if self.tracer.enabled:
+            self.tracer.emit(
+                env.now, "spe", spe.name, "task_end",
+                proc=ctx.rank, function=task.function,
+            )
+            for w in workers:
+                self.tracer.emit(
+                    env.now, "spe", w.name, "task_end",
+                    proc=ctx.rank, function=task.function, role="worker",
+                )
+        if release:
+            for w in workers:
+                self.machine.pool.release(w)
+            self.machine.pool.release(spe)
+        # Granularity feedback uses the *inherent* kernel time: the test
+        # judges whether a function is worth off-loading at all, not the
+        # instantaneous bus load (which affects the PPE path too).
+        self.granularity.record_spe(task.function, base_duration)
+        # SPE -> PPE completion signal.
+        yield env.timeout(self.machine.signal_latency(ctx.cell_id, spe))
+
+    def _ppe_fallback(
+        self, ctx: ProcContext, task: TaskSpec
+    ) -> Generator[Event, None, None]:
+        """Execute the task's PPE version in place (throttled off-load)."""
+        self.stats.ppe_fallbacks += 1
+        self.tracer.emit(
+            self.env.now, "ppe", f"mpi{ctx.rank}", "ppe_fallback",
+            function=task.function, duration=task.ppe_time,
+        )
+        yield ctx.thread.run(task.ppe_time)
+        self.granularity.record_ppe(task.function, task.ppe_time)
+
+    def offload(
+        self, ctx: ProcContext, task: TaskSpec, trace: BootstrapTrace
+    ) -> Generator[Event, None, None]:
+        raise NotImplementedError
+
+
+class LinuxRuntime(OffloadRuntime):
+    """Naive MPI mapping: pinned SPEs, spin-wait, OS time slicing."""
+
+    name = "linux"
+
+    def offload(
+        self, ctx: ProcContext, task: TaskSpec, trace: BootstrapTrace
+    ) -> Generator[Event, None, None]:
+        if ctx.pinned_spe is None:
+            raise RuntimeError(f"process {ctx.rank} has no pinned SPE")
+        decision = self.granularity.decide(task)
+        if not self.offload_enabled or not decision.offload:
+            yield from self._ppe_fallback(ctx, task)
+            return
+        # The process itself writes the task descriptor to the SPE mailbox.
+        yield ctx.thread.run(self.cell.dispatch_overhead)
+        self.stats.offloads += 1
+        start = self.env.now
+        self.on_dispatch(start)
+        done = self.env.process(
+            self._spe_exec(ctx, ctx.pinned_spe, [], task, trace, release=False),
+            name=f"exec.p{ctx.rank}",
+        )
+        # Busy-wait: the MPI process holds its PPE context while the SPE
+        # computes.  This is the whole pathology of the baseline.
+        yield ctx.thread.spin_until(done)
+        self.on_departure(start, self.env.now)
+        # Completion handling (reading the mailbox, resuming the code path).
+        yield ctx.thread.run(self.cell.completion_overhead)
+
+
+class EDTLPRuntime(OffloadRuntime):
+    """Event-driven task-level parallelism (Section 5.2)."""
+
+    name = "edtlp"
+
+    def _acquire_spe(
+        self, ctx: ProcContext, task: TaskSpec
+    ) -> Generator[Event, None, SPE]:
+        spe = None
+        if self.locality_aware and task.data_key is not None:
+            # Prefer an idle SPE that already holds this task's data set;
+            # on a miss, place the set on the store with the most free
+            # space so working sets spread across SPEs.
+            spe = self.machine.pool.try_acquire_where(
+                lambda s: s.data_resident(task.data_key)
+            )
+            if spe is None and task.working_set > 0:
+                spe = self.machine.pool.try_acquire_best(
+                    lambda s: s.local_store.free
+                )
+        if spe is None:
+            spe = self.machine.pool.try_acquire(prefer_cell=ctx.cell_id)
+        if spe is None:
+            # All SPEs busy: the scheduler parks this process (its PPE
+            # context is free for siblings) until a departure.
+            self.stats.offload_waits += 1
+            spe = yield self.machine.pool.acquire(prefer_cell=ctx.cell_id)
+        return spe
+
+    def _acquire_workers(self, ctx: ProcContext, spe: SPE, task: TaskSpec) -> List[SPE]:
+        k = self.llp_degree(ctx)
+        if k <= 1 or not task.parallelizable:
+            return []
+        return self.machine.pool.try_acquire_many(k - 1, prefer_cell=spe.cell_id)
+
+    def offload(
+        self, ctx: ProcContext, task: TaskSpec, trace: BootstrapTrace
+    ) -> Generator[Event, None, None]:
+        decision = self.granularity.decide(task)
+        if not self.offload_enabled or not decision.offload:
+            yield from self._ppe_fallback(ctx, task)
+            return
+        # User-level scheduler work: find an SPE, ship the descriptor.
+        yield ctx.thread.run(self.cell.dispatch_overhead)
+        spe = yield from self._acquire_spe(ctx, task)
+        workers = self._acquire_workers(ctx, spe, task)
+        self.stats.offloads += 1
+        start = self.env.now
+        self.on_dispatch(start)
+        # Block (voluntary context switch): the PPE immediately serves the
+        # next runnable MPI process while the SPE computes.
+        yield self.env.process(
+            self._spe_exec(ctx, spe, workers, task, trace, release=True),
+            name=f"exec.p{ctx.rank}",
+        )
+        self.on_departure(start, self.env.now)
+        # Scheduler completion handling on the PPE before the process
+        # continues (Section 5.2's t_comm bookkeeping on the PPE side).
+        yield ctx.thread.run(self.cell.completion_overhead)
+
+
+class StaticHybridRuntime(EDTLPRuntime):
+    """EDTLP with always-on loop parallelism of fixed degree (EDTLP-LLP)."""
+
+    name = "edtlp-llp"
+
+    def __init__(self, *args, degree: int = 2, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        if degree < 1:
+            raise ValueError("degree must be >= 1")
+        self.degree = degree
+        self.name = f"edtlp-llp{degree}"
+
+    def llp_degree(self, ctx: ProcContext) -> int:
+        return self.degree
+
+
+class MGPSRuntime(EDTLPRuntime):
+    """Multigrain parallelism scheduling: adaptive EDTLP + LLP.
+
+    Keeps the Section 5.4 utilization-history window; every ``window``-th
+    off-load it re-evaluates the exposed TLP degree ``U`` and toggles
+    loop-level parallelism with degree ``floor(n_spes / T)``.  A staleness
+    guard resets the window after long off-load droughts (the role the
+    paper assigns to timer interrupts).
+    """
+
+    name = "mgps"
+
+    def __init__(
+        self,
+        *args,
+        window: Optional[int] = None,
+        staleness: float = 20e-3,
+        max_degree: Optional[int] = None,
+        **kwargs,
+    ) -> None:
+        super().__init__(*args, **kwargs)
+        n = self.machine.n_spes
+        self.history = UtilizationHistory(n, window)
+        self.staleness = staleness
+        # Beyond ~half the SPEs per loop, per-worker overheads dominate
+        # (Table 2: "using five or more SPE threads decreases
+        # efficiency"), so MGPS caps the LLP degree there.
+        self.max_degree = max_degree if max_degree is not None else max(2, n // 2)
+        self.llp_active = False
+        self.current_degree = 1
+        self._last_dispatch = 0.0
+        from collections import deque
+        self._source_samples = deque(maxlen=self.history.window)
+
+    def llp_degree(self, ctx: ProcContext) -> int:
+        return self.current_degree if self.llp_active else 1
+
+    def on_dispatch(self, time: float) -> None:
+        if self._last_dispatch and time - self._last_dispatch > self.staleness:
+            # Off-load drought: old U samples say nothing about the
+            # present.  (Paper: timer-interrupt-driven adaptation.)
+            self.history.reset()
+            self._source_samples.clear()
+        self._last_dispatch = time
+        self._source_samples.append(
+            self.current_sources(include_dispatcher=True)
+        )
+        if self.history.note_dispatch(time):
+            self._decide()
+
+    def on_departure(self, start: float, end: float) -> None:
+        self.history.note_departure(start, end)
+
+    def _decide(self) -> None:
+        # T: the most task sources seen at any recent dispatch -- the
+        # conservative estimate (momentary dips must not inflate the
+        # loop degree and strand acquisitions).
+        t = max(self._source_samples) if self._source_samples else 1
+        active, degree = self.history.llp_decision(t)
+        degree = min(degree, self.max_degree)
+        active = active and degree > 1
+        if active != self.llp_active or (active and degree != self.current_degree):
+            self.stats.llp_mode_switches += 1
+        self.llp_active = active
+        self.current_degree = degree if active else 1

@@ -1,0 +1,120 @@
+"""Scheduler specifications: the policies an experiment can select.
+
+A :class:`SchedulerSpec` is a declarative description; the runner turns it
+into a concrete runtime bound to a machine.  Convenience constructors
+mirror the paper's nomenclature:
+
+* :func:`linux` — the Linux 2.6 baseline (Table 1, right column);
+* :func:`edtlp` — event-driven task-level parallelism;
+* :func:`static_hybrid` — EDTLP-LLP with a fixed loops-per-SPE degree;
+* :func:`mgps` — the adaptive multigrain scheduler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from ..cell.machine import CellMachine
+from ..sim.engine import Environment
+from .llp import LLPConfig
+from .runtime import (
+    EDTLPRuntime,
+    LinuxRuntime,
+    MGPSRuntime,
+    OffloadRuntime,
+    StaticHybridRuntime,
+)
+
+__all__ = ["SchedulerSpec", "linux", "edtlp", "static_hybrid", "mgps"]
+
+_KINDS = ("linux", "edtlp", "static", "mgps")
+
+
+@dataclass(frozen=True)
+class SchedulerSpec:
+    """Declarative description of a scheduling policy.
+
+    ``n_processes=None`` lets the runner choose the paper's defaults:
+    one MPI process per SPE for task-parallel schemes, ``n_spes/degree``
+    processes for the static hybrid, never more processes than
+    bootstraps.
+    """
+
+    kind: str
+    llp_degree: int = 1
+    n_processes: Optional[int] = None
+    granularity_enabled: bool = True
+    optimized: bool = True
+    offload_enabled: bool = True
+    locality_aware: bool = False
+    llp_config: Optional[LLPConfig] = None
+    history_window: Optional[int] = None
+    label: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ValueError(f"unknown scheduler kind {self.kind!r}")
+        if self.llp_degree < 1:
+            raise ValueError("llp_degree must be >= 1")
+        if self.n_processes is not None and self.n_processes < 1:
+            raise ValueError("n_processes must be >= 1")
+
+    @property
+    def name(self) -> str:
+        if self.label:
+            return self.label
+        if self.kind == "static":
+            return f"edtlp-llp{self.llp_degree}"
+        return self.kind
+
+    def default_processes(self, total_spes: int, bootstraps: int) -> int:
+        if self.n_processes is not None:
+            return self.n_processes
+        if self.kind == "static":
+            per_machine = max(1, total_spes // self.llp_degree)
+        else:
+            per_machine = total_spes
+        return max(1, min(bootstraps, per_machine))
+
+    def build(self, env: Environment, machine: CellMachine,
+              tracer=None) -> OffloadRuntime:
+        """Instantiate the runtime for this spec on ``machine``."""
+        common = dict(
+            granularity_enabled=self.granularity_enabled,
+            optimized=self.optimized,
+            llp_config=self.llp_config,
+            offload_enabled=self.offload_enabled,
+            locality_aware=self.locality_aware,
+            tracer=tracer,
+        )
+        if self.kind == "linux":
+            return LinuxRuntime(env, machine, **common)
+        if self.kind == "edtlp":
+            return EDTLPRuntime(env, machine, **common)
+        if self.kind == "static":
+            return StaticHybridRuntime(env, machine, degree=self.llp_degree, **common)
+        return MGPSRuntime(env, machine, window=self.history_window, **common)
+
+    def with_(self, **kwargs) -> "SchedulerSpec":
+        return replace(self, **kwargs)
+
+
+def linux(**kwargs) -> SchedulerSpec:
+    """The OS-scheduler baseline: pinned SPEs, spin-wait off-loads."""
+    return SchedulerSpec(kind="linux", **kwargs)
+
+
+def edtlp(**kwargs) -> SchedulerSpec:
+    """Event-driven task-level parallelism (Section 5.2)."""
+    return SchedulerSpec(kind="edtlp", **kwargs)
+
+
+def static_hybrid(degree: int, **kwargs) -> SchedulerSpec:
+    """Static EDTLP-LLP with ``degree`` SPEs per parallel loop."""
+    return SchedulerSpec(kind="static", llp_degree=degree, **kwargs)
+
+
+def mgps(**kwargs) -> SchedulerSpec:
+    """Adaptive multigrain parallelism scheduling (Section 5.4)."""
+    return SchedulerSpec(kind="mgps", **kwargs)

@@ -1,0 +1,7 @@
+"""Simulated MPI substrate: communicator, master-worker, worker processes."""
+
+from .comm import SimComm
+from .master_worker import WorkDispenser
+from .process import bsp_worker, mpi_worker
+
+__all__ = ["SimComm", "WorkDispenser", "mpi_worker", "bsp_worker"]

@@ -1,0 +1,170 @@
+"""Consensus trees: summarizing bootstrap replicates.
+
+The biological deliverable of the 100-1000-bootstrap computation the
+paper accelerates is a *consensus*: which clades appear in what fraction
+of replicate trees.  Implements the standard majority-rule consensus
+(Margush & McMorris 1981), including the greedy extension that adds
+compatible minority splits, plus support annotation of an existing tree.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from .tree import Node, Tree
+
+__all__ = ["split_frequencies", "majority_rule_consensus", "annotate_support"]
+
+Split = FrozenSet[int]
+
+
+def _splits_of(tree: Tree) -> List[Split]:
+    """Non-trivial splits, canonically oriented away from taxon 0."""
+    all_taxa = frozenset(l.taxon for l in tree.leaves())
+    below: Dict[int, FrozenSet[int]] = {}
+    out: List[Split] = []
+    for node in tree.postorder():
+        if node.is_leaf:
+            below[node.id] = frozenset([node.taxon])
+        else:
+            below[node.id] = frozenset().union(
+                *(below[c.id] for c in node.children)
+            )
+            side = below[node.id]
+            if 1 < len(side) < len(all_taxa) - 1:
+                out.append(side if 0 in side else all_taxa - side)
+    return out
+
+
+def split_frequencies(trees: Sequence[Tree]) -> Dict[Split, float]:
+    """Fraction of ``trees`` containing each non-trivial split."""
+    if not trees:
+        raise ValueError("need at least one tree")
+    n_taxa = trees[0].n_taxa
+    if any(t.n_taxa != n_taxa for t in trees):
+        raise ValueError("trees must share one taxon set")
+    counts: Counter = Counter()
+    for t in trees:
+        counts.update(set(_splits_of(t)))
+    return {s: c / len(trees) for s, c in counts.items()}
+
+
+def _compatible(split: Split, accepted: List[Split], n_taxa: int) -> bool:
+    """Can ``split`` coexist with every accepted split on one tree?
+
+    Two splits {A, A'}, {B, B'} are compatible iff at least one of the
+    four pairwise intersections is empty.  With the canonical
+    orientation (taxon 0 in both A and B), A cap B is never empty, so
+    only the other three need checking.
+    """
+    taxa = frozenset(range(n_taxa))
+    a = split
+    ca = taxa - a
+    for b in accepted:
+        cb = taxa - b
+        if (a & cb) and (ca & b) and (ca & cb):
+            return False
+    return True
+
+
+def majority_rule_consensus(
+    trees: Sequence[Tree],
+    min_support: float = 0.5,
+    greedy: bool = False,
+) -> Tuple[Tree, Dict[Split, float]]:
+    """Build the majority-rule consensus of ``trees``.
+
+    Splits with support > ``min_support`` (majority splits are mutually
+    compatible by pigeonhole when ``min_support >= 0.5``) form the
+    consensus topology; the rest collapses into multifurcations.  With
+    ``greedy=True``, lower-support splits are added in support order
+    whenever compatible with everything accepted so far.
+
+    Returns ``(consensus_tree, support_by_split)`` for the accepted
+    splits.  Branch lengths are not meaningful on a consensus tree and
+    are set to 1.0.
+    """
+    if not (0.0 <= min_support <= 1.0):
+        raise ValueError("min_support must be within [0, 1]")
+    freqs = split_frequencies(trees)
+    n_taxa = trees[0].n_taxa
+
+    accepted: List[Split] = []
+    supports: Dict[Split, float] = {}
+    ordered = sorted(freqs.items(), key=lambda kv: (-kv[1], sorted(kv[0])))
+    for split, f in ordered:
+        if f > min_support or (
+            greedy and _compatible(split, accepted, n_taxa)
+        ):
+            if _compatible(split, accepted, n_taxa):
+                accepted.append(split)
+                supports[split] = f
+
+    # Build the tree: nest accepted splits by containment.  Each split is
+    # oriented to contain taxon 0, so the *other* side is a clade.
+    clades = sorted(
+        (frozenset(range(n_taxa)) - s for s in accepted), key=len
+    )
+    next_id = n_taxa
+    root = Node(next_id)
+    next_id += 1
+    # parent_of[frozenset] = node representing that clade.
+    node_of: Dict[FrozenSet[int], Node] = {}
+    leaf_nodes = {i: Node(i, taxon=i, length=1.0) for i in range(n_taxa)}
+
+    placed: Dict[int, Node] = {}  # taxon -> current innermost clade node
+    for clade in clades:
+        node = Node(next_id, length=1.0)
+        next_id += 1
+        node_of[clade] = node
+    # Attach clades smallest-first to the smallest enclosing clade.
+    enclosing: Dict[FrozenSet[int], Optional[FrozenSet[int]]] = {}
+    for i, clade in enumerate(clades):
+        parent = None
+        for other in clades[i + 1:]:
+            if clade < other:
+                parent = other
+                break
+        enclosing[clade] = parent
+        target = node_of[parent] if parent is not None else root
+        target.add_child(node_of[clade])
+    # Attach each leaf to the smallest clade containing it (or the root).
+    for taxon in range(n_taxa):
+        host = None
+        for clade in clades:  # smallest-first
+            if taxon in clade:
+                host = node_of[clade]
+                break
+        (host if host is not None else root).add_child(leaf_nodes[taxon])
+
+    tree = Tree(root, n_taxa)
+    return tree, supports
+
+
+def annotate_support(
+    tree: Tree, trees: Sequence[Tree]
+) -> Dict[int, float]:
+    """Support of each internal branch of ``tree`` among ``trees``.
+
+    Returns ``{node_id: support}`` for every internal non-root node —
+    the numbers drawn on published phylogenies.
+    """
+    freqs = split_frequencies(trees)
+    all_taxa = frozenset(range(tree.n_taxa))
+    below: Dict[int, FrozenSet[int]] = {}
+    out: Dict[int, float] = {}
+    for node in tree.postorder():
+        if node.is_leaf:
+            below[node.id] = frozenset([node.taxon])
+            continue
+        below[node.id] = frozenset().union(
+            *(below[c.id] for c in node.children)
+        )
+        if node.parent is None:
+            continue
+        side = below[node.id]
+        if 1 < len(side) < tree.n_taxa - 1:
+            key = side if 0 in side else all_taxa - side
+            out[node.id] = freqs.get(key, 0.0)
+    return out

@@ -1,0 +1,132 @@
+"""Distance-based methods: pairwise distances and neighbor joining.
+
+RAxML seeds its searches from non-random trees when possible; a
+neighbor-joining (Saitou & Nei 1987) topology over Jukes-Cantor distances
+is the classic cheap starting tree and typically slashes the number of
+hill-climbing rounds.  Both pieces are implemented here:
+:func:`jc_distance_matrix` (vectorized over the compressed alignment) and
+:func:`neighbor_joining`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from .alignment import Alignment
+from .tree import Node, Tree
+
+__all__ = ["p_distance_matrix", "jc_distance_matrix", "neighbor_joining"]
+
+_MAX_DIST = 5.0  # saturation cap for undefined JC corrections
+
+
+def p_distance_matrix(alignment: Alignment) -> np.ndarray:
+    """Proportion of differing sites for every taxon pair.
+
+    Weighted by pattern multiplicities; symmetric with a zero diagonal.
+    Sites where either sequence has a gap are excluded pairwise; a pair
+    with no comparable sites gets the saturation distance.
+    """
+    pat = alignment.patterns  # (taxa, patterns)
+    w = alignment.weights
+    gap = alignment.alphabet.gap_code
+    valid = (pat[:, None, :] != gap) & (pat[None, :, :] != gap)
+    diff = ((pat[:, None, :] != pat[None, :, :]) & valid).astype(float)
+    comparable = (valid.astype(float) * w[None, None, :]).sum(axis=2)
+    hits = (diff * w[None, None, :]).sum(axis=2)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        p = np.where(comparable > 0, hits / np.maximum(comparable, 1e-300), 1.0)
+    np.fill_diagonal(p, 0.0)
+    return p
+
+
+def jc_distance_matrix(alignment: Alignment) -> np.ndarray:
+    """Jukes-Cantor corrected evolutionary distances.
+
+    For an ``n``-state alphabet, d = -(n-1)/n ln(1 - n p/(n-1));
+    saturated pairs are capped at ``_MAX_DIST`` substitutions/site.
+    """
+    n = alignment.n_states
+    c = (n - 1.0) / n
+    p = p_distance_matrix(alignment)
+    arg = 1.0 - p / c
+    with np.errstate(divide="ignore", invalid="ignore"):
+        d = -c * np.log(np.clip(arg, 1e-12, None))
+    d[arg <= 0] = _MAX_DIST
+    np.fill_diagonal(d, 0.0)
+    return np.minimum(d, _MAX_DIST)
+
+
+def neighbor_joining(distances: np.ndarray,
+                     n_taxa: Optional[int] = None) -> Tree:
+    """Build an unrooted NJ tree from a distance matrix.
+
+    Standard Saitou-Nei agglomeration with the Q-criterion; negative
+    branch-length estimates are clamped to a small positive value (the
+    usual practical fix).  The final three lineages join at the
+    trifurcating root.
+    """
+    d = np.array(distances, dtype=float)
+    if d.ndim != 2 or d.shape[0] != d.shape[1]:
+        raise ValueError("distance matrix must be square")
+    if not np.allclose(d, d.T, atol=1e-9):
+        raise ValueError("distance matrix must be symmetric")
+    n = d.shape[0] if n_taxa is None else n_taxa
+    if n < 3:
+        raise ValueError("neighbor joining needs at least 3 taxa")
+
+    next_id = n
+    nodes: List[Node] = [Node(i, taxon=i) for i in range(n)]
+    active = list(range(n))  # indices into the (growing) matrix
+    # Grow d as clusters are added; simplest correct bookkeeping.
+    size = d.shape[0]
+
+    def grow(matrix: np.ndarray) -> np.ndarray:
+        out = np.zeros((matrix.shape[0] + 1, matrix.shape[1] + 1))
+        out[: matrix.shape[0], : matrix.shape[1]] = matrix
+        return out
+
+    while len(active) > 3:
+        m = len(active)
+        sub = d[np.ix_(active, active)]
+        totals = sub.sum(axis=1)
+        q = (m - 2) * sub - totals[:, None] - totals[None, :]
+        np.fill_diagonal(q, np.inf)
+        i_s, j_s = np.unravel_index(np.argmin(q), q.shape)
+        a, b = active[i_s], active[j_s]
+
+        # Branch lengths from the joined pair to the new internal node.
+        d_ab = d[a, b]
+        la = 0.5 * d_ab + (totals[i_s] - totals[j_s]) / (2 * (m - 2))
+        lb = d_ab - la
+        la, lb = max(la, 1e-8), max(lb, 1e-8)
+
+        parent = Node(next_id)
+        next_id += 1
+        na, nb = nodes[a], nodes[b]
+        na.length, nb.length = la, lb
+        parent.add_child(na)
+        parent.add_child(nb)
+        nodes.append(parent)
+
+        # Distances from the new cluster to the remaining ones.
+        d = grow(d)
+        new = d.shape[0] - 1
+        for k in active:
+            if k in (a, b):
+                continue
+            d[new, k] = d[k, new] = 0.5 * (d[a, k] + d[b, k] - d_ab)
+        active = [k for k in active if k not in (a, b)] + [new]
+
+    # Join the last three at the trifurcating root.
+    x, y, z = active
+    root = Node(next_id)
+    lx = max(0.5 * (d[x, y] + d[x, z] - d[y, z]), 1e-8)
+    ly = max(0.5 * (d[x, y] + d[y, z] - d[x, z]), 1e-8)
+    lz = max(0.5 * (d[x, z] + d[y, z] - d[x, y]), 1e-8)
+    for idx, length in ((x, lx), (y, ly), (z, lz)):
+        nodes[idx].length = length
+        root.add_child(nodes[idx])
+    return Tree(root, n)

@@ -1,0 +1,104 @@
+"""Model-parameter estimation: kappa and the Gamma shape alpha.
+
+ML programs alternate topology/branch optimization with model-parameter
+refits.  Both free parameters of our default setup are optimized here by
+golden-section search on the log-likelihood (robust, derivative-free,
+and deterministic): the HKY transition/transversion ratio ``kappa`` and
+the among-site rate-heterogeneity shape ``alpha``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Tuple
+
+import numpy as np
+
+from .alignment import Alignment
+from .likelihood import LikelihoodEngine
+from .models import hky
+from .tree import Tree
+
+__all__ = ["golden_section_maximize", "optimize_kappa", "optimize_alpha"]
+
+_PHI = (np.sqrt(5.0) - 1.0) / 2.0
+
+
+def golden_section_maximize(
+    fn: Callable[[float], float],
+    lo: float,
+    hi: float,
+    tolerance: float = 1e-3,
+    max_iterations: int = 60,
+) -> Tuple[float, float]:
+    """Maximize a unimodal ``fn`` on [lo, hi]; returns (x*, fn(x*))."""
+    if not (lo < hi):
+        raise ValueError("need lo < hi")
+    if tolerance <= 0:
+        raise ValueError("tolerance must be positive")
+    a, b = lo, hi
+    c = b - _PHI * (b - a)
+    d = a + _PHI * (b - a)
+    fc, fd = fn(c), fn(d)
+    for _ in range(max_iterations):
+        if b - a < tolerance:
+            break
+        if fc > fd:
+            b, d, fd = d, c, fc
+            c = b - _PHI * (b - a)
+            fc = fn(c)
+        else:
+            a, c, fc = c, d, fd
+            d = a + _PHI * (b - a)
+            fd = fn(d)
+    x = (a + b) / 2
+    return x, fn(x)
+
+
+def optimize_kappa(
+    alignment: Alignment,
+    tree: Tree,
+    frequencies,
+    n_rate_categories: int = 1,
+    alpha: float = 0.5,
+    bounds: Tuple[float, float] = (0.5, 20.0),
+    tolerance: float = 1e-2,
+) -> Tuple[float, float]:
+    """ML estimate of the HKY kappa on a fixed tree.
+
+    Returns ``(kappa, loglik)``.
+    """
+
+    def loglik(kappa: float) -> float:
+        engine = LikelihoodEngine(
+            alignment, hky(frequencies, kappa), n_rate_categories, alpha
+        )
+        return engine.evaluate(tree)
+
+    return golden_section_maximize(loglik, *bounds, tolerance=tolerance)
+
+
+def optimize_alpha(
+    alignment: Alignment,
+    tree: Tree,
+    model,
+    n_rate_categories: int = 4,
+    bounds: Tuple[float, float] = (0.05, 10.0),
+    tolerance: float = 1e-2,
+) -> Tuple[float, float]:
+    """ML estimate of the Gamma shape parameter on a fixed tree.
+
+    Returns ``(alpha, loglik)``.  Searches in log-space because the
+    likelihood surface is heavily right-skewed in alpha.
+    """
+
+    def loglik_log(log_alpha: float) -> float:
+        engine = LikelihoodEngine(
+            alignment, model, n_rate_categories, float(np.exp(log_alpha))
+        )
+        return engine.evaluate(tree)
+
+    x, ll = golden_section_maximize(
+        loglik_log, float(np.log(bounds[0])), float(np.log(bounds[1])),
+        tolerance=tolerance,
+    )
+    return float(np.exp(x)), ll

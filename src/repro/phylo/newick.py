@@ -1,0 +1,136 @@
+"""Newick parsing (the inverse of :meth:`repro.phylo.tree.Tree.newick`).
+
+Supports the subset the library emits: nested parentheses, leaf labels,
+``:length`` annotations, and a trailing semicolon.  Taxon indices are
+assigned from a name list when given, otherwise from ``tN``/appearance
+order.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from .tree import Node, Tree
+
+__all__ = ["parse_newick"]
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.pos = 0
+
+    def peek(self) -> str:
+        if self.pos >= len(self.text):
+            raise ValueError("unexpected end of Newick string")
+        return self.text[self.pos]
+
+    def take(self) -> str:
+        c = self.peek()
+        self.pos += 1
+        return c
+
+    def expect(self, c: str) -> None:
+        got = self.take()
+        if got != c:
+            raise ValueError(
+                f"expected {c!r} at position {self.pos - 1}, got {got!r}"
+            )
+
+    def label(self) -> str:
+        start = self.pos
+        while self.pos < len(self.text) and self.text[self.pos] not in "():,;":
+            self.pos += 1
+        return self.text[start:self.pos].strip()
+
+    def number(self) -> float:
+        start = self.pos
+        while self.pos < len(self.text) and self.text[self.pos] not in "(),;":
+            self.pos += 1
+        token = self.text[start:self.pos].strip()
+        try:
+            return float(token)
+        except ValueError:
+            raise ValueError(f"bad branch length {token!r}") from None
+
+
+def parse_newick(
+    text: str, names: Optional[Sequence[str]] = None
+) -> Tree:
+    """Parse a Newick string into a :class:`~repro.phylo.tree.Tree`.
+
+    ``names`` maps leaf labels to taxon indices; without it, labels of
+    the form ``tN`` map to taxon N, and anything else is indexed by
+    first appearance.
+    """
+    text = text.strip()
+    if not text.endswith(";"):
+        raise ValueError("Newick string must end with ';'")
+    parser = _Parser(text[:-1])
+    name_to_taxon = (
+        {n: i for i, n in enumerate(names)} if names is not None else {}
+    )
+    auto_names: List[str] = []
+    next_internal = [10**6]  # internal ids far above leaf ids
+
+    def taxon_of(label: str) -> int:
+        if not label:
+            raise ValueError("leaf without a label")
+        if names is not None:
+            try:
+                return name_to_taxon[label]
+            except KeyError:
+                raise ValueError(f"unknown taxon label {label!r}") from None
+        if label.startswith("t") and label[1:].isdigit():
+            return int(label[1:])
+        if label not in auto_names:
+            auto_names.append(label)
+        return auto_names.index(label)
+
+    def node() -> Node:
+        if parser.peek() == "(":
+            parser.expect("(")
+            children = [node()]
+            while parser.peek() == ",":
+                parser.take()
+                children.append(node())
+            parser.expect(")")
+            parser.label()  # optional internal label, ignored
+            n = Node(next_internal[0])
+            next_internal[0] += 1
+            for c in children:
+                n.add_child(c)
+        else:
+            label = parser.label()
+            n = Node(0, taxon=taxon_of(label))
+        if parser.pos < len(parser.text) and parser.text[parser.pos] == ":":
+            parser.take()
+            n.length = parser.number()
+        return n
+
+    root = node()
+    if parser.pos != len(parser.text):
+        raise ValueError(
+            f"trailing characters after tree: {parser.text[parser.pos:]!r}"
+        )
+    leaves = [n for n in _walk(root) if n.taxon is not None]
+    taxa = sorted(l.taxon for l in leaves)
+    if taxa != list(range(len(taxa))):
+        raise ValueError(f"leaf taxa are not contiguous: {taxa}")
+    # Re-number nodes: leaves keep taxon ids, internals follow.
+    next_id = len(taxa)
+    for n in _walk(root):
+        if n.taxon is not None:
+            n.id = n.taxon
+        else:
+            n.id = next_id
+            next_id += 1
+    return Tree(root, len(taxa))
+
+
+def _walk(node: Node):
+    stack = [node]
+    while stack:
+        n = stack.pop()
+        yield n
+        stack.extend(n.children)

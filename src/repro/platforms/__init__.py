@@ -1,0 +1,6 @@
+"""Comparator processor models for the cross-platform evaluation."""
+
+from .base import SMTMultiprocessor
+from .machines import POWER5, XEON_2X_HT, power5, xeon
+
+__all__ = ["SMTMultiprocessor", "XEON_2X_HT", "POWER5", "xeon", "power5"]

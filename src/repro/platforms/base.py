@@ -1,0 +1,94 @@
+"""SMT multiprocessor wall-time models for the Figure 10 comparison.
+
+The paper compares end-to-end RAxML wall time on three machines.  For the
+non-Cell machines the workload is embarrassingly parallel MPI with one
+process per hardware context, so the makespan is governed by three
+things, all encoded here: per-context single-thread bootstrap time, the
+SMT throughput curve of a core, and the context/core topology.  Processes
+are placed round-robin and do not migrate (static MPI placement).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+__all__ = ["SMTMultiprocessor"]
+
+
+@dataclass(frozen=True)
+class SMTMultiprocessor:
+    """A multiprocessor of identical SMT cores.
+
+    Attributes
+    ----------
+    name:
+        Display name ("Intel Xeon", "IBM Power5").
+    n_cores:
+        Total physical cores across all packages.
+    threads_per_core:
+        Hardware contexts per core.
+    bootstrap_seconds:
+        Single-thread wall time of one 42_SC bootstrap on this machine.
+    smt_throughput:
+        Combined throughput of one core when ``j`` contexts are busy,
+        indexed ``smt_throughput[j-1]``; e.g. ``(1.0, 1.25)`` means two
+        hyperthreads deliver 1.25x a single thread.
+    """
+
+    name: str
+    n_cores: int
+    threads_per_core: int
+    bootstrap_seconds: float
+    smt_throughput: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if self.n_cores < 1 or self.threads_per_core < 1:
+            raise ValueError("need at least one core and one context")
+        if self.bootstrap_seconds <= 0:
+            raise ValueError("bootstrap_seconds must be positive")
+        if len(self.smt_throughput) != self.threads_per_core:
+            raise ValueError(
+                "smt_throughput needs one entry per busy-context count"
+            )
+        if self.smt_throughput[0] != 1.0:
+            raise ValueError("throughput with one busy context must be 1.0")
+        if any(
+            b < a for a, b in zip(self.smt_throughput, self.smt_throughput[1:])
+        ):
+            raise ValueError("smt_throughput must be non-decreasing")
+
+    @property
+    def n_contexts(self) -> int:
+        return self.n_cores * self.threads_per_core
+
+    def core_time(self, jobs: int) -> float:
+        """Makespan of ``jobs`` equal bootstraps on one core.
+
+        With ``j <= threads`` jobs they co-run at combined throughput
+        ``smt_throughput[j-1]``; beyond that the OS time-slices fairly, so
+        everything finishes at ``jobs / throughput(threads)`` bootstraps'
+        worth of time.
+        """
+        if jobs < 0:
+            raise ValueError("jobs must be non-negative")
+        if jobs == 0:
+            return 0.0
+        busy = min(jobs, self.threads_per_core)
+        return jobs * self.bootstrap_seconds / self.smt_throughput[busy - 1]
+
+    def makespan(self, bootstraps: int) -> float:
+        """Wall time for ``bootstraps`` independent bootstraps.
+
+        Jobs are placed round-robin on cores and never migrate, so the
+        makespan is the slowest core's completion time.
+        """
+        if bootstraps < 1:
+            raise ValueError("need at least one bootstrap")
+        per_core = [0] * self.n_cores
+        for i in range(bootstraps):
+            per_core[i % self.n_cores] += 1
+        return max(self.core_time(j) for j in per_core)
+
+    def sweep(self, bootstrap_counts: Sequence[int]) -> List[float]:
+        return [self.makespan(b) for b in bootstrap_counts]

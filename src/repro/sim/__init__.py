@@ -1,0 +1,34 @@
+"""A small deterministic discrete-event simulation kernel.
+
+This package is the substrate under every experiment in the reproduction:
+generator-based processes, an event calendar with deterministic
+tie-breaking, counted resources, FIFO stores, broadcast gates, named RNG
+streams and busy-time tracking.
+"""
+
+from .engine import EmptySchedule, Environment
+from .events import AllOf, AnyOf, Event, Interrupt, Timeout
+from .process import Process
+from .resources import Barrier, Gate, Request, Resource, Store
+from .rng import RngStreams
+from .trace import BusyTracker, TraceRecord, Tracer
+
+__all__ = [
+    "Environment",
+    "EmptySchedule",
+    "Event",
+    "Timeout",
+    "AllOf",
+    "AnyOf",
+    "Interrupt",
+    "Process",
+    "Resource",
+    "Request",
+    "Store",
+    "Gate",
+    "Barrier",
+    "RngStreams",
+    "Tracer",
+    "TraceRecord",
+    "BusyTracker",
+]

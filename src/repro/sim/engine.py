@@ -1,0 +1,128 @@
+"""The simulation environment: clock, calendar and run loop.
+
+The environment keeps a binary-heap calendar of ``(time, priority, seq,
+event)`` entries.  ``seq`` is a monotonically increasing tie-breaker so
+events at equal timestamps are processed in schedule order, which makes
+every simulation fully deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Generator, List, Optional, Tuple
+
+from .events import AllOf, AnyOf, Event, Timeout, NORMAL
+from .process import Process
+
+__all__ = ["Environment", "EmptySchedule"]
+
+
+class EmptySchedule(Exception):
+    """Raised by :meth:`Environment.step` when the calendar is empty."""
+
+
+class Environment:
+    """Owns simulated time and drives event processing.
+
+    Parameters
+    ----------
+    initial_time:
+        Starting value of the simulation clock (seconds).
+    strict:
+        If True (default), an exception escaping a process propagates out
+        of :meth:`run` immediately — the right behaviour for tests.  If
+        False, the process fails as an event and waiters see the error.
+    """
+
+    def __init__(self, initial_time: float = 0.0, strict: bool = True) -> None:
+        self._now = float(initial_time)
+        self._queue: List[Tuple[float, int, int, Event]] = []
+        self._seq = 0
+        self._active_process: Optional[Process] = None
+        self.strict = strict
+
+    # -- clock ------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently executing, if any."""
+        return self._active_process
+
+    # -- factories ---------------------------------------------------------
+    def event(self) -> Event:
+        """Create a new pending event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event firing ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(
+        self, generator: Generator[Event, Any, Any], name: Optional[str] = None
+    ) -> Process:
+        """Start a new process executing ``generator``."""
+        return Process(self, generator, name)
+
+    def all_of(self, events) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- scheduling ---------------------------------------------------------
+    def _schedule(self, event: Event, priority: int = NORMAL, delay: float = 0.0) -> None:
+        if event._scheduled:  # pragma: no cover - internal invariant
+            raise RuntimeError("event is already scheduled")
+        event._scheduled = True
+        self._seq += 1
+        heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event, advancing the clock to it."""
+        try:
+            when, _prio, _seq, event = heapq.heappop(self._queue)
+        except IndexError:
+            raise EmptySchedule() from None
+        self._now = when
+        event._process()
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the calendar drains or the clock reaches ``until``.
+
+        Returns the final simulation time.
+        """
+        if until is not None and until < self._now:
+            raise ValueError(f"until={until} is in the past (now={self._now})")
+        while self._queue:
+            if until is not None and self._queue[0][0] > until:
+                self._now = until
+                return self._now
+            self.step()
+        return self._now
+
+    def run_until_complete(self, process: Process) -> Any:
+        """Run until ``process`` finishes; return its value.
+
+        Raises the process's exception if it failed (requires
+        ``strict=False`` for the failure to be captured as an event).
+        """
+        while not process.triggered:
+            if not self._queue:
+                raise RuntimeError(
+                    f"deadlock: calendar empty but {process.name!r} not finished"
+                )
+            self.step()
+        # Drain same-timestamp bookkeeping so callbacks fire.
+        while self._queue and self._queue[0][0] <= self._now:
+            self.step()
+        if not process.ok:
+            raise process.value
+        return process.value

@@ -1,0 +1,213 @@
+"""Core event primitives for the discrete-event simulation kernel.
+
+The kernel follows the classic generator-based DES architecture (as in
+SimPy): an :class:`Event` is a one-shot value holder with a callback list,
+an :class:`~repro.sim.engine.Environment` owns the event calendar, and a
+:class:`~repro.sim.process.Process` wraps a generator that *yields* events
+to wait on them.
+
+Events here are deliberately minimal and allocation-light (``__slots__``)
+because scheduler experiments schedule millions of them.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .engine import Environment
+
+__all__ = [
+    "Event",
+    "Timeout",
+    "AllOf",
+    "AnyOf",
+    "Interrupt",
+]
+
+# Scheduling priorities: URGENT events at the same timestamp are processed
+# before NORMAL ones.  Used to make resource hand-off deterministic.
+URGENT = 0
+NORMAL = 1
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    An event goes through the states *pending* -> *triggered* (scheduled on
+    the calendar with a value) -> *processed* (callbacks executed).  An
+    event may succeed (``ok``) or fail with an exception; waiting processes
+    observe failure as the exception being raised at their ``yield``.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_scheduled", "_processed")
+
+    _PENDING = object()
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = Event._PENDING
+        self._ok: bool = True
+        self._scheduled = False
+        self._processed = False
+
+    # -- state ----------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value and is on the calendar."""
+        return self._value is not Event._PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (valid only once triggered)."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if self._value is Event._PENDING:
+            raise RuntimeError("event value is not yet available")
+        return self._value
+
+    # -- triggering -----------------------------------------------------
+    def succeed(self, value: Any = None, priority: int = NORMAL) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self.triggered:
+            raise RuntimeError("event has already been triggered")
+        self._value = value
+        self._ok = True
+        self.env._schedule(self, priority)
+        return self
+
+    def fail(self, exc: BaseException, priority: int = NORMAL) -> "Event":
+        """Trigger the event with an exception.
+
+        Waiting processes see ``exc`` raised at their ``yield`` statement.
+        """
+        if self.triggered:
+            raise RuntimeError("event has already been triggered")
+        if not isinstance(exc, BaseException):
+            raise TypeError(f"{exc!r} is not an exception")
+        self._value = exc
+        self._ok = False
+        self.env._schedule(self, priority)
+        return self
+
+    # -- callbacks ------------------------------------------------------
+    def add_callback(self, fn: Callable[["Event"], None]) -> None:
+        """Run ``fn(event)`` when the event is processed.
+
+        If the event was already processed the callback runs immediately;
+        this makes waiting race-free regardless of ordering.
+        """
+        if self.callbacks is None:
+            fn(self)
+        else:
+            self.callbacks.append(fn)
+
+    def _process(self) -> None:
+        """Invoke callbacks.  Called by the environment main loop."""
+        callbacks, self.callbacks = self.callbacks, None
+        self._processed = True
+        if callbacks:
+            for fn in callbacks:
+                fn(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = (
+            "processed" if self._processed
+            else "triggered" if self.triggered
+            else "pending"
+        )
+        return f"<{type(self).__name__} {state} at {hex(id(self))}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` simulated seconds after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise ValueError(f"negative delay {delay!r}")
+        super().__init__(env)
+        self.delay = delay
+        self._value = value
+        self._ok = True
+        env._schedule(self, NORMAL, delay)
+
+
+class _Condition(Event):
+    """Base for composite events (:class:`AllOf` / :class:`AnyOf`)."""
+
+    __slots__ = ("events", "_n_done")
+
+    def __init__(self, env: "Environment", events) -> None:
+        super().__init__(env)
+        self.events = tuple(events)
+        self._n_done = 0
+        for ev in self.events:
+            if ev.env is not env:
+                raise ValueError("cannot mix events from different environments")
+        if not self.events:
+            self.succeed(self._collect())
+            return
+        for ev in self.events:
+            ev.add_callback(self._check)
+
+    def _collect(self):
+        return tuple(ev.value for ev in self.events if ev.triggered)
+
+    def _check(self, ev: Event) -> None:
+        raise NotImplementedError
+
+
+class AllOf(_Condition):
+    """Succeeds when *all* constituent events have succeeded.
+
+    Fails as soon as any constituent fails (the first failure wins).
+    The value is a tuple of all constituent values, in construction order.
+    """
+
+    __slots__ = ()
+
+    def _check(self, ev: Event) -> None:
+        if self.triggered:
+            return
+        if not ev.ok:
+            self.fail(ev.value)
+            return
+        self._n_done += 1
+        if self._n_done == len(self.events):
+            self.succeed(tuple(e.value for e in self.events))
+
+
+class AnyOf(_Condition):
+    """Succeeds when *any* constituent event succeeds.
+
+    The value is the triggering event itself, so the waiter can identify
+    which of several awaited events fired first.
+    """
+
+    __slots__ = ()
+
+    def _check(self, ev: Event) -> None:
+        if self.triggered:
+            return
+        if not ev.ok:
+            self.fail(ev.value)
+            return
+        self.succeed(ev)
+
+
+class Interrupt(Exception):
+    """Raised inside a process when another process interrupts it."""
+
+    @property
+    def cause(self) -> Any:
+        return self.args[0] if self.args else None

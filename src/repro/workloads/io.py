@@ -1,0 +1,125 @@
+"""Trace persistence: save and load off-load traces as JSON.
+
+Recorded kernel traces from real inferences (or expensive synthetic
+builds) can be stored and replayed later — the usual workflow for
+comparing schedulers offline on captured workloads.  The format is
+versioned, self-describing JSON.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List, Union
+
+from ..cell.local_store import CodeImage
+from .taskspec import BootstrapTrace, LoopSpec, OffloadItem, TaskSpec
+
+__all__ = ["trace_to_dict", "trace_from_dict", "save_traces", "load_traces"]
+
+_FORMAT_VERSION = 1
+
+
+def trace_to_dict(trace: BootstrapTrace) -> dict:
+    """Serialize one trace to plain JSON-compatible data."""
+    return {
+        "version": _FORMAT_VERSION,
+        "index": trace.index,
+        "tail_ppe": trace.tail_ppe,
+        "scale": trace.scale,
+        "code_image": {
+            "name": trace.code_image.name,
+            "variant": trace.code_image.variant,
+            "size": trace.code_image.size,
+        },
+        "llp_image": {
+            "name": trace.llp_image.name,
+            "variant": trace.llp_image.variant,
+            "size": trace.llp_image.size,
+        },
+        "items": [
+            {
+                "gap": item.ppe_gap,
+                "fn": item.task.function,
+                "spe": item.task.spe_time,
+                "ppe": item.task.ppe_time,
+                "naive": item.task.naive_spe_time,
+                "ws": item.task.working_set,
+                "key": item.task.data_key,
+                "loop": (
+                    None
+                    if item.task.loop is None
+                    else {
+                        "iters": item.task.loop.iterations,
+                        "cov": item.task.loop.coverage,
+                        "red": item.task.loop.reduction,
+                        "bpi": item.task.loop.bytes_per_iteration,
+                    }
+                ),
+            }
+            for item in trace.items
+        ],
+    }
+
+
+def trace_from_dict(data: dict) -> BootstrapTrace:
+    """Inverse of :func:`trace_to_dict`."""
+    version = data.get("version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported trace format version {version!r} "
+            f"(expected {_FORMAT_VERSION})"
+        )
+    items = []
+    for it in data["items"]:
+        loop = it.get("loop")
+        items.append(
+            OffloadItem(
+                ppe_gap=it["gap"],
+                task=TaskSpec(
+                    function=it["fn"],
+                    spe_time=it["spe"],
+                    ppe_time=it["ppe"],
+                    naive_spe_time=it["naive"],
+                    working_set=it.get("ws", 0),
+                    data_key=it.get("key"),
+                    loop=(
+                        None
+                        if loop is None
+                        else LoopSpec(
+                            iterations=loop["iters"],
+                            coverage=loop["cov"],
+                            reduction=loop["red"],
+                            bytes_per_iteration=loop["bpi"],
+                        )
+                    ),
+                ),
+            )
+        )
+    ci = data["code_image"]
+    li = data["llp_image"]
+    return BootstrapTrace(
+        index=data["index"],
+        items=tuple(items),
+        tail_ppe=data["tail_ppe"],
+        scale=data["scale"],
+        code_image=CodeImage(ci["name"], ci["variant"], ci["size"]),
+        llp_image=CodeImage(li["name"], li["variant"], li["size"]),
+    )
+
+
+def save_traces(traces: List[BootstrapTrace], path: Union[str, Path]) -> None:
+    """Write traces to a JSON file."""
+    payload = {
+        "version": _FORMAT_VERSION,
+        "traces": [trace_to_dict(t) for t in traces],
+    }
+    Path(path).write_text(json.dumps(payload))
+
+
+def load_traces(path: Union[str, Path]) -> List[BootstrapTrace]:
+    """Read traces back from :func:`save_traces` output."""
+    payload = json.loads(Path(path).read_text())
+    if payload.get("version") != _FORMAT_VERSION:
+        raise ValueError("unsupported trace file version")
+    return [trace_from_dict(d) for d in payload["traces"]]

@@ -1,0 +1,156 @@
+"""Synthetic workloads for stress-testing the schedulers.
+
+The paper evaluates on RAxML only, but argues the policies generalize
+(Section 6).  These generators create controlled task streams that stress
+specific mechanisms:
+
+* :func:`fine_grained_trace` — tasks below the off-load granularity
+  threshold, exercising the EDTLP granularity test and PPE fallback;
+* :func:`mixed_granularity_trace` — alternating coarse/fine tasks;
+* :func:`bursty_trace` — long PPE phases between off-load bursts,
+  exercising MGPS's timer-based adaptation;
+* :func:`uniform_trace` — deterministic identical tasks for closed-form
+  cross-checking of simulator output against queueing arithmetic.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..cell.local_store import CodeImage
+from ..sim.rng import RngStreams
+from .taskspec import BootstrapTrace, LoopSpec, OffloadItem, TaskSpec
+
+__all__ = [
+    "uniform_trace",
+    "fine_grained_trace",
+    "mixed_granularity_trace",
+    "bursty_trace",
+    "interleaved_locality_trace",
+]
+
+US = 1e-6
+KB = 1024
+
+_CODE = CodeImage("synthetic", "serial", 64 * KB)
+_LLP_CODE = CodeImage("synthetic", "llp", 68 * KB)
+
+_DEFAULT_LOOP = LoopSpec(
+    iterations=200, coverage=0.8, reduction=True, bytes_per_iteration=128
+)
+
+
+def _item(spe_us: float, ppe_us: float, gap_us: float,
+          loop: Optional[LoopSpec] = _DEFAULT_LOOP,
+          function: str = "synthetic") -> OffloadItem:
+    return OffloadItem(
+        ppe_gap=gap_us * US,
+        task=TaskSpec(
+            function=function,
+            spe_time=spe_us * US,
+            ppe_time=ppe_us * US,
+            naive_spe_time=2.0 * spe_us * US,
+            loop=loop,
+        ),
+    )
+
+
+def _trace(items, index: int = 0, scale: float = 1.0,
+           tail_us: float = 10.0) -> BootstrapTrace:
+    return BootstrapTrace(
+        index=index,
+        items=tuple(items),
+        tail_ppe=tail_us * US,
+        scale=scale,
+        code_image=_CODE,
+        llp_image=_LLP_CODE,
+    )
+
+
+def uniform_trace(n_tasks: int = 100, spe_us: float = 100.0,
+                  ppe_us: float = 140.0, gap_us: float = 10.0,
+                  index: int = 0, scale: float = 1.0) -> BootstrapTrace:
+    """Identical tasks at a fixed cadence — arithmetic is checkable by hand."""
+    return _trace(
+        [_item(spe_us, ppe_us, gap_us) for _ in range(n_tasks)],
+        index=index, scale=scale,
+    )
+
+
+def fine_grained_trace(n_tasks: int = 100, spe_us: float = 8.0,
+                       ppe_us: float = 4.0, gap_us: float = 2.0,
+                       index: int = 0) -> BootstrapTrace:
+    """Tasks where t_spe exceeds t_ppe: off-loading never pays off.
+
+    A correct granularity test executes these on the PPE after the first
+    optimistic off-load of each function.
+    """
+    return _trace(
+        [_item(spe_us, ppe_us, gap_us, function="tiny") for _ in range(n_tasks)],
+        index=index,
+    )
+
+
+def mixed_granularity_trace(n_tasks: int = 100, index: int = 0,
+                            seed: int = 0) -> BootstrapTrace:
+    """Coarse off-loadable tasks interleaved with fine PPE-bound ones."""
+    rng = RngStreams(seed).stream("mixed")
+    items = []
+    for i in range(n_tasks):
+        if i % 3 == 2:
+            items.append(_item(6.0, 3.0, 2.0, function="tiny"))
+        else:
+            spe = float(rng.gamma(4.0, 25.0))
+            items.append(_item(spe, spe * 1.4, 10.0, function="coarse"))
+    return _trace(items, index=index)
+
+
+def bursty_trace(n_bursts: int = 10, burst_len: int = 20,
+                 spe_us: float = 100.0, quiet_us: float = 5000.0,
+                 index: int = 0) -> BootstrapTrace:
+    """Off-load bursts separated by long PPE-only phases.
+
+    Between bursts no departures occur, so window-based adaptation
+    stalls unless the scheduler also adapts on timer interrupts
+    (Section 5.4 discusses exactly this case).
+    """
+    items = []
+    for b in range(n_bursts):
+        for i in range(burst_len):
+            gap = quiet_us if i == 0 and b > 0 else 10.0
+            items.append(_item(spe_us, spe_us * 1.4, gap))
+    return _trace(items, index=index)
+
+
+def interleaved_locality_trace(
+    n_keys: int = 8,
+    tasks_per_key: int = 40,
+    working_set_kb: int = 100,
+    spe_us: float = 100.0,
+    gap_us: float = 10.0,
+    index: int = 0,
+) -> BootstrapTrace:
+    """Round-robin tasks over ``n_keys`` data sets with large working sets.
+
+    The stress case for memory-aware scheduling: consecutive tasks touch
+    different data sets, so a single LIFO-reused SPE thrashes its local
+    store while locality-aware placement pins each set to its own SPE.
+    """
+    items = []
+    for i in range(n_keys * tasks_per_key):
+        base = _item(spe_us, spe_us * 1.4, gap_us)
+        items.append(
+            OffloadItem(
+                ppe_gap=base.ppe_gap,
+                task=TaskSpec(
+                    function=base.task.function,
+                    spe_time=base.task.spe_time,
+                    ppe_time=base.task.ppe_time,
+                    naive_spe_time=base.task.naive_spe_time,
+                    loop=base.task.loop,
+                    working_set=working_set_kb * KB,
+                    data_key=f"set{i % n_keys}",
+                ),
+            )
+        )
+    return _trace(items, index=index)

@@ -1,0 +1,223 @@
+"""Tests for gap handling and the amino-acid (20-state) path."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.phylo import (
+    Alignment,
+    DNA,
+    LikelihoodEngine,
+    PROTEIN,
+    Tree,
+    hky,
+    jc69,
+    jc_distance_matrix,
+    neighbor_joining,
+    p_distance_matrix,
+    protein_poisson,
+    synthesize_alignment,
+)
+
+
+class TestAlphabets:
+    def test_dna_codes(self):
+        assert DNA.n_states == 4
+        assert DNA.encode("a") == 0
+        assert DNA.encode("T") == 3
+        assert DNA.encode("N") == DNA.gap_code
+        assert DNA.encode("-") == DNA.gap_code
+        assert DNA.decode(2) == "G"
+        assert DNA.decode(DNA.gap_code) == "-"
+        with pytest.raises(ValueError):
+            DNA.encode("1")
+
+    def test_protein_codes(self):
+        assert PROTEIN.n_states == 20
+        assert PROTEIN.encode("A") == 0
+        assert PROTEIN.encode("V") == 19
+        assert PROTEIN.encode("X") == PROTEIN.gap_code
+        with pytest.raises(ValueError):
+            PROTEIN.encode("1")
+
+    def test_alphabet_letter_uniqueness_enforced(self):
+        from repro.phylo.alignment import Alphabet
+        with pytest.raises(ValueError):
+            Alphabet("bad", "AAC", "")
+
+
+class TestGaps:
+    def test_gap_fraction_accounting(self):
+        aln = Alignment.from_sequences(["a", "b"], ["AC-T", "A-GT"])
+        assert aln.gap_fraction == pytest.approx(2 / 8)
+
+    def test_gap_roundtrip(self):
+        seqs = ["AC-T", "A?GN"]
+        aln = Alignment.from_sequences(["a", "b"], seqs)
+        rec = aln.to_sequences()
+        # '?' and 'N' both decode to '-'.
+        assert sorted("".join(rec)) == sorted("AC-TA-G-")
+
+    def test_gap_is_missing_data_in_likelihood(self):
+        """A fully gapped taxon contributes nothing: the likelihood
+        equals that of the alignment without it... in the 3-taxon star
+        case, adding an all-gap taxon keeps per-site likelihoods equal."""
+        model = jc69()
+        aln3 = Alignment.from_sequences(["a", "b", "c"], ["AC", "AG", "AT"])
+        aln4 = Alignment.from_sequences(
+            ["a", "b", "c", "d"], ["AC", "AG", "AT", "--"]
+        )
+        rng = np.random.default_rng(0)
+        tree3 = Tree.random_topology(3, rng)
+        # 4-taxon tree: attach the gap taxon anywhere.
+        tree4 = Tree.random_topology(4, np.random.default_rng(1))
+        l3 = LikelihoodEngine(aln3, model, 1).evaluate(tree3)
+        l4 = LikelihoodEngine(aln4, model, 1).evaluate(tree4)
+        # Not exactly equal (different topologies/branches for observed
+        # taxa), but the gap taxon itself cannot push likelihood to 0.
+        assert np.isfinite(l4)
+        # Direct check: gap tip vector contributes a factor of 1:
+        eng = LikelihoodEngine(aln4, model, 1)
+        assert np.allclose(eng._tip_clv[3], 1.0)
+
+    def test_gapped_likelihood_matches_brute_force(self):
+        from tests.test_phylo_core import brute_force_loglik
+
+        model = hky((0.3, 0.2, 0.2, 0.3), 2.0)
+        aln = Alignment.from_sequences(
+            ["a", "b", "c", "d"], ["AC-T", "ACG-", "G-GT", "GTGA"]
+        )
+        tree = Tree.random_topology(4, np.random.default_rng(2))
+
+        # Brute force with marginalization over gap states.
+        def brute_with_gaps():
+            nodes = tree.nodes()
+            internals = [n for n in nodes if not n.is_leaf]
+            total = 0.0
+            pm = {
+                n.id: model.transition_matrix(n.length)
+                for n in nodes if n.parent is not None
+            }
+            for pat, w in zip(aln.patterns.T, aln.weights):
+                lik = 0.0
+                leaf_states = {}
+                for leaf in tree.leaves():
+                    code = pat[leaf.taxon]
+                    leaf_states[leaf.id] = (
+                        range(4) if code == DNA.gap_code else [code]
+                    )
+                leaf_ids = [l.id for l in tree.leaves()]
+                for internal_states in itertools.product(
+                    range(4), repeat=len(internals)
+                ):
+                    sdict = {
+                        n.id: s for n, s in zip(internals, internal_states)
+                    }
+                    for combo in itertools.product(
+                        *(leaf_states[i] for i in leaf_ids)
+                    ):
+                        for lid, s in zip(leaf_ids, combo):
+                            sdict[lid] = s
+                        p = model.frequencies[sdict[tree.root.id]]
+                        for n in nodes:
+                            if n.parent is not None:
+                                p *= pm[n.id][sdict[n.parent.id], sdict[n.id]]
+                        lik += p
+                total += w * np.log(lik)
+            return total
+
+        eng = LikelihoodEngine(aln, model, 1)
+        assert eng.evaluate(tree) == pytest.approx(brute_with_gaps())
+
+    def test_synthesize_with_gaps(self):
+        aln = synthesize_alignment(6, 200, seed=0, gap_fraction=0.15)
+        assert 0.10 < aln.gap_fraction < 0.20
+        # Inference still works.
+        tree = neighbor_joining(jc_distance_matrix(aln))
+        ll = LikelihoodEngine(aln, jc69(), 1).evaluate(tree)
+        assert np.isfinite(ll)
+
+    def test_gaps_excluded_from_distances(self):
+        aln = Alignment.from_sequences(["a", "b"], ["ACGT--", "ACGA--"])
+        # 4 comparable sites, 1 differing.
+        assert p_distance_matrix(aln)[0, 1] == pytest.approx(0.25)
+
+
+class TestProtein:
+    def _protein_alignment(self):
+        seqs = [
+            "ARNDCQEGHILK",
+            "ARNDCQEGHILM",
+            "GRNDCQEGHILK",
+            "GRNECQEGHILM",
+        ]
+        return Alignment.from_sequences(
+            ["a", "b", "c", "d"], seqs, alphabet="protein"
+        )
+
+    def test_model_properties(self):
+        m = protein_poisson()
+        assert m.n_states == 20
+        p = m.transition_matrix(0.3)
+        assert p.shape == (20, 20)
+        assert np.allclose(p.sum(axis=1), 1.0)
+        # Detailed balance.
+        flux = m.frequencies[:, None] * p
+        assert np.allclose(flux, flux.T)
+
+    def test_protein_likelihood_runs(self):
+        aln = self._protein_alignment()
+        tree = Tree.random_topology(4, np.random.default_rng(0))
+        eng = LikelihoodEngine(aln, protein_poisson(), 2)
+        ll = eng.evaluate(tree)
+        assert np.isfinite(ll) and ll < 0
+
+    def test_protein_brute_force_equivalence(self):
+        """Pruning == exhaustive enumeration on a 3-taxon protein star."""
+        aln = Alignment.from_sequences(
+            ["a", "b", "c"], ["AR", "AK", "GR"], alphabet="protein"
+        )
+        model = protein_poisson()
+        tree = Tree.random_topology(3, np.random.default_rng(1))
+        eng = LikelihoodEngine(aln, model, 1)
+        got = eng.evaluate(tree)
+
+        # Star tree: one internal node (the root).
+        pm = {
+            n.id: model.transition_matrix(n.length)
+            for n in tree.nodes() if n.parent is not None
+        }
+        total = 0.0
+        for pat, w in zip(aln.patterns.T, aln.weights):
+            lik = 0.0
+            for root_state in range(20):
+                p = model.frequencies[root_state]
+                for leaf in tree.leaves():
+                    p *= pm[leaf.id][root_state, pat[leaf.taxon]]
+                lik += p
+            total += w * np.log(lik)
+        assert got == pytest.approx(total)
+
+    def test_protein_makenewz_improves(self):
+        aln = self._protein_alignment()
+        tree = Tree.random_topology(4, np.random.default_rng(2))
+        eng = LikelihoodEngine(aln, protein_poisson(), 1)
+        before = eng.evaluate(tree)
+        eng.full_traversal(tree)
+        eng.makenewz(tree, tree.branches()[0])
+        after = eng.evaluate(tree, full=True)
+        assert after >= before - 1e-9
+
+    def test_protein_distances_and_nj(self):
+        aln = self._protein_alignment()
+        d = jc_distance_matrix(aln)
+        assert d.shape == (4, 4)
+        assert np.all(np.isfinite(d))
+        tree = neighbor_joining(d)
+        assert sorted(l.taxon for l in tree.leaves()) == [0, 1, 2, 3]
+
+    def test_model_alignment_mismatch_rejected(self):
+        aln = self._protein_alignment()
+        with pytest.raises(ValueError, match="states"):
+            LikelihoodEngine(aln, jc69(), 1)

@@ -1,0 +1,64 @@
+"""Pins the calibrated constants documented in DESIGN.md section 8.
+
+If a future change shifts one of these, the paper-anchor tests will
+usually catch the *symptom*; this module catches the *cause* and points
+at the documentation that must be updated alongside.
+"""
+
+import pytest
+
+from repro.cell.params import BladeParams, CellParams
+from repro.core.llp import LLPConfig
+from repro.platforms import POWER5, XEON_2X_HT
+from repro.workloads import RAXML_42SC
+
+
+def test_hardware_constants_from_the_paper():
+    p = CellParams()
+    assert p.clock_hz == 3.2e9
+    assert p.n_spes == 8
+    assert p.ppe_smt_contexts == 2
+    assert p.context_switch == pytest.approx(1.5e-6)   # Section 5.2
+    assert p.os_quantum == pytest.approx(10e-3)        # Section 5.2
+    assert p.local_store_size == 256 * 1024            # Section 4
+    assert p.dma_max_request == 16 * 1024              # Section 4
+    assert p.dma_list_max == 2048                      # Section 4
+    assert p.eib_bandwidth == pytest.approx(204.8 * 1024**3)  # Section 4
+
+
+def test_calibrated_constants_match_design_md():
+    p = CellParams()
+    assert p.smt_efficiency == pytest.approx(0.45)
+    assert p.spin_contention == pytest.approx(0.2)
+    assert p.memory_contention_quadratic == pytest.approx(0.008)
+    assert p.memory_contention_cap == pytest.approx(0.50)
+    cfg = LLPConfig()
+    assert cfg.signal_issue == pytest.approx(0.5e-6)
+    assert cfg.pass_process == pytest.approx(2.75e-6)
+    assert cfg.setup == pytest.approx(2.0e-6)
+
+
+def test_profile_constants_from_the_paper():
+    p = RAXML_42SC
+    assert p.taxa == 42 and p.sites == 1167
+    assert p.ppe_only_seconds == 38.23
+    assert p.naive_offload_seconds == 50.38
+    assert p.optimized_seconds == 28.46
+    assert p.spe_fraction == 0.90
+    assert p.mean_task_us == 96.0
+    assert p.mean_gap_us == 11.0
+    assert p.loop_iterations == 228
+    assert p.code_image_kb == 117
+
+
+def test_platform_calibration():
+    assert XEON_2X_HT.bootstrap_seconds == pytest.approx(46.0)
+    assert XEON_2X_HT.smt_throughput == (1.0, 1.25)
+    assert POWER5.bootstrap_seconds == pytest.approx(14.0)
+    assert POWER5.smt_throughput == (1.0, 1.35)
+
+
+def test_blade_defaults():
+    b = BladeParams()
+    assert b.n_cells == 1
+    assert BladeParams(n_cells=2).total_spes == 16

@@ -1,0 +1,168 @@
+"""Tests for the CAT per-site rate-category approximation."""
+
+import numpy as np
+import pytest
+
+from repro.phylo import (
+    Alignment,
+    LikelihoodEngine,
+    Tree,
+    fit_cat,
+    jc69,
+    jc_distance_matrix,
+    neighbor_joining,
+    synthesize_alignment,
+)
+from repro.phylo.cat import estimate_pattern_rates, quantize_rates
+
+
+def heterogeneous_alignment(seed=1, n=8, sites=120):
+    """Half slow-evolving, half fast-evolving sites (same tree shape)."""
+    slow = synthesize_alignment(n, sites, seed=seed, mean_branch=0.02)
+    fast = synthesize_alignment(n, sites, seed=seed, mean_branch=0.4)
+    seqs = [a + b for a, b in zip(slow.to_sequences(), fast.to_sequences())]
+    return Alignment.from_sequences([f"t{i}" for i in range(n)], seqs)
+
+
+class TestEngineCATMode:
+    def test_single_category_equals_single_rate(self):
+        aln = synthesize_alignment(6, 80, seed=2)
+        tree = Tree.random_topology(6, np.random.default_rng(2))
+        plain = LikelihoodEngine(aln, jc69(), 1).evaluate(tree)
+        cat = LikelihoodEngine(
+            aln, jc69(),
+            category_rates=np.array([1.0]),
+            pattern_categories=np.zeros(aln.n_patterns, dtype=int),
+        ).evaluate(tree)
+        assert cat == pytest.approx(plain)
+
+    def test_selection_matches_manual_computation(self):
+        aln = synthesize_alignment(5, 60, seed=3)
+        tree = Tree.random_topology(5, np.random.default_rng(3))
+        rates = np.array([0.5, 2.0])
+        cat = np.random.default_rng(0).integers(0, 2, aln.n_patterns)
+        engine = LikelihoodEngine(
+            aln, jc69(), category_rates=rates, pattern_categories=cat
+        )
+        got = engine.evaluate(tree)
+        # Manual: evaluate each pure-rate engine, stitch per pattern.
+        per_rate_logs = []
+        for r in rates:
+            e = LikelihoodEngine(aln, jc69(), category_rates=np.array([r]))
+            e.full_traversal(tree)
+            clv, scale = e._clv[tree.root.id]
+            site = np.einsum("srx,x->s", clv, e.model.frequencies)
+            per_rate_logs.append(np.log(site) - scale * np.log(1e100))
+        stitched = np.where(cat == 0, per_rate_logs[0], per_rate_logs[1])
+        assert got == pytest.approx(float(aln.weights @ stitched))
+
+    def test_edge_loglik_consistent_in_cat_mode(self):
+        aln = synthesize_alignment(6, 80, seed=4)
+        tree = Tree.random_topology(6, np.random.default_rng(4))
+        rng = np.random.default_rng(1)
+        engine = LikelihoodEngine(
+            aln, jc69(),
+            category_rates=np.array([0.3, 1.0, 3.0]),
+            pattern_categories=rng.integers(0, 3, aln.n_patterns),
+        )
+        full = engine.evaluate(tree)
+        engine.full_traversal(tree)
+        for node in tree.branches()[:4]:
+            assert engine.edge_loglik(tree, node, node.length) == (
+                pytest.approx(full, rel=1e-9)
+            )
+
+    def test_makenewz_improves_in_cat_mode(self):
+        aln = synthesize_alignment(6, 100, seed=5)
+        tree = Tree.random_topology(6, np.random.default_rng(5))
+        rng = np.random.default_rng(2)
+        engine = LikelihoodEngine(
+            aln, jc69(),
+            category_rates=np.array([0.5, 1.5]),
+            pattern_categories=rng.integers(0, 2, aln.n_patterns),
+        )
+        before = engine.evaluate(tree)
+        engine.full_traversal(tree)
+        engine.makenewz(tree, tree.branches()[1])
+        after = engine.evaluate(tree, full=True)
+        assert after >= before - 1e-9
+
+    def test_validation(self):
+        aln = synthesize_alignment(5, 40, seed=6)
+        with pytest.raises(ValueError, match="requires category_rates"):
+            LikelihoodEngine(
+                aln, jc69(), pattern_categories=np.zeros(aln.n_patterns, int)
+            )
+        with pytest.raises(ValueError):
+            LikelihoodEngine(aln, jc69(), category_rates=np.array([-1.0]))
+        with pytest.raises(ValueError, match="per pattern"):
+            LikelihoodEngine(
+                aln, jc69(), category_rates=np.array([1.0]),
+                pattern_categories=np.zeros(3, int),
+            )
+        with pytest.raises(ValueError, match="out of range"):
+            LikelihoodEngine(
+                aln, jc69(), category_rates=np.array([1.0]),
+                pattern_categories=np.ones(aln.n_patterns, int),
+            )
+
+
+class TestFitting:
+    def test_pattern_rates_separate_fast_and_slow(self):
+        aln = heterogeneous_alignment()
+        tree = neighbor_joining(jc_distance_matrix(aln))
+        LikelihoodEngine(aln, jc69(), 1).optimize_branches(tree)
+        rates = estimate_pattern_rates(aln, jc69(), tree)
+        # Clear heterogeneity: wide spread of per-pattern rates.
+        assert rates.max() / rates.min() > 4.0
+
+    def test_quantize_properties(self):
+        rng = np.random.default_rng(0)
+        rates = rng.gamma(0.5, 2.0, size=200)
+        w = rng.integers(1, 5, size=200).astype(float)
+        cat_rates, assignment = quantize_rates(rates, w, 4)
+        assert len(cat_rates) == 4
+        assert assignment.min() == 0 and assignment.max() == 3
+        # Weighted mean rate normalized to 1.
+        assert np.average(cat_rates[assignment], weights=w) == (
+            pytest.approx(1.0)
+        )
+        # Category rates are ordered (quantile construction).
+        assert list(cat_rates) == sorted(cat_rates)
+
+    def test_quantize_fewer_unique_than_categories(self):
+        rates = np.array([1.0, 1.0, 2.0, 2.0])
+        w = np.ones(4)
+        cat_rates, assignment = quantize_rates(rates, w, 10)
+        assert len(cat_rates) <= 2
+
+    def test_quantize_validation(self):
+        with pytest.raises(ValueError):
+            quantize_rates(np.ones(3), np.ones(2), 2)
+        with pytest.raises(ValueError):
+            quantize_rates(np.ones(3), np.ones(3), 0)
+
+    def test_cat_beats_single_rate_on_heterogeneous_data(self):
+        aln = heterogeneous_alignment()
+        tree = neighbor_joining(jc_distance_matrix(aln))
+        single = LikelihoodEngine(aln, jc69(), 1)
+        single.optimize_branches(tree)
+        ll_single = single.evaluate(tree)
+        ll_cat = fit_cat(aln, jc69(), tree, n_categories=4).evaluate(tree)
+        assert ll_cat > ll_single + 10.0
+
+    def test_cat_neutral_on_homogeneous_data(self):
+        aln = synthesize_alignment(8, 200, seed=7)
+        tree = neighbor_joining(jc_distance_matrix(aln))
+        LikelihoodEngine(aln, jc69(), 1).optimize_branches(tree)
+        ll_single = LikelihoodEngine(aln, jc69(), 1).evaluate(tree)
+        ll_cat = fit_cat(aln, jc69(), tree, n_categories=4).evaluate(tree)
+        # CAT can only help (it selects the best rate per pattern).
+        assert ll_cat >= ll_single - 1e-6
+
+    def test_grid_validation(self):
+        aln = synthesize_alignment(5, 40, seed=8)
+        tree = Tree.random_topology(5, np.random.default_rng(8))
+        with pytest.raises(ValueError):
+            estimate_pattern_rates(aln, jc69(), tree,
+                                   rate_grid=np.array([1.0]))

@@ -1,0 +1,236 @@
+"""Tests for the libspe-style SDK façade."""
+
+import pytest
+
+from repro.cell.machine import CellMachine
+from repro.cellsdk import SpeContext, SpeProgram, spe_context_create
+from repro.sim import Environment
+
+
+def setup():
+    env = Environment()
+    return env, CellMachine(env)
+
+
+def echo_program(values_out):
+    def body(spu):
+        while True:
+            msg = yield spu.read_mbox()
+            if msg is None:
+                return len(values_out)
+            values_out.append(msg)
+            yield from spu.write_mbox(msg * 2)
+
+    return SpeProgram("echo", body)
+
+
+class TestLifecycle:
+    def test_create_claims_an_spe(self):
+        env, machine = setup()
+
+        def main():
+            ctx = yield from spe_context_create(env, machine)
+            assert machine.pool.n_free == 7
+            ctx.destroy()
+            assert machine.pool.n_free == 8
+
+        env.run_until_complete(env.process(main()))
+
+    def test_create_blocks_when_pool_empty(self):
+        env, machine = setup()
+        held = machine.pool.try_acquire_many(8)
+        got = []
+
+        def creator():
+            ctx = yield from spe_context_create(env, machine)
+            got.append(env.now)
+            ctx.destroy()
+
+        def releaser():
+            yield env.timeout(1.0)
+            machine.pool.release(held.pop())
+
+        env.process(creator())
+        env.process(releaser())
+        env.run()
+        assert got == [1.0]
+
+    def test_load_program_pays_dma(self):
+        env, machine = setup()
+
+        def main():
+            ctx = yield from spe_context_create(env, machine)
+            t0 = env.now
+            yield from ctx.load_program(SpeProgram("big", lambda s: iter(()),
+                                                   image_kb=117))
+            assert env.now > t0
+            # Reloading the same image is free.
+            t1 = env.now
+            yield from ctx.load_program(SpeProgram("big", lambda s: iter(()),
+                                                   image_kb=117))
+            assert env.now == t1
+            ctx.destroy()
+
+        env.run_until_complete(env.process(main()))
+
+    def test_run_requires_program(self):
+        env, machine = setup()
+
+        def main():
+            ctx = yield from spe_context_create(env, machine)
+            with pytest.raises(RuntimeError, match="no program"):
+                ctx.run()
+            ctx.destroy()
+
+        env.run_until_complete(env.process(main()))
+
+    def test_destroy_while_running_rejected(self):
+        env, machine = setup()
+
+        def forever(spu):
+            yield spu.read_mbox()  # never satisfied
+
+        def main():
+            ctx = yield from spe_context_create(env, machine)
+            yield from ctx.load_program(SpeProgram("loop", forever))
+            ctx.run()
+            yield env.timeout(1e-6)
+            with pytest.raises(RuntimeError, match="running"):
+                ctx.destroy()
+            # Unblock and finish.
+            yield from ctx.write_in_mbox("stop")
+
+        env.run_until_complete(env.process(main()))
+
+    def test_use_after_destroy_rejected(self):
+        env, machine = setup()
+
+        def main():
+            ctx = yield from spe_context_create(env, machine)
+            ctx.destroy()
+            with pytest.raises(RuntimeError, match="destroyed"):
+                ctx.read_out_mbox()
+            yield env.timeout(0)
+
+        env.run_until_complete(env.process(main()))
+
+
+class TestMailboxesAndPrograms:
+    def test_ping_pong_roundtrip(self):
+        env, machine = setup()
+        seen = []
+
+        def main():
+            ctx = yield from spe_context_create(env, machine)
+            yield from ctx.load_program(echo_program(seen))
+            run = ctx.run()
+            for v in (1, 2, 3):
+                yield from ctx.write_in_mbox(v)
+                reply = yield ctx.read_out_mbox()
+                assert reply == v * 2
+            yield from ctx.write_in_mbox(None)
+            count = yield run
+            ctx.destroy()
+            return count
+
+        assert env.run_until_complete(env.process(main())) == 3
+        assert seen == [1, 2, 3]
+
+    def test_spe_busy_during_run(self):
+        env, machine = setup()
+
+        def body(spu):
+            yield spu.compute(5e-6)
+            return "ok"
+
+        def main():
+            ctx = yield from spe_context_create(env, machine)
+            yield from ctx.load_program(SpeProgram("burn", body))
+            run = ctx.run()
+            yield env.timeout(1e-6)
+            assert ctx.spe.busy
+            result = yield run
+            assert result == "ok"
+            assert not ctx.spe.busy
+            assert ctx.spe.tasks_executed == 1
+            ctx.destroy()
+
+        env.run_until_complete(env.process(main()))
+
+    def test_double_run_rejected(self):
+        env, machine = setup()
+
+        def body(spu):
+            yield spu.compute(1e-3)
+
+        def main():
+            ctx = yield from spe_context_create(env, machine)
+            yield from ctx.load_program(SpeProgram("burn", body))
+            run = ctx.run()
+            with pytest.raises(RuntimeError, match="already running"):
+                ctx.run()
+            yield run
+            ctx.destroy()
+
+        env.run_until_complete(env.process(main()))
+
+    def test_dma_takes_time_and_is_accounted(self):
+        env, machine = setup()
+
+        def body(spu):
+            yield spu.dma_get(64 * 1024)
+            yield spu.dma_put(64 * 1024)
+            return spu.dma_bytes
+
+        def main():
+            ctx = yield from spe_context_create(env, machine)
+            yield from ctx.load_program(SpeProgram("mover", body))
+            t0 = env.now
+            moved = yield ctx.run()
+            assert moved == 128 * 1024
+            assert env.now > t0
+            ctx.destroy()
+
+        env.run_until_complete(env.process(main()))
+
+    def test_signal_latency_on_mailboxes(self):
+        env, machine = setup()
+        latency = machine.cell_params.ppe_spe_signal
+
+        def body(spu):
+            msg = yield spu.read_mbox()
+            yield from spu.write_mbox(msg)
+
+        def main():
+            ctx = yield from spe_context_create(env, machine)
+            yield from ctx.load_program(SpeProgram("echo1", body))
+            run = ctx.run()
+            t0 = env.now
+            yield from ctx.write_in_mbox("x")
+            yield ctx.read_out_mbox()
+            # One latency each way.
+            assert env.now - t0 == pytest.approx(2 * latency)
+            yield run
+            ctx.destroy()
+
+        env.run_until_complete(env.process(main()))
+
+    def test_program_validation(self):
+        with pytest.raises(ValueError):
+            SpeProgram("bad", lambda s: iter(()), image_kb=0)
+
+    def test_compute_validation(self):
+        env, machine = setup()
+
+        def body(spu):
+            with pytest.raises(ValueError):
+                spu.compute(-1.0)
+            yield spu.compute(0.0)
+
+        def main():
+            ctx = yield from spe_context_create(env, machine)
+            yield from ctx.load_program(SpeProgram("v", body))
+            yield ctx.run()
+            ctx.destroy()
+
+        env.run_until_complete(env.process(main()))

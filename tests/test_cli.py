@@ -1,0 +1,74 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_table2_command(capsys):
+    assert main(["table2", "--tasks", "150"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 2" in out
+    assert "llp(paper)" in out
+
+
+def test_sec51_command(capsys):
+    assert main(["sec51", "--tasks", "200"]) == 0
+    out = capsys.readouterr().out
+    assert "ppe-only" in out
+
+
+def test_compare_command(capsys):
+    assert main(["compare", "--bootstraps", "2", "--tasks", "100"]) == 0
+    out = capsys.readouterr().out
+    for name in ("linux", "edtlp", "mgps", "llp2", "llp4"):
+        assert name in out
+
+
+def test_fig7_small_panel(capsys):
+    assert main(["fig7", "--panel", "a", "--tasks", "60"]) == 0
+    out = capsys.readouterr().out
+    assert "EDTLP-LLP2" in out and "Figure 7a" in out
+
+
+def test_fig10_command(capsys):
+    assert main(["fig10", "--tasks", "60"]) == 0
+    out = capsys.readouterr().out
+    assert "Power5" in out and "Xeon" in out
+
+
+def test_timeline_command(capsys):
+    assert main(["timeline", "--scheduler", "edtlp", "--bootstraps", "2",
+                 "--tasks", "80", "--width", "40"]) == 0
+    out = capsys.readouterr().out
+    assert "SPE timeline" in out
+    assert "%" in out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["bogus"])
+
+
+def test_bsp_command(capsys):
+    assert main(["bsp", "--ranks", "4", "--iterations", "2",
+                 "--imbalance", "1.0"]) == 0
+    out = capsys.readouterr().out
+    assert "BSP" in out and "mgps" in out
+
+
+def test_fig9_dual_cell_panel(capsys):
+    assert main(["fig9", "--panel", "a", "--tasks", "60"]) == 0
+    out = capsys.readouterr().out
+    assert "two Cells" in out and "MGPS" in out
+
+
+def test_table1_command(capsys):
+    assert main(["table1", "--tasks", "120"]) == 0
+    out = capsys.readouterr().out
+    assert "edtlp(paper)" in out and "linux(paper)" in out

@@ -1,0 +1,110 @@
+"""Tests for majority-rule consensus and support annotation."""
+
+import numpy as np
+import pytest
+
+from repro.phylo import (
+    Tree,
+    annotate_support,
+    majority_rule_consensus,
+    split_frequencies,
+)
+from repro.phylo.bootstrap import _bipartitions
+
+
+def tree(seed, n=8):
+    return Tree.random_topology(n, np.random.default_rng(seed))
+
+
+class TestSplitFrequencies:
+    def test_identical_trees_full_support(self):
+        t = tree(0)
+        freqs = split_frequencies([t.copy() for _ in range(5)])
+        assert all(f == 1.0 for f in freqs.values())
+        assert set(freqs) == _bipartitions(t)
+
+    def test_mixed_trees_partial_support(self):
+        trees = [tree(0).copy() for _ in range(3)] + [tree(99)]
+        freqs = split_frequencies(trees)
+        assert any(f == 0.75 for f in freqs.values())
+        assert all(0 < f <= 1 for f in freqs.values())
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            split_frequencies([])
+        with pytest.raises(ValueError):
+            split_frequencies([tree(0, 5), tree(0, 6)])
+
+
+class TestMajorityRule:
+    def test_unanimous_trees_reproduce_topology(self):
+        t = tree(1)
+        cons, sup = majority_rule_consensus([t.copy() for _ in range(4)])
+        assert _bipartitions(cons) == _bipartitions(t)
+        assert all(s == 1.0 for s in sup.values())
+
+    def test_majority_beats_minority(self):
+        trees = [tree(2).copy() for _ in range(3)] + [tree(50), tree(51)]
+        cons, sup = majority_rule_consensus(trees)
+        # Every split of the consensus is a split of the majority tree.
+        assert _bipartitions(cons) <= _bipartitions(tree(2))
+        assert all(s > 0.5 for s in sup.values())
+
+    def test_conflicting_trees_collapse_to_star(self):
+        # Many mutually conflicting topologies: few (or no) majority
+        # splits survive; the consensus is (near-)star-like.
+        trees = [tree(s) for s in range(10)]
+        cons, sup = majority_rule_consensus(trees)
+        assert len(sup) <= 2
+        # Leaves all present regardless.
+        assert sorted(l.taxon for l in cons.leaves()) == list(range(8))
+
+    def test_greedy_adds_compatible_minority_splits(self):
+        trees = [tree(3).copy(), tree(3).copy(), tree(60), tree(61)]
+        strict, sup_s = majority_rule_consensus(trees)
+        greedy, sup_g = majority_rule_consensus(trees, greedy=True)
+        assert len(sup_g) >= len(sup_s)
+        # Greedy result is still a valid tree over all taxa.
+        assert sorted(l.taxon for l in greedy.leaves()) == list(range(8))
+
+    def test_accepted_splits_mutually_compatible(self):
+        trees = [tree(s) for s in (4, 4, 5, 6)]
+        cons, sup = majority_rule_consensus(trees, greedy=True)
+        # A realizable tree exists: _bipartitions(cons) must contain every
+        # accepted split.
+        assert set(sup) == _bipartitions(cons)
+
+    def test_min_support_validation(self):
+        with pytest.raises(ValueError):
+            majority_rule_consensus([tree(0)], min_support=1.5)
+
+
+class TestAnnotateSupport:
+    def test_self_support_is_one(self):
+        t = tree(7)
+        ann = annotate_support(t, [t.copy() for _ in range(3)])
+        assert ann
+        assert all(v == 1.0 for v in ann.values())
+
+    def test_absent_splits_zero(self):
+        t = tree(8)
+        other = tree(70)
+        ann = annotate_support(t, [other])
+        assert min(ann.values()) == 0.0
+
+    def test_matches_split_frequencies(self):
+        t = tree(9)
+        trees = [t.copy(), t.copy(), tree(71)]
+        freqs = split_frequencies(trees)
+        ann = annotate_support(t, trees)
+        below = {}
+        all_taxa = frozenset(range(8))
+        for node in t.postorder():
+            below[node.id] = (
+                frozenset([node.taxon]) if node.is_leaf
+                else frozenset().union(*(below[c.id] for c in node.children))
+            )
+        for node_id, support in ann.items():
+            side = below[node_id]
+            key = side if 0 in side else all_taxa - side
+            assert support == freqs.get(key, 0.0)

@@ -1,0 +1,107 @@
+"""Tests for the extension studies: profile site-scaling and the
+power/cost-efficiency model."""
+
+import pytest
+
+from repro import Workload, edtlp, run_experiment, static_hybrid
+from repro.analysis.efficiency_study import (
+    DEFAULT_ECONOMICS,
+    PlatformEconomics,
+    efficiency_table,
+)
+from repro.workloads import RAXML_42SC
+
+
+class TestSiteScaling:
+    def test_identity_at_native_length(self):
+        p = RAXML_42SC.scaled_to_sites(1167)
+        assert p.optimized_seconds == pytest.approx(
+            RAXML_42SC.optimized_seconds
+        )
+        assert p.loop_iterations == RAXML_42SC.loop_iterations
+        assert p.mean_task_us == pytest.approx(RAXML_42SC.mean_task_us)
+
+    def test_spe_work_scales_linearly(self):
+        p2 = RAXML_42SC.scaled_to_sites(2334)
+        assert p2.spe_seconds == pytest.approx(2 * RAXML_42SC.spe_seconds)
+        # PPE bookkeeping does not scale.
+        assert p2.ppe_seconds == pytest.approx(RAXML_42SC.ppe_seconds)
+
+    def test_loop_iterations_scale(self):
+        assert RAXML_42SC.scaled_to_sites(2334).loop_iterations == 456
+        assert RAXML_42SC.scaled_to_sites(584).loop_iterations == 114
+
+    def test_anchor_consistency_preserved(self):
+        # The derived slowdown factors must remain physical.
+        for sites in (600, 5000, 51089):
+            p = RAXML_42SC.scaled_to_sites(sites)
+            assert p.ppe_slowdown > 1.0
+            assert p.naive_slowdown > 1.0
+            assert 0.0 < p.spe_fraction < 1.0
+
+    def test_invalid_sites(self):
+        with pytest.raises(ValueError):
+            RAXML_42SC.scaled_to_sites(0)
+
+    def test_llp_speedup_improves_with_length(self):
+        """The Section 5.3 observation, end to end."""
+        speedups = []
+        for sites in (600, 1167, 5000):
+            prof = RAXML_42SC.scaled_to_sites(sites)
+            wl = Workload(bootstraps=1, tasks_per_bootstrap=120,
+                          profile=prof)
+            serial = run_experiment(edtlp(n_processes=1), wl).makespan
+            par = run_experiment(static_hybrid(5, n_processes=1), wl).makespan
+            speedups.append(serial / par)
+        assert speedups[0] < speedups[1] < speedups[2]
+
+
+class TestEfficiencyStudy:
+    def test_energy_computation(self):
+        e = PlatformEconomics("x", watts=100.0, price_usd=500.0)
+        assert e.energy_joules(10.0) == pytest.approx(1000.0)
+        with pytest.raises(ValueError):
+            e.energy_joules(-1.0)
+
+    def test_invalid_economics(self):
+        with pytest.raises(ValueError):
+            PlatformEconomics("x", watts=0.0, price_usd=1.0)
+        with pytest.raises(ValueError):
+            PlatformEconomics("x", watts=1.0, price_usd=0.0)
+
+    def test_table_contains_all_platforms(self):
+        makespans = {
+            "Cell (MGPS)": 157.0,
+            "Intel Xeon": 589.0,
+            "IBM Power5": 166.0,
+        }
+        text = efficiency_table(makespans, bootstraps=32)
+        for name in makespans:
+            assert name in text
+        assert "bootstraps/kJ" in text
+
+    def test_unknown_platform_rejected(self):
+        with pytest.raises(KeyError):
+            efficiency_table({"Mystery": 1.0}, bootstraps=1)
+
+    def test_cell_wins_both_ratios_with_defaults(self):
+        # Using the Figure 10 makespans at 32 bootstraps.
+        makespans = {
+            "Cell (MGPS)": 157.2,
+            "Intel Xeon": 588.8,
+            "IBM Power5": 165.9,
+        }
+        E = DEFAULT_ECONOMICS
+        cell = E["Cell (MGPS)"]
+        for other_name in ("Intel Xeon", "IBM Power5"):
+            other = E[other_name]
+            assert cell.energy_joules(makespans["Cell (MGPS)"]) < (
+                other.energy_joules(makespans[other_name])
+            )
+            assert makespans["Cell (MGPS)"] * cell.price_usd < (
+                makespans[other_name] * other.price_usd
+            )
+
+    def test_invalid_bootstraps(self):
+        with pytest.raises(ValueError):
+            efficiency_table({"Cell (MGPS)": 1.0}, bootstraps=0)

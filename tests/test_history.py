@@ -1,0 +1,100 @@
+"""Tests for MGPS's utilization-history window."""
+
+import pytest
+
+from repro.core.history import UtilizationHistory
+
+
+def test_decision_point_every_window():
+    h = UtilizationHistory(n_spes=8)
+    points = [h.note_dispatch(t * 1.0) for t in range(17)]
+    assert sum(points) == 2
+    assert points[7] and points[15]
+
+
+def test_custom_window_length():
+    h = UtilizationHistory(n_spes=8, window=4)
+    points = [h.note_dispatch(float(t)) for t in range(8)]
+    assert points[3] and points[7]
+
+
+def test_u_counts_dispatches_during_execution():
+    h = UtilizationHistory(n_spes=8)
+    for t in (0.0, 1.0, 2.0, 3.0):
+        h.note_dispatch(t)
+    # Task started at 0.0 and ended at 2.5: itself + dispatches at 1, 2.
+    assert h.note_departure(0.0, 2.5) == 3
+
+
+def test_u_capped_at_spe_count():
+    h = UtilizationHistory(n_spes=4)
+    for t in range(10):
+        h.note_dispatch(float(t))
+    assert h.note_departure(0.0, 9.0) == 4
+
+
+def test_u_estimate_is_rounded_mean():
+    h = UtilizationHistory(n_spes=8)
+    h._u_samples.extend([2, 2, 3, 3])
+    assert h.u_estimate == 2  # mean 2.5 rounds to 2 (banker's rounding)
+    h._u_samples.extend([8, 8, 8, 8])
+    assert h.u_estimate == 5
+
+
+def test_llp_activates_when_u_low():
+    h = UtilizationHistory(n_spes=8)
+    h._u_samples.extend([2, 2, 2])
+    active, degree = h.llp_decision(waiting_tasks=2)
+    assert active and degree == 4
+
+
+def test_llp_stays_off_when_u_high():
+    h = UtilizationHistory(n_spes=8)
+    h._u_samples.extend([7, 8, 8])
+    active, degree = h.llp_decision(waiting_tasks=8)
+    assert not active and degree == 1
+
+
+def test_llp_threshold_is_half_the_spes():
+    h = UtilizationHistory(n_spes=8)
+    h._u_samples.append(4)
+    assert h.llp_decision(waiting_tasks=4)[0]
+    h._u_samples.clear()
+    h._u_samples.append(5)
+    assert not h.llp_decision(waiting_tasks=4)[0]
+
+
+def test_degree_formula_floor_nspes_over_t():
+    h = UtilizationHistory(n_spes=8)
+    h._u_samples.append(2)
+    assert h.llp_decision(waiting_tasks=3)[1] == 2
+    assert h.llp_decision(waiting_tasks=1)[1] == 8
+    # T larger than the machine: degree 1 -> no LLP.
+    active, degree = h.llp_decision(waiting_tasks=9)
+    assert degree == 1 and not active
+
+
+def test_no_samples_means_no_llp():
+    h = UtilizationHistory(n_spes=8)
+    assert h.llp_decision(waiting_tasks=1) == (False, 1)
+
+
+def test_inverted_interval_rejected():
+    h = UtilizationHistory(n_spes=8)
+    with pytest.raises(ValueError):
+        h.note_departure(2.0, 1.0)
+
+
+def test_reset_clears_state():
+    h = UtilizationHistory(n_spes=8)
+    h.note_dispatch(0.0)
+    h.note_departure(0.0, 1.0)
+    h.reset()
+    assert h.u_estimate == 0
+
+
+def test_invalid_construction():
+    with pytest.raises(ValueError):
+        UtilizationHistory(n_spes=0)
+    with pytest.raises(ValueError):
+        UtilizationHistory(n_spes=8, window=0)

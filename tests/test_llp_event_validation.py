@@ -1,0 +1,109 @@
+"""Closed-form LLP model vs event-accurate simulation.
+
+The sweeps rely on the closed-form invocation timing; this suite runs
+the identical work-sharing protocol as real concurrent simulation
+processes and demands agreement, for every degree and across randomized
+task geometries (hypothesis).
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cell.params import CellParams
+from repro.core.llp import LLPConfig, LoopParallelModel
+from repro.core.llp_sim import simulate_invocation
+from repro.workloads.taskspec import LoopSpec, TaskSpec
+
+US = 1e-6
+
+
+def make_task(spe_us, coverage, iterations, reduction, bpi=144,
+              function="newview"):
+    return TaskSpec(
+        function=function,
+        spe_time=spe_us * US,
+        ppe_time=1.4 * spe_us * US,
+        naive_spe_time=2 * spe_us * US,
+        loop=LoopSpec(
+            iterations=iterations,
+            coverage=coverage,
+            reduction=reduction,
+            bytes_per_iteration=bpi,
+        ),
+    )
+
+
+def closed_form(task, k, cross=0):
+    model = LoopParallelModel(CellParams(), LLPConfig(adaptive=False))
+    return model.invoke(task, k, cross_cell_workers=cross).duration
+
+
+def event_accurate(task, k, cross=0):
+    return simulate_invocation(
+        task, k, CellParams(), LLPConfig(adaptive=False),
+        cross_cell_workers=cross,
+    )
+
+
+@pytest.mark.parametrize("k", range(1, 9))
+def test_agreement_across_degrees(k):
+    task = make_task(96.0, 0.7, 228, reduction=True)
+    assert event_accurate(task, k) == pytest.approx(
+        closed_form(task, k), rel=1e-9
+    )
+
+
+@pytest.mark.parametrize("reduction", [True, False])
+def test_agreement_with_and_without_reduction(reduction):
+    task = make_task(104.0, 0.71, 228, reduction=reduction)
+    for k in (2, 5, 8):
+        assert event_accurate(task, k) == pytest.approx(
+            closed_form(task, k), rel=1e-9
+        )
+
+
+def test_agreement_with_cross_cell_workers():
+    task = make_task(96.0, 0.7, 228, reduction=True)
+    for cross in (0, 1, 3):
+        assert event_accurate(task, 4, cross) == pytest.approx(
+            closed_form(task, 4, cross), rel=1e-9
+        )
+
+
+def test_degenerate_cases_serial():
+    no_loop = TaskSpec("f", 96 * US, 130 * US, 180 * US, loop=None)
+    assert simulate_invocation(no_loop, 4) == pytest.approx(96 * US)
+    tiny = make_task(96.0, 0.7, 1, reduction=True)
+    assert simulate_invocation(tiny, 4) == pytest.approx(96 * US)
+
+
+@given(
+    spe_us=st.floats(min_value=5.0, max_value=500.0),
+    coverage=st.floats(min_value=0.05, max_value=0.95),
+    iterations=st.integers(min_value=2, max_value=2000),
+    reduction=st.booleans(),
+    bpi=st.integers(min_value=16, max_value=1024),
+    k=st.integers(min_value=2, max_value=8),
+)
+@settings(max_examples=120, deadline=None)
+def test_agreement_randomized(spe_us, coverage, iterations, reduction,
+                              bpi, k):
+    task = make_task(spe_us, coverage, iterations, reduction, bpi)
+    assert event_accurate(task, k) == pytest.approx(
+        closed_form(task, k), rel=1e-9
+    )
+
+
+def test_adaptive_fraction_also_agrees():
+    """After the model adapts, feeding its fraction into the event
+    simulation must still reproduce the closed-form duration."""
+    model = LoopParallelModel(CellParams())
+    task = make_task(96.0, 0.7, 228, reduction=True)
+    for _ in range(30):
+        model.invoke(task, 4)
+    f = model.master_fraction("newview", 4)
+    predicted = model.invoke(task, 4).duration  # uses fraction f
+    simulated = simulate_invocation(
+        task, 4, CellParams(), LLPConfig(), master_fraction=f
+    )
+    assert simulated == pytest.approx(predicted, rel=1e-9)

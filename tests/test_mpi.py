@@ -1,0 +1,143 @@
+"""Tests for the simulated-MPI substrate."""
+
+import pytest
+
+from repro.mpi import SimComm, WorkDispenser
+from repro.sim import Environment
+
+
+class TestSimComm:
+    def test_send_recv_roundtrip(self):
+        env = Environment()
+        comm = SimComm(env, size=2, latency=1e-6)
+
+        def sender():
+            yield from comm.send({"x": 1}, dest=1)
+
+        def receiver():
+            msg = yield comm.recv_at(1)
+            return (env.now, msg)
+
+        env.process(sender())
+        p = env.process(receiver())
+        t, msg = env.run_until_complete(p)
+        assert msg == {"x": 1}
+        assert t == pytest.approx(1e-6)
+
+    def test_isend_does_not_block(self):
+        env = Environment()
+        comm = SimComm(env, size=2, latency=1e-6)
+        comm.isend("payload", dest=1)
+
+        def receiver():
+            return (yield comm.recv_at(1))
+
+        assert env.run_until_complete(env.process(receiver())) == "payload"
+
+    def test_message_order_preserved(self):
+        env = Environment()
+        comm = SimComm(env, size=2, latency=0.0)
+        got = []
+
+        def sender():
+            yield from comm.send(1, dest=1)
+            yield from comm.send(2, dest=1)
+
+        def receiver():
+            got.append((yield comm.recv_at(1)))
+            got.append((yield comm.recv_at(1)))
+
+        env.process(sender())
+        env.process(receiver())
+        env.run()
+        assert got == [1, 2]
+
+    def test_tags_are_separate_mailboxes(self):
+        env = Environment()
+        comm = SimComm(env, size=1, latency=0.0)
+        comm.isend("a", dest=0, tag=1)
+        comm.isend("b", dest=0, tag=2)
+
+        def receiver():
+            b = yield comm.recv_at(0, tag=2)
+            a = yield comm.recv_at(0, tag=1)
+            return (a, b)
+
+        assert env.run_until_complete(env.process(receiver())) == ("a", "b")
+
+    def test_bcast_reaches_all_ranks(self):
+        env = Environment()
+        comm = SimComm(env, size=3, latency=0.0)
+        comm.bcast("hello")
+        got = []
+
+        def receiver(rank):
+            got.append((rank, (yield comm.recv_at(rank))))
+
+        for r in range(3):
+            env.process(receiver(r))
+        env.run()
+        assert sorted(got) == [(0, "hello"), (1, "hello"), (2, "hello")]
+
+    def test_rank_bounds_checked(self):
+        env = Environment()
+        comm = SimComm(env, size=2)
+        with pytest.raises(ValueError):
+            comm.isend("x", dest=2)
+        with pytest.raises(ValueError):
+            comm.recv_at(-1)
+
+    def test_invalid_construction(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            SimComm(env, size=0)
+        with pytest.raises(ValueError):
+            SimComm(env, size=1, latency=-1)
+
+
+class TestWorkDispenser:
+    def test_items_then_sentinels(self):
+        env = Environment()
+        d = WorkDispenser(env, n_items=3, n_workers=2)
+        got = []
+
+        def worker(name):
+            while True:
+                item = yield d.get()
+                if item is None:
+                    return
+                got.append((name, item))
+
+        p1 = env.process(worker("a"))
+        p2 = env.process(worker("b"))
+        env.run_until_complete(env.all_of([p1, p2]))
+        assert sorted(i for _, i in got) == [0, 1, 2]
+        assert d.items_dispensed == 3
+
+    def test_every_worker_stops(self):
+        env = Environment()
+        d = WorkDispenser(env, n_items=1, n_workers=4)
+        done = []
+
+        def worker(i):
+            while True:
+                item = yield d.get()
+                if item is None:
+                    done.append(i)
+                    return
+
+        procs = [env.process(worker(i)) for i in range(4)]
+        env.run_until_complete(env.all_of(procs))
+        assert sorted(done) == [0, 1, 2, 3]
+
+    def test_remaining_counts_work_only(self):
+        env = Environment()
+        d = WorkDispenser(env, n_items=5, n_workers=2)
+        assert d.remaining == 5
+
+    def test_validation(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            WorkDispenser(env, n_items=0, n_workers=1)
+        with pytest.raises(ValueError):
+            WorkDispenser(env, n_items=1, n_workers=0)

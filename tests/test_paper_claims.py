@@ -1,0 +1,219 @@
+"""Integration tests pinning the paper's headline results.
+
+Each test asserts a *shape* claim from the paper's evaluation (who wins,
+where crossovers fall, approximate factors) against the simulation.
+Tolerances are deliberately generous: the substrate is a simulator, not
+the authors' blade, and EXPERIMENTS.md records the exact numbers.
+
+These are the most expensive tests in the suite (a few seconds each).
+"""
+
+import pytest
+
+from repro import (
+    BladeParams,
+    Workload,
+    edtlp,
+    linux,
+    mgps,
+    run_experiment,
+    static_hybrid,
+)
+from repro.analysis import (
+    PAPER_SEC51,
+    PAPER_TABLE1_EDTLP,
+    PAPER_TABLE1_LINUX,
+    PAPER_TABLE2,
+    sec51_offload_experiment,
+    table1_experiment,
+    table2_experiment,
+)
+
+TASKS = 300
+
+
+@pytest.fixture(scope="module")
+def table1():
+    return table1_experiment(tasks_per_bootstrap=TASKS)
+
+
+@pytest.fixture(scope="module")
+def table2():
+    return table2_experiment(tasks_per_bootstrap=TASKS)
+
+
+class TestSection51:
+    def test_offload_anchors(self):
+        r = sec51_offload_experiment(tasks_per_bootstrap=TASKS)
+        measured = dict(zip(r.xs, r.series["measured"]))
+        assert measured["ppe-only"] == pytest.approx(
+            PAPER_SEC51["ppe_only"], rel=0.05
+        )
+        assert measured["naive-offload"] == pytest.approx(
+            PAPER_SEC51["naive_offload"], rel=0.05
+        )
+        assert measured["optimized-offload"] == pytest.approx(
+            PAPER_SEC51["optimized_offload"], rel=0.05
+        )
+
+    def test_naive_offload_is_a_regression(self):
+        r = sec51_offload_experiment(tasks_per_bootstrap=TASKS)
+        measured = dict(zip(r.xs, r.series["measured"]))
+        assert measured["naive-offload"] > measured["ppe-only"]
+        # The paper's 1.32x speedup of optimized SPE code over the PPE.
+        ratio = measured["ppe-only"] / measured["optimized-offload"]
+        assert ratio == pytest.approx(1.32, rel=0.05)
+
+
+class TestTable1:
+    def test_edtlp_within_tolerance(self, table1):
+        for got, want in zip(table1.series["edtlp"], PAPER_TABLE1_EDTLP):
+            assert got == pytest.approx(want, rel=0.18)
+
+    def test_linux_within_tolerance(self, table1):
+        for got, want in zip(table1.series["linux"], PAPER_TABLE1_LINUX):
+            assert got == pytest.approx(want, rel=0.08)
+
+    def test_linux_stair_pattern(self, table1):
+        """Adding the 2k+1-th worker roughly doubles nothing; crossing an
+        even boundary adds a full serial round (ceil(w/2) behaviour)."""
+        lx = table1.series["linux"]
+        assert lx[2] > 1.7 * lx[1]   # 3 workers >> 2 workers
+        assert lx[3] < 1.15 * lx[2]  # 4 workers ~ 3 workers
+        assert lx[4] > 1.3 * lx[3]   # 5 workers >> 4 workers
+
+    def test_edtlp_beats_linux_by_factor_2_6(self, table1):
+        """The abstract's headline: 'outperforms ... by up to a factor of
+        2.6'."""
+        ratios = [
+            l / e
+            for l, e in zip(table1.series["linux"], table1.series["edtlp"])
+        ]
+        assert max(ratios) > 2.4
+
+    def test_edtlp_within_1_5x_of_ideal(self, table1):
+        """Section 5.2: EDTLP keeps execution within 1.5x of the constant-
+        time ideal (one bootstrap per SPE)."""
+        base = table1.series["edtlp"][0]
+        for t in table1.series["edtlp"]:
+            assert t <= 1.55 * base
+
+    def test_edtlp_monotone_growth(self, table1):
+        e = table1.series["edtlp"]
+        for a, b in zip(e, e[1:]):
+            assert b > a - 0.8  # small jitter allowed
+
+
+class TestTable2:
+    def test_values_within_tolerance(self, table2):
+        # k=1..5 track the paper closely; 6-8 only loosely (the paper's
+        # own k=6 and k=8 rows are anomalous, see EXPERIMENTS.md).
+        for got, want in zip(table2.series["llp"][:5], PAPER_TABLE2[:5]):
+            assert got == pytest.approx(want, rel=0.06)
+
+    def test_llp_speedup_peaks_around_4_5_spes(self, table2):
+        times = dict(zip(table2.xs, table2.series["llp"]))
+        best_k = min(times, key=times.get)
+        assert best_k in (4, 5)
+
+    def test_max_llp_speedup_near_paper(self, table2):
+        """Section 5.3: 'the maximum speedup is 1.58'."""
+        times = table2.series["llp"]
+        speedup = times[0] / min(times)
+        assert 1.4 < speedup < 1.75
+
+    def test_efficiency_declines_beyond_5(self, table2):
+        times = dict(zip(table2.xs, table2.series["llp"]))
+        assert times[8] > min(times.values())
+
+
+class TestFigures7and8:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        out = {}
+        for b in (1, 2, 4, 8, 16, 32):
+            wl = Workload(bootstraps=b, tasks_per_bootstrap=200)
+            out[b] = {
+                "edtlp": run_experiment(edtlp(), wl).makespan,
+                "llp2": run_experiment(static_hybrid(2), wl).makespan,
+                "llp4": run_experiment(static_hybrid(4), wl).makespan,
+                "mgps": run_experiment(mgps(), wl).makespan,
+            }
+        return out
+
+    def test_hybrid_beats_edtlp_up_to_4_bootstraps(self, sweep):
+        for b in (1, 2, 4):
+            assert min(sweep[b]["llp2"], sweep[b]["llp4"]) < sweep[b]["edtlp"]
+
+    def test_edtlp_beats_hybrid_beyond_12(self, sweep):
+        for b in (16, 32):
+            assert sweep[b]["edtlp"] < sweep[b]["llp2"]
+            assert sweep[b]["edtlp"] < sweep[b]["llp4"]
+
+    def test_mgps_tracks_best_static_scheme(self, sweep):
+        """Figure 8: MGPS follows the lower envelope of EDTLP and the
+        static hybrids (within 10%)."""
+        for b, row in sweep.items():
+            best = min(row["edtlp"], row["llp2"], row["llp4"])
+            assert row["mgps"] <= 1.10 * best
+
+    def test_mgps_converges_to_edtlp_at_scale(self, sweep):
+        assert sweep[32]["mgps"] == pytest.approx(
+            sweep[32]["edtlp"], rel=0.05
+        )
+
+    def test_mgps_beats_plain_edtlp_at_low_tlp(self, sweep):
+        assert sweep[1]["mgps"] < 0.75 * sweep[1]["edtlp"]
+        assert sweep[2]["mgps"] < 0.80 * sweep[2]["edtlp"]
+
+
+class TestFigure9:
+    def test_two_cells_nearly_double_throughput(self):
+        wl = Workload(bootstraps=16, tasks_per_bootstrap=200)
+        one = run_experiment(edtlp(), wl)
+        two = run_experiment(edtlp(), wl, blade=BladeParams(n_cells=2))
+        assert 1.6 < one.makespan / two.makespan <= 2.2
+
+    def test_hybrid_window_extends_to_8_bootstraps(self):
+        """With 16 SPEs the hybrid outperforms EDTLP up to ~8 bootstraps
+        (vs ~4 on one Cell)."""
+        blade = BladeParams(n_cells=2)
+        wl = Workload(bootstraps=8, tasks_per_bootstrap=200)
+        hybrid = run_experiment(static_hybrid(2), wl, blade=blade)
+        plain = run_experiment(edtlp(), wl, blade=blade)
+        assert hybrid.makespan < plain.makespan
+
+    def test_mgps_at_least_matches_both(self):
+        blade = BladeParams(n_cells=2)
+        for b in (2, 8, 16):
+            wl = Workload(bootstraps=b, tasks_per_bootstrap=200)
+            m = run_experiment(mgps(), wl, blade=blade).makespan
+            e = run_experiment(edtlp(), wl, blade=blade).makespan
+            h = run_experiment(static_hybrid(2), wl, blade=blade).makespan
+            assert m <= 1.10 * min(e, h)
+
+
+class TestFigure10:
+    def test_cell_about_4x_faster_than_dual_xeon(self):
+        from repro.platforms import XEON_2X_HT
+
+        wl = Workload(bootstraps=16, tasks_per_bootstrap=200)
+        cell = run_experiment(mgps(), wl).makespan
+        xeon = XEON_2X_HT.makespan(16)
+        assert 3.0 < xeon / cell < 5.0
+
+    def test_cell_5_to_10_percent_faster_than_power5_at_scale(self):
+        from repro.platforms import POWER5
+
+        for b in (8, 16, 32):
+            wl = Workload(bootstraps=b, tasks_per_bootstrap=200)
+            cell = run_experiment(mgps(), wl).makespan
+            p5 = POWER5.makespan(b)
+            assert 1.0 < p5 / cell < 1.2
+
+    def test_power5_competitive_below_8_bootstraps(self):
+        from repro.platforms import POWER5
+
+        wl = Workload(bootstraps=2, tasks_per_bootstrap=200)
+        cell = run_experiment(mgps(), wl).makespan
+        assert POWER5.makespan(2) < cell

@@ -1,0 +1,82 @@
+"""Tests for parallel sweep execution and the experiment harness API."""
+
+import pytest
+
+from repro.analysis import (
+    SWEEP_LARGE,
+    SWEEP_SMALL,
+    figure_sweep,
+)
+from repro.analysis.parallel import parallel_sweep, run_points
+from repro.core.schedulers import edtlp, mgps, static_hybrid
+
+
+class TestParallelSweep:
+    def test_serial_path_matches_run_experiment(self):
+        from repro import Workload, run_experiment
+
+        results = parallel_sweep(edtlp(), [1, 2], tasks_per_bootstrap=80)
+        for r, b in zip(results, [1, 2]):
+            direct = run_experiment(
+                edtlp(), Workload(bootstraps=b, tasks_per_bootstrap=80)
+            )
+            assert r.makespan == direct.makespan
+
+    def test_process_pool_matches_serial(self):
+        serial = parallel_sweep(mgps(), [1, 2, 4], tasks_per_bootstrap=80)
+        parallel = parallel_sweep(
+            mgps(), [1, 2, 4], tasks_per_bootstrap=80, workers=3
+        )
+        assert [r.makespan for r in serial] == [
+            r.makespan for r in parallel
+        ]
+        assert [r.offloads for r in serial] == [
+            r.offloads for r in parallel
+        ]
+
+    def test_mixed_spec_points(self):
+        results = run_points(
+            [(edtlp(), 2), (static_hybrid(2), 2), (mgps(), 2)],
+            tasks_per_bootstrap=80,
+            workers=2,
+        )
+        assert [r.scheduler for r in results] == [
+            "edtlp", "edtlp-llp2", "mgps"
+        ]
+
+
+class TestExperimentHarness:
+    def test_sweep_constants_shape(self):
+        assert SWEEP_SMALL[0] == 1 and SWEEP_SMALL[-1] == 16
+        assert SWEEP_LARGE[0] == 1 and SWEEP_LARGE[-1] == 128
+        assert list(SWEEP_SMALL) == sorted(SWEEP_SMALL)
+        assert list(SWEEP_LARGE) == sorted(SWEEP_LARGE)
+
+    def test_figure_sweep_default_curves(self):
+        result = figure_sweep((1, 2), tasks_per_bootstrap=60)
+        assert set(result.series) == {
+            "MGPS", "EDTLP-LLP2", "EDTLP-LLP4", "EDTLP"
+        }
+        assert result.xs == [1, 2]
+        assert all(len(v) == 2 for v in result.series.values())
+
+    def test_figure_sweep_custom_schedulers(self):
+        result = figure_sweep(
+            (1,),
+            schedulers={"only": edtlp()},
+            tasks_per_bootstrap=60,
+            name="custom",
+        )
+        assert list(result.series) == ["only"]
+        assert result.name == "custom"
+
+    def test_render_contains_everything(self):
+        result = figure_sweep((1,), schedulers={"x": edtlp()},
+                              tasks_per_bootstrap=60, name="My Figure")
+        text = result.render()
+        assert "My Figure" in text and "x" in text
+
+    def test_results_attached(self):
+        result = figure_sweep((1,), schedulers={"x": edtlp()},
+                              tasks_per_bootstrap=60)
+        assert result.results["x"][0].bootstraps == 1

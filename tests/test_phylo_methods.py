@@ -1,0 +1,188 @@
+"""Tests for distance methods, Newick parsing and model fitting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.phylo import (
+    Alignment,
+    LikelihoodEngine,
+    Tree,
+    hky,
+    jc69,
+    jc_distance_matrix,
+    neighbor_joining,
+    optimize_alpha,
+    optimize_kappa,
+    p_distance_matrix,
+    parse_newick,
+    synthesize_alignment,
+)
+from repro.phylo.bootstrap import _bipartitions
+from repro.phylo.modelfit import golden_section_maximize
+
+
+class TestDistances:
+    def test_p_distance_basics(self):
+        aln = Alignment.from_sequences(["a", "b"], ["AAAA", "AATT"])
+        d = p_distance_matrix(aln)
+        assert d[0, 1] == pytest.approx(0.5)
+        assert d[0, 0] == 0.0
+        assert d[1, 0] == d[0, 1]
+
+    def test_jc_correction_exceeds_p(self):
+        aln = Alignment.from_sequences(["a", "b"], ["AAAAAAAA", "AATTAAAA"])
+        p = p_distance_matrix(aln)[0, 1]
+        d = jc_distance_matrix(aln)[0, 1]
+        assert d > p  # correction accounts for multiple hits
+
+    def test_jc_saturation_capped(self):
+        aln = Alignment.from_sequences(["a", "b"], ["AAAA", "TTTT"])
+        d = jc_distance_matrix(aln)
+        assert np.isfinite(d[0, 1])
+        assert d[0, 1] <= 5.0
+
+    def test_identical_sequences_zero_distance(self):
+        aln = Alignment.from_sequences(["a", "b"], ["ACGT", "ACGT"])
+        assert jc_distance_matrix(aln)[0, 1] == pytest.approx(0.0)
+
+
+class TestNeighborJoining:
+    def test_recovers_additive_tree(self):
+        # A 4-taxon additive metric with the ((0,1),(2,3)) split.
+        d = np.array(
+            [
+                [0.0, 0.3, 0.9, 1.0],
+                [0.3, 0.0, 1.0, 1.1],
+                [0.9, 1.0, 0.0, 0.3],
+                [1.0, 1.1, 0.3, 0.0],
+            ]
+        )
+        tree = neighbor_joining(d)
+        splits = _bipartitions(tree)
+        assert frozenset({0, 1}) in splits
+
+    def test_leaf_set_complete(self):
+        aln = synthesize_alignment(9, 300, seed=1)
+        tree = neighbor_joining(jc_distance_matrix(aln))
+        assert sorted(l.taxon for l in tree.leaves()) == list(range(9))
+        assert len(tree.root.children) == 3
+
+    def test_branch_lengths_positive(self):
+        aln = synthesize_alignment(8, 200, seed=2)
+        tree = neighbor_joining(jc_distance_matrix(aln))
+        assert all(n.length > 0 for n in tree.branches())
+
+    def test_nj_beats_random_start_likelihood(self):
+        aln = synthesize_alignment(10, 400, seed=3)
+        model = jc69()
+        nj = neighbor_joining(jc_distance_matrix(aln))
+        rnd = Tree.random_topology(10, np.random.default_rng(3))
+        lik_nj = LikelihoodEngine(aln, model, 1).evaluate(nj)
+        lik_rnd = LikelihoodEngine(aln, model, 1).evaluate(rnd)
+        assert lik_nj > lik_rnd
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            neighbor_joining(np.zeros((2, 2)))
+        with pytest.raises(ValueError):
+            neighbor_joining(np.ones((3, 4)))
+        asym = np.array([[0, 1, 2], [9, 0, 1], [2, 1, 0.0]])
+        with pytest.raises(ValueError):
+            neighbor_joining(asym)
+
+
+class TestNewick:
+    def test_roundtrip(self):
+        tree = Tree.random_topology(7, np.random.default_rng(0))
+        nwk = tree.newick()
+        again = parse_newick(nwk)
+        assert again.newick() == nwk
+
+    def test_roundtrip_with_names(self):
+        names = [f"species_{i}" for i in range(5)]
+        tree = Tree.random_topology(5, np.random.default_rng(1))
+        nwk = tree.newick(names=names)
+        again = parse_newick(nwk, names=names)
+        assert again.newick(names=names) == nwk
+
+    def test_topology_preserved(self):
+        tree = Tree.random_topology(8, np.random.default_rng(2))
+        again = parse_newick(tree.newick())
+        assert _bipartitions(again) == _bipartitions(tree)
+
+    def test_branch_lengths_preserved(self):
+        tree = Tree.random_topology(6, np.random.default_rng(3))
+        again = parse_newick(tree.newick())
+        orig = {
+            frozenset(l.taxon for l in _leafset(n)): n.length
+            for n in tree.branches() if n.is_leaf
+        }
+        new = {
+            frozenset(l.taxon for l in _leafset(n)): n.length
+            for n in again.branches() if n.is_leaf
+        }
+        for key, length in orig.items():
+            assert new[key] == pytest.approx(length, abs=1e-6)
+
+    def test_rejects_malformed(self):
+        with pytest.raises(ValueError):
+            parse_newick("(t0,t1")  # no semicolon
+        with pytest.raises(ValueError):
+            parse_newick("(t0,t1,t2;")  # unbalanced
+        with pytest.raises(ValueError):
+            parse_newick("(t0:x,t1,t2);")  # bad length
+        with pytest.raises(ValueError):
+            parse_newick("(t0,t5,t2);")  # non-contiguous taxa
+        with pytest.raises(ValueError):
+            parse_newick("(alpha,beta,gamma);", names=["alpha", "beta"])
+
+    @given(seed=st.integers(min_value=0, max_value=200),
+           n=st.integers(min_value=3, max_value=15))
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_random(self, seed, n):
+        tree = Tree.random_topology(n, np.random.default_rng(seed))
+        assert parse_newick(tree.newick()).newick() == tree.newick()
+
+
+def _leafset(node):
+    out = []
+    stack = [node]
+    while stack:
+        x = stack.pop()
+        if x.is_leaf:
+            out.append(x)
+        stack.extend(x.children)
+    return out
+
+
+class TestModelFit:
+    def test_golden_section_finds_parabola_max(self):
+        x, fx = golden_section_maximize(lambda x: -(x - 2.0) ** 2, 0.0, 5.0)
+        assert x == pytest.approx(2.0, abs=1e-2)
+        assert fx == pytest.approx(0.0, abs=1e-3)
+
+    def test_golden_section_validation(self):
+        with pytest.raises(ValueError):
+            golden_section_maximize(lambda x: x, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            golden_section_maximize(lambda x: x, 0.0, 1.0, tolerance=0.0)
+
+    def test_kappa_recovery(self):
+        freqs = (0.3, 0.2, 0.2, 0.3)
+        aln = synthesize_alignment(12, 2000, seed=6, kappa=4.0,
+                                   frequencies=freqs)
+        from repro.phylo import jc_distance_matrix, neighbor_joining
+        tree = neighbor_joining(jc_distance_matrix(aln))
+        eng = LikelihoodEngine(aln, hky(freqs, 2.0), 1)
+        eng.optimize_branches(tree)
+        kappa, ll = optimize_kappa(aln, tree, freqs)
+        assert 3.0 < kappa < 5.2
+        assert ll >= eng.evaluate(tree) - 1e-6  # at least as good as k=2
+
+    def test_alpha_estimate_in_bounds(self):
+        aln = synthesize_alignment(8, 300, seed=7)
+        tree = neighbor_joining(jc_distance_matrix(aln))
+        alpha, ll = optimize_alpha(aln, tree, jc69(), n_rate_categories=4)
+        assert 0.05 <= alpha <= 10.0
+        assert np.isfinite(ll)

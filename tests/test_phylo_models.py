@@ -1,0 +1,161 @@
+"""Tests for substitution models: stochasticity, reversibility, limits."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.phylo.models import (
+    SubstitutionModel,
+    discrete_gamma_rates,
+    gtr,
+    hky,
+    jc69,
+)
+
+
+positive_freqs = st.lists(
+    st.floats(min_value=0.05, max_value=1.0), min_size=4, max_size=4
+)
+positive_rates = st.lists(
+    st.floats(min_value=0.1, max_value=10.0), min_size=6, max_size=6
+)
+branch_lengths = st.floats(min_value=0.0, max_value=5.0)
+
+
+class TestConstruction:
+    def test_frequencies_normalized(self):
+        m = gtr((2, 1, 1, 2), np.ones(6))
+        assert m.frequencies.sum() == pytest.approx(1.0)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            gtr((1, 1, 1), np.ones(6))
+        with pytest.raises(ValueError):
+            gtr((1, 1, 1, -1), np.ones(6))
+        with pytest.raises(ValueError):
+            gtr((1, 1, 1, 1), np.ones(5))
+        with pytest.raises(ValueError):
+            gtr((1, 1, 1, 1), [-1, 1, 1, 1, 1, 1])
+        with pytest.raises(ValueError):
+            hky(kappa=0)
+
+    def test_jc69_is_uniform(self):
+        m = jc69()
+        assert np.allclose(m.frequencies, 0.25)
+        p = m.transition_matrix(0.5)
+        # All off-diagonal entries equal under JC69.
+        off = p[~np.eye(4, dtype=bool)]
+        assert np.allclose(off, off[0])
+
+
+class TestTransitionMatrices:
+    def test_rows_sum_to_one(self):
+        m = hky((0.3, 0.2, 0.2, 0.3), 2.0)
+        for t in (0.0, 0.01, 0.1, 1.0, 10.0):
+            p = m.transition_matrix(t)
+            assert np.allclose(p.sum(axis=1), 1.0)
+
+    def test_zero_branch_is_identity(self):
+        m = hky()
+        assert np.allclose(m.transition_matrix(0.0), np.eye(4))
+
+    def test_long_branch_reaches_stationarity(self):
+        m = hky((0.4, 0.1, 0.2, 0.3), 3.0)
+        p = m.transition_matrix(50.0)
+        for row in p:
+            assert np.allclose(row, m.frequencies, atol=1e-8)
+
+    def test_detailed_balance(self):
+        # Reversibility: pi_i P_ij(t) == pi_j P_ji(t).
+        m = gtr((0.35, 0.15, 0.25, 0.25), (1, 2, 0.5, 1.2, 3, 0.8))
+        p = m.transition_matrix(0.37)
+        flux = m.frequencies[:, None] * p
+        assert np.allclose(flux, flux.T)
+
+    def test_chapman_kolmogorov(self):
+        # P(s) P(t) == P(s + t).
+        m = hky((0.3, 0.2, 0.2, 0.3), 2.0)
+        ps, pt = m.transition_matrix(0.2), m.transition_matrix(0.3)
+        assert np.allclose(ps @ pt, m.transition_matrix(0.5))
+
+    def test_mean_rate_normalized(self):
+        # -sum_i pi_i Q_ii == 1: expected one substitution per unit length.
+        m = gtr((0.3, 0.2, 0.2, 0.3), (1, 2, 1, 1, 2, 1))
+        t = 1e-6
+        p = m.transition_matrix(t)
+        rate = (m.frequencies * (1 - np.diag(p))).sum() / t
+        assert rate == pytest.approx(1.0, rel=1e-3)
+
+    def test_vectorized_matches_scalar(self):
+        m = hky()
+        ts = np.array([0.1, 0.2, 0.7])
+        batch = m.transition_matrices(ts)
+        for i, t in enumerate(ts):
+            assert np.allclose(batch[i], m.transition_matrix(t))
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            hky().transition_matrix(-0.1)
+
+    @given(freqs=positive_freqs, rates=positive_rates, t=branch_lengths)
+    @settings(max_examples=50, deadline=None)
+    def test_stochastic_for_any_model(self, freqs, rates, t):
+        m = gtr(freqs, rates)
+        p = m.transition_matrix(t)
+        assert np.all(p >= 0)
+        assert np.allclose(p.sum(axis=1), 1.0, atol=1e-9)
+
+
+class TestDerivatives:
+    def test_first_derivative_matches_finite_difference(self):
+        m = hky((0.3, 0.2, 0.2, 0.3), 2.0)
+        t, h = 0.3, 1e-6
+        _, d1, _ = m.transition_derivatives(t)
+        fd = (m.transition_matrix(t + h) - m.transition_matrix(t - h)) / (2 * h)
+        assert np.allclose(d1[0], fd, atol=1e-6)
+
+    def test_second_derivative_matches_finite_difference(self):
+        m = hky((0.3, 0.2, 0.2, 0.3), 2.0)
+        t, h = 0.3, 1e-4
+        _, _, d2 = m.transition_derivatives(t)
+        fd = (
+            m.transition_matrix(t + h)
+            - 2 * m.transition_matrix(t)
+            + m.transition_matrix(t - h)
+        ) / h**2
+        assert np.allclose(d2[0], fd, atol=1e-4)
+
+    def test_rate_scaling_of_derivatives(self):
+        m = jc69()
+        rates = np.array([0.5, 2.0])
+        p, d1, _ = m.transition_derivatives(0.2, rates)
+        # dP_r/dt at t is r * Q exp(Q r t): category with double rate has
+        # derivative equal to 2x the derivative at scaled time.
+        p_slow, d_slow, _ = m.transition_derivatives(0.1, np.array([1.0]))
+        assert np.allclose(p[0], m.transition_matrix(0.1))
+        assert np.allclose(d1[0], 0.5 * d_slow[0])
+
+
+class TestGammaRates:
+    def test_mean_is_one(self):
+        for alpha in (0.1, 0.5, 1.0, 5.0):
+            rates = discrete_gamma_rates(alpha, 4)
+            assert rates.mean() == pytest.approx(1.0)
+
+    def test_rates_increase(self):
+        rates = discrete_gamma_rates(0.5, 4)
+        assert np.all(np.diff(rates) > 0)
+
+    def test_small_alpha_is_more_heterogeneous(self):
+        spread_small = np.ptp(discrete_gamma_rates(0.2, 4))
+        spread_large = np.ptp(discrete_gamma_rates(5.0, 4))
+        assert spread_small > spread_large
+
+    def test_single_category(self):
+        assert discrete_gamma_rates(0.5, 1) == pytest.approx(1.0)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            discrete_gamma_rates(0.0)
+        with pytest.raises(ValueError):
+            discrete_gamma_rates(1.0, 0)

@@ -1,0 +1,74 @@
+"""Tests for the comparator platform models (Figure 10 machinery)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.platforms import POWER5, SMTMultiprocessor, XEON_2X_HT
+
+
+def test_paper_topologies():
+    assert XEON_2X_HT.n_contexts == 4  # two HT Xeons
+    assert POWER5.n_contexts == 4      # dual-core, quad-thread
+
+
+def test_single_job_runs_at_single_thread_speed():
+    assert XEON_2X_HT.makespan(1) == pytest.approx(
+        XEON_2X_HT.bootstrap_seconds
+    )
+
+
+def test_two_jobs_use_two_cores():
+    m = SMTMultiprocessor("m", 2, 2, 10.0, (1.0, 1.3))
+    assert m.makespan(2) == pytest.approx(10.0)
+
+
+def test_smt_gain_below_two():
+    # 4 jobs on 2 cores x 2 threads: each core runs 2 jobs at 1.3x
+    # combined throughput -> 2 * 10 / 1.3.
+    m = SMTMultiprocessor("m", 2, 2, 10.0, (1.0, 1.3))
+    assert m.makespan(4) == pytest.approx(20.0 / 1.3)
+
+
+def test_oversubscription_time_slices():
+    m = SMTMultiprocessor("m", 1, 2, 10.0, (1.0, 1.25))
+    # 6 jobs on one 2-thread core: 6 * 10 / 1.25.
+    assert m.makespan(6) == pytest.approx(48.0)
+
+
+def test_round_robin_placement_imbalance():
+    m = SMTMultiprocessor("m", 2, 1, 10.0, (1.0,))
+    # 3 jobs on 2 single-thread cores: the loaded core serializes 2.
+    assert m.makespan(3) == pytest.approx(20.0)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        SMTMultiprocessor("m", 0, 1, 1.0, (1.0,))
+    with pytest.raises(ValueError):
+        SMTMultiprocessor("m", 1, 2, 1.0, (1.0,))  # wrong curve length
+    with pytest.raises(ValueError):
+        SMTMultiprocessor("m", 1, 1, -1.0, (1.0,))
+    with pytest.raises(ValueError):
+        SMTMultiprocessor("m", 1, 1, 1.0, (0.9,))  # first entry must be 1
+    with pytest.raises(ValueError):
+        SMTMultiprocessor("m", 1, 2, 1.0, (1.0, 0.8))  # decreasing
+    with pytest.raises(ValueError):
+        SMTMultiprocessor("m", 1, 1, 1.0, (1.0,)).makespan(0)
+
+
+def test_sweep_matches_pointwise():
+    counts = [1, 4, 16]
+    assert XEON_2X_HT.sweep(counts) == [XEON_2X_HT.makespan(b) for b in counts]
+
+
+@given(b=st.integers(min_value=1, max_value=256))
+@settings(max_examples=50, deadline=None)
+def test_makespan_monotone_and_work_conserving(b):
+    m = POWER5
+    t = m.makespan(b)
+    assert t >= m.bootstrap_seconds  # can't beat one job's time
+    assert t >= b * m.bootstrap_seconds / (
+        m.n_cores * m.smt_throughput[-1]
+    ) - 1e-9  # bounded by aggregate throughput
+    if b > 1:
+        assert t >= m.makespan(b - 1) - 1e-9  # monotone in load

@@ -1,0 +1,54 @@
+"""Trace-compression validity: results must be stable across the
+``tasks_per_bootstrap`` knob.
+
+The whole benchmark methodology rests on this: simulating N off-loads and
+scaling by ``267k/N`` must give (nearly) the same paper-scale makespan
+regardless of N, because the off-load stream is stationary.  These tests
+pin that property for every scheduler.
+"""
+
+import pytest
+
+from repro import Workload, edtlp, linux, mgps, run_experiment, static_hybrid
+
+
+def makespans(spec, bootstraps, sizes):
+    out = []
+    for n in sizes:
+        wl = Workload(bootstraps=bootstraps, tasks_per_bootstrap=n)
+        out.append(run_experiment(spec, wl).makespan)
+    return out
+
+
+@pytest.mark.parametrize(
+    "spec_factory,bootstraps",
+    [
+        (lambda: edtlp(n_processes=1), 1),
+        (lambda: edtlp(), 4),
+        (lambda: linux(), 4),
+        (lambda: static_hybrid(2), 4),
+        (lambda: static_hybrid(4), 2),
+        (lambda: mgps(), 4),
+    ],
+)
+def test_makespan_invariant_under_compression(spec_factory, bootstraps):
+    sizes = (150, 300, 600)
+    times = makespans(spec_factory(), bootstraps, sizes)
+    ref = times[-1]  # least-compressed = most accurate
+    for t in times:
+        assert t == pytest.approx(ref, rel=0.06)
+
+
+def test_scale_property_equals_ratio():
+    wl200 = Workload(bootstraps=1, tasks_per_bootstrap=200)
+    wl400 = Workload(bootstraps=1, tasks_per_bootstrap=400)
+    assert wl200.scale == pytest.approx(2 * wl400.scale, rel=1e-9)
+
+
+def test_raw_makespan_shrinks_with_compression():
+    wl200 = Workload(bootstraps=1, tasks_per_bootstrap=200)
+    wl800 = Workload(bootstraps=1, tasks_per_bootstrap=800)
+    r200 = run_experiment(edtlp(n_processes=1), wl200)
+    r800 = run_experiment(edtlp(n_processes=1), wl800)
+    assert r200.raw_makespan < r800.raw_makespan
+    assert r200.makespan == pytest.approx(r800.makespan, rel=0.05)

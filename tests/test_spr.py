@@ -1,0 +1,132 @@
+"""Tests for subtree-prune-and-regraft moves and the SPR search."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.phylo import LikelihoodEngine, Tree, hill_climb, jc69, synthesize_alignment
+from repro.phylo.bootstrap import _bipartitions
+
+
+def random_tree(n=8, seed=0):
+    return Tree.random_topology(n, np.random.default_rng(seed))
+
+
+class TestSPRMove:
+    def test_preserves_leaf_set_and_arity(self):
+        tree = random_tree()
+        sub_id, tgt_id = tree.spr_neighbourhood()[0]
+        tree.spr(tree.find(sub_id), tree.find(tgt_id))
+        assert sorted(l.taxon for l in tree.leaves()) == list(range(8))
+        assert len(tree.root.children) == 3
+        for n in tree.nodes():
+            if not n.is_leaf and n.parent is not None:
+                assert len(n.children) == 2
+
+    def test_changes_topology(self):
+        tree = random_tree()
+        before = _bipartitions(tree)
+        # Find a move that actually changes the splits (most do).
+        changed = False
+        for sub_id, tgt_id in tree.spr_neighbourhood():
+            cand = tree.copy()
+            cand.spr(cand.find(sub_id), cand.find(tgt_id))
+            if _bipartitions(cand) != before:
+                changed = True
+                break
+        assert changed
+
+    def test_conserves_total_node_count(self):
+        tree = random_tree()
+        n_before = len(tree.nodes())
+        sub_id, tgt_id = tree.spr_neighbourhood()[5]
+        tree.spr(tree.find(sub_id), tree.find(tgt_id))
+        assert len(tree.nodes()) == n_before
+
+    def test_rejects_root_prunes(self):
+        tree = random_tree()
+        with pytest.raises(ValueError):
+            tree.spr(tree.root, tree.leaves()[0])
+        # a child of the trifurcating root
+        child = tree.root.children[0]
+        other = [n for n in tree.branches() if n is not child][0]
+        with pytest.raises(ValueError):
+            tree.spr(child, other)
+
+    def test_rejects_target_inside_subtree(self):
+        tree = random_tree()
+        sub = next(
+            n for n in tree.postorder()
+            if not n.is_leaf and n.parent is not None
+            and n.parent.parent is not None
+        )
+        inner = sub.children[0]
+        with pytest.raises(ValueError):
+            tree.spr(sub, inner)
+
+    def test_rejects_sibling_target(self):
+        tree = random_tree()
+        sub = next(
+            n for n in tree.postorder()
+            if n.parent is not None and n.parent.parent is not None
+        )
+        sibling = [c for c in sub.parent.children if c is not sub][0]
+        with pytest.raises(ValueError):
+            tree.spr(sub, sibling)
+
+    def test_neighbourhood_moves_all_valid(self):
+        tree = random_tree(n=7, seed=3)
+        for sub_id, tgt_id in tree.spr_neighbourhood():
+            cand = tree.copy()
+            cand.spr(cand.find(sub_id), cand.find(tgt_id))  # must not raise
+
+    def test_neighbourhood_truncation(self):
+        tree = random_tree()
+        assert len(tree.spr_neighbourhood(max_moves=5)) == 5
+
+    @given(seed=st.integers(min_value=0, max_value=100),
+           n=st.integers(min_value=4, max_value=12))
+    @settings(max_examples=40, deadline=None)
+    def test_spr_invariants_random(self, seed, n):
+        tree = random_tree(n=n, seed=seed)
+        moves = tree.spr_neighbourhood()
+        if not moves:
+            return
+        rng = np.random.default_rng(seed)
+        sub_id, tgt_id = moves[rng.integers(len(moves))]
+        total_before = tree.total_branch_length()
+        tree.spr(tree.find(sub_id), tree.find(tgt_id))
+        assert sorted(l.taxon for l in tree.leaves()) == list(range(n))
+        # SPR conserves total branch length (the split branch halves).
+        assert tree.total_branch_length() == pytest.approx(total_before)
+
+
+class TestSPRSearch:
+    def test_spr_never_worse_than_start(self):
+        aln = synthesize_alignment(7, 120, seed=1)
+        eng = LikelihoodEngine(aln, jc69(), 1)
+        start = random_tree(n=7, seed=1)
+        start_lik = eng.evaluate(start)
+        res = hill_climb(eng, start, max_rounds=2, move_set="spr",
+                         max_spr_moves=40)
+        assert res.loglik >= start_lik
+
+    def test_spr_at_least_matches_nni(self):
+        """SPR's neighbourhood contains NNI, so greedy SPR can't end in a
+        worse local optimum after the same number of rounds."""
+        aln = synthesize_alignment(7, 150, seed=2)
+        start = random_tree(n=7, seed=2)
+        nni = hill_climb(
+            LikelihoodEngine(aln, jc69(), 1), start, max_rounds=3
+        )
+        spr = hill_climb(
+            LikelihoodEngine(aln, jc69(), 1), start, max_rounds=3,
+            move_set="spr",
+        )
+        assert spr.loglik >= nni.loglik - 1e-6
+
+    def test_invalid_move_set(self):
+        aln = synthesize_alignment(5, 60, seed=3)
+        eng = LikelihoodEngine(aln, jc69(), 1)
+        with pytest.raises(ValueError):
+            hill_climb(eng, random_tree(5, 3), move_set="tbr")
