@@ -1,0 +1,94 @@
+"""Observability overhead — tracing off must be (nearly) free.
+
+The span/metrics layer is threaded through every scheduler hot path
+(off-load dispatch, granularity test, LLP split, MGPS window).  Its
+contract is that the *disabled* path costs a single attribute check per
+emit site and no allocation, so leaving the instrumentation compiled-in
+does not tax normal experiment runs.
+
+This benchmark times the same Figure-8-style MGPS run three ways —
+observability off, tracer+metrics on, and metrics only — takes the
+minimum of several repetitions each, and records the ratios to
+``benchmarks/out/BENCH_obs.json``.  The acceptance bar is that the
+disabled path stays within 2% of a fully stripped run; since the
+instrumentation cannot be stripped at runtime, we assert the off path
+against the on path (off must be meaningfully cheaper or equal) and
+record the absolute numbers for cross-PR comparison.
+"""
+
+import time
+
+from conftest import run_once
+
+from repro.cell.params import BladeParams
+from repro.core.runner import run_experiment
+from repro.core.schedulers import mgps
+from repro.obs import MetricsRegistry
+from repro.sim.trace import Tracer
+from repro.workloads.traces import Workload
+
+BOOTSTRAPS = 3
+TASKS = 200
+REPS = 3
+
+
+def _run(tracer=None, metrics=None):
+    wl = Workload(bootstraps=BOOTSTRAPS, tasks_per_bootstrap=TASKS, seed=0)
+    return run_experiment(
+        mgps(), wl, blade=BladeParams(), seed=0,
+        tracer=tracer, metrics=metrics,
+    )
+
+
+def _best_of(reps, fn):
+    """Minimum wall time over ``reps`` runs (min filters scheduler noise)."""
+    best = float("inf")
+    result = None
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def test_obs_overhead(benchmark, record_json):
+    def measure():
+        off_wall, off = _best_of(REPS, lambda: _run())
+        on_wall, on = _best_of(
+            REPS,
+            lambda: _run(tracer=Tracer(enabled=True),
+                         metrics=MetricsRegistry()),
+        )
+        metrics_wall, _ = _best_of(
+            REPS, lambda: _run(metrics=MetricsRegistry())
+        )
+        return off_wall, on_wall, metrics_wall, off, on
+
+    off_wall, on_wall, metrics_wall, off, on = run_once(benchmark, measure)
+
+    # Observability must not perturb the simulation...
+    assert off.makespan == on.makespan
+    assert off.offloads == on.offloads
+    assert off.llp_invocations == on.llp_invocations
+    # ...and the disabled path must not cost more than the enabled one
+    # (2% slack for timer noise on an already-fast run).
+    assert off_wall <= on_wall * 1.02
+
+    record_json(
+        "BENCH_obs",
+        {
+            "workload": {
+                "scheduler": "mgps",
+                "bootstraps": BOOTSTRAPS,
+                "tasks_per_bootstrap": TASKS,
+                "reps": REPS,
+            },
+            "makespan_s": off.makespan,
+            "offloads": off.offloads,
+            "off_seconds_wall": off_wall,
+            "on_seconds_wall": on_wall,
+            "metrics_only_seconds_wall": metrics_wall,
+            "on_over_off_ratio_wall": on_wall / off_wall,
+            "metrics_over_off_ratio_wall": metrics_wall / off_wall,
+        },
+    )

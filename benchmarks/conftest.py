@@ -2,17 +2,37 @@
 
 Every benchmark regenerates one of the paper's tables/figures, times the
 harness with pytest-benchmark (``rounds=1`` — these are simulations, not
-microbenchmarks), writes the rendered table to ``benchmarks/out/`` and
-echoes it to the terminal report.
+microbenchmarks), writes its artifact to ``benchmarks/out/`` and echoes
+it to the terminal report.
+
+Artifacts are deterministic by construction: tables come from seeded
+simulations, and JSON artifacts go through :func:`record_json`, which
+sorts keys and rounds floats (via :func:`repro.obs.metrics.stable_round`)
+so re-runs produce byte-identical files — except explicitly wall-clock
+fields, which callers mark with a ``_wall`` suffix.
 """
 
+import json
 import pathlib
 
 import pytest
 
+from repro.obs.metrics import stable_round
+
 OUT_DIR = pathlib.Path(__file__).parent / "out"
 
 _collected = []
+
+
+def _stable(obj):
+    """Recursively round floats for diff-stable JSON artifacts."""
+    if isinstance(obj, float):
+        return stable_round(obj)
+    if isinstance(obj, dict):
+        return {k: _stable(v) for k, v in sorted(obj.items())}
+    if isinstance(obj, (list, tuple)):
+        return [_stable(v) for v in obj]
+    return obj
 
 
 @pytest.fixture
@@ -23,6 +43,31 @@ def record_table():
         OUT_DIR.mkdir(exist_ok=True)
         (OUT_DIR / f"{name}.txt").write_text(text + "\n")
         _collected.append((name, text))
+
+    return _record
+
+
+@pytest.fixture
+def record_json():
+    """Persist a JSON artifact under ``benchmarks/out/`` deterministically.
+
+    Keys are emitted sorted and floats rounded; keys ending in ``_wall``
+    are passed through untouched (wall-clock timings are expected to
+    vary between runs).
+    """
+
+    def _record(name: str, payload: dict) -> pathlib.Path:
+        OUT_DIR.mkdir(exist_ok=True)
+        stable = {
+            k: (v if k.endswith("_wall") else _stable(v))
+            for k, v in sorted(payload.items())
+        }
+        path = OUT_DIR / f"{name}.json"
+        path.write_text(
+            json.dumps(stable, indent=2, sort_keys=True) + "\n"
+        )
+        _collected.append((name, json.dumps(stable, sort_keys=True)))
+        return path
 
     return _record
 

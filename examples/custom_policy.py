@@ -41,8 +41,9 @@ class GreedySpec(SchedulerSpec):
     def __init__(self):
         super().__init__(kind="edtlp", label="greedy-llp")
 
-    def build(self, env: Environment, machine: CellMachine, tracer=None):
-        return GreedyLLPRuntime(env, machine, tracer=tracer)
+    def build(self, env: Environment, machine: CellMachine, tracer=None,
+              metrics=None):
+        return GreedyLLPRuntime(env, machine, tracer=tracer, metrics=metrics)
 
 
 def main() -> None:

@@ -30,6 +30,14 @@ from .core import (
     run_sweep,
     static_hybrid,
 )
+from .obs import (
+    MetricsRegistry,
+    SpanRecorder,
+    chrome_trace,
+    write_chrome_trace,
+    write_metrics_snapshot,
+    write_trace_jsonl,
+)
 from .sim import Tracer
 from .workloads import BSPWorkload, FixedTraceWorkload, RAXML_42SC, RaxmlProfile, Workload
 
@@ -60,4 +68,10 @@ __all__ = [
     "BSPWorkload",
     "FixedTraceWorkload",
     "Tracer",
+    "MetricsRegistry",
+    "SpanRecorder",
+    "chrome_trace",
+    "write_chrome_trace",
+    "write_metrics_snapshot",
+    "write_trace_jsonl",
 ]

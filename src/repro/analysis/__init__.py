@@ -24,7 +24,12 @@ from .metrics import (
     best_scheduler,
     crossover,
     efficiency,
+    llp_chunk_profile,
+    offload_latency_percentiles,
+    registry_value,
+    render_scheduler_summary,
     scaling_efficiency,
+    scheduler_summary,
     speedup,
 )
 from .report import format_series, format_table, paper_comparison
@@ -48,6 +53,11 @@ __all__ = [
     "scaling_efficiency",
     "crossover",
     "best_scheduler",
+    "registry_value",
+    "offload_latency_percentiles",
+    "llp_chunk_profile",
+    "scheduler_summary",
+    "render_scheduler_summary",
     "format_table",
     "format_series",
     "paper_comparison",

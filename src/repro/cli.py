@@ -1,7 +1,8 @@
 """Command-line interface: ``python -m repro <command>``.
 
 Regenerates any of the paper's tables/figures, runs a quick scheduler
-comparison, or draws a schedule timeline — without writing a script.
+comparison, draws a schedule timeline, or records an observability
+artifact — without writing a script.
 
 Examples::
 
@@ -9,26 +10,33 @@ Examples::
     python -m repro fig8 --panel b
     python -m repro compare --bootstraps 12 --tasks 300
     python -m repro timeline --scheduler mgps --bootstraps 4
+    python -m repro trace fig8 --out trace.json   # open in ui.perfetto.dev
+    python -m repro stats fig8                    # scheduler metrics snapshot
+
+Every scenario subcommand also accepts ``--trace PATH`` to write a
+Chrome/Perfetto trace alongside its normal output.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from .analysis import (
     SWEEP_LARGE,
     SWEEP_SMALL,
     fig10_sweep,
     figure_sweep,
+    render_scheduler_summary,
     sec51_offload_experiment,
     table1_experiment,
     table2_experiment,
 )
 from .analysis.timeline import render_timeline, utilization_bar
 from .core.runner import run_experiment
-from .core.schedulers import edtlp, linux, mgps, static_hybrid
+from .core.schedulers import SchedulerSpec, edtlp, linux, mgps, static_hybrid
+from .obs import MetricsRegistry, write_chrome_trace, write_trace_jsonl
 from .sim.trace import Tracer
 from .workloads.traces import Workload
 
@@ -42,6 +50,23 @@ _SCHEDULERS = {
     "llp4": lambda: static_hybrid(4),
 }
 
+# Representative single run per scenario for tracing/stats: the paper's
+# headline scheduler for that table/figure, on one blade unless the
+# scenario is explicitly dual-Cell.
+_SCENARIO_SPECS: Dict[str, Tuple[object, int]] = {
+    "sec51": (edtlp, 1),
+    "table1": (edtlp, 1),
+    "table2": (lambda: static_hybrid(4), 1),
+    "fig7": (lambda: static_hybrid(2), 1),
+    "fig8": (mgps, 1),
+    "fig9": (mgps, 2),
+    "fig10": (mgps, 1),
+    "compare": (mgps, 1),
+    "timeline": (mgps, 1),
+    "bsp": (mgps, 1),
+}
+_OBSERVABLE = sorted(set(_SCENARIO_SPECS) | set(_SCHEDULERS))
+
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -53,40 +78,91 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_trace_flag(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--trace", metavar="PATH", default=None,
+            help="also write a Chrome/Perfetto trace of a representative "
+                 "run of this scenario (open at ui.perfetto.dev)",
+        )
+
     p = sub.add_parser("sec51", help="Section 5.1 off-load optimization")
     p.add_argument("--tasks", type=int, default=500)
+    add_trace_flag(p)
 
     p = sub.add_parser("table1", help="Table 1: EDTLP vs Linux")
     p.add_argument("--tasks", type=int, default=400)
+    add_trace_flag(p)
 
     p = sub.add_parser("table2", help="Table 2: LLP scaling")
     p.add_argument("--tasks", type=int, default=400)
+    add_trace_flag(p)
 
     for fig in ("fig7", "fig8", "fig9"):
         p = sub.add_parser(fig, help=f"{fig}: scheduler sweep")
         p.add_argument("--panel", choices=["a", "b"], default="a")
         p.add_argument("--tasks", type=int, default=None)
+        add_trace_flag(p)
 
     p = sub.add_parser("fig10", help="Figure 10: Cell vs Xeon vs Power5")
     p.add_argument("--panel", choices=["a", "b"], default="a")
     p.add_argument("--tasks", type=int, default=None)
+    add_trace_flag(p)
 
     p = sub.add_parser("compare", help="compare all schedulers on one workload")
     p.add_argument("--bootstraps", type=int, default=8)
     p.add_argument("--tasks", type=int, default=300)
     p.add_argument("--cells", type=int, default=1)
     p.add_argument("--seed", type=int, default=0)
+    add_trace_flag(p)
 
     p = sub.add_parser("bsp", help="MGPS vs EDTLP on an imbalanced BSP workload")
     p.add_argument("--ranks", type=int, default=8)
     p.add_argument("--iterations", type=int, default=8)
     p.add_argument("--imbalance", type=float, default=2.0)
+    add_trace_flag(p)
 
     p = sub.add_parser("timeline", help="draw an SPE schedule timeline")
     p.add_argument("--scheduler", choices=sorted(_SCHEDULERS), default="mgps")
     p.add_argument("--bootstraps", type=int, default=4)
     p.add_argument("--tasks", type=int, default=250)
     p.add_argument("--width", type=int, default=72)
+    add_trace_flag(p)
+
+    p = sub.add_parser(
+        "trace",
+        help="record a Chrome/Perfetto trace of one scenario run",
+        description=(
+            "Run one representative simulation of the named scenario (or "
+            "scheduler) with full tracing and write Chrome trace-event "
+            "JSON, loadable at ui.perfetto.dev or chrome://tracing."
+        ),
+    )
+    p.add_argument("scenario", choices=_OBSERVABLE)
+    p.add_argument("--out", required=True, metavar="PATH",
+                   help="output path for the trace-event JSON")
+    p.add_argument("--jsonl", metavar="PATH", default=None,
+                   help="also dump raw trace records as JSON Lines")
+    p.add_argument("--bootstraps", type=int, default=3)
+    p.add_argument("--tasks", type=int, default=200)
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser(
+        "stats",
+        help="print the scheduler metrics snapshot for one scenario run",
+        description=(
+            "Run one representative simulation of the named scenario (or "
+            "scheduler) with the metrics registry attached and print the "
+            "decision metrics: MGPS window utilization U, context "
+            "switches, granularity accept/reject, LLP chunk sizes, "
+            "off-load latencies."
+        ),
+    )
+    p.add_argument("scenario", choices=_OBSERVABLE)
+    p.add_argument("--bootstraps", type=int, default=3)
+    p.add_argument("--tasks", type=int, default=200)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--json", action="store_true",
+                   help="emit the registry snapshot as JSON instead of text")
 
     return parser
 
@@ -101,8 +177,37 @@ def _panel_tasks(panel: str, override: Optional[int]) -> int:
     return 300 if panel == "a" else 150
 
 
+def _scenario_spec(scenario: str) -> Tuple[SchedulerSpec, int]:
+    """(spec, n_cells) of the representative run for ``scenario``."""
+    if scenario in _SCHEDULERS:
+        return _SCHEDULERS[scenario](), 1
+    factory, n_cells = _SCENARIO_SPECS[scenario]
+    return factory(), n_cells
+
+
+def _run_observed(
+    scenario: str, bootstraps: int, tasks: int, seed: int = 0
+):
+    """One representative run of ``scenario`` with tracer + metrics on."""
+    from .cell.params import BladeParams
+
+    spec, n_cells = _scenario_spec(scenario)
+    tracer = Tracer(enabled=True)
+    metrics = MetricsRegistry()
+    wl = Workload(bootstraps=bootstraps, tasks_per_bootstrap=tasks, seed=seed)
+    result = run_experiment(
+        spec, wl, blade=BladeParams(n_cells=n_cells),
+        seed=seed, tracer=tracer, metrics=metrics,
+    )
+    return tracer, metrics, result
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    # Tracers to export for --trace, keyed by run name (one Perfetto
+    # process per entry).  Filled by commands that trace their own runs;
+    # anything else gets a representative traced run at the end.
+    own_traces: Dict[str, Tracer] = {}
 
     if args.command == "sec51":
         print(sec51_offload_experiment(tasks_per_bootstrap=args.tasks).render())
@@ -143,7 +248,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         blade = BladeParams(n_cells=args.cells)
         rows = []
         for name, factory in _SCHEDULERS.items():
-            r = run_experiment(factory(), wl, blade=blade, seed=args.seed)
+            tracer = Tracer(enabled=True) if args.trace else None
+            r = run_experiment(factory(), wl, blade=blade, seed=args.seed,
+                               tracer=tracer)
+            if tracer is not None:
+                own_traces[name] = tracer
             rows.append([name, r.makespan, f"{r.spe_utilization:.0%}",
                          r.llp_invocations, r.ppe_fallbacks])
         print(format_table(
@@ -162,7 +271,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
         rows = []
         for name, factory in (("edtlp", edtlp), ("mgps", mgps)):
-            r = run_bsp_experiment(factory(), wl)
+            tracer = Tracer(enabled=True) if args.trace else None
+            r = run_bsp_experiment(factory(), wl, tracer=tracer)
+            if tracer is not None:
+                own_traces[name] = tracer
             rows.append([name, r.makespan * 1e3,
                          f"{r.spe_utilization:.0%}", r.llp_invocations])
         print(format_table(
@@ -178,6 +290,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         result = run_experiment(
             _SCHEDULERS[args.scheduler](), wl, tracer=tracer
         )
+        own_traces[args.scheduler] = tracer
         window = result.raw_makespan * 0.02
         print(f"{args.scheduler}: makespan {result.makespan:.1f} s, "
               f"SPE utilization {result.spe_utilization:.0%}")
@@ -185,8 +298,53 @@ def main(argv: Optional[List[str]] = None) -> int:
                               t_end=2 * window))
         print()
         print(utilization_bar(tracer, result.raw_makespan))
+    elif args.command == "trace":
+        import pathlib
+
+        for path in (args.out, args.jsonl):
+            if path and not pathlib.Path(path).parent.is_dir():
+                print(f"repro trace: error: directory of {path!r} does not "
+                      f"exist", file=sys.stderr)
+                return 2
+        tracer, _metrics, result = _run_observed(
+            args.scenario, args.bootstraps, args.tasks, args.seed
+        )
+        write_chrome_trace(tracer, args.out)
+        if args.jsonl:
+            write_trace_jsonl(tracer, args.jsonl)
+            print(f"wrote {len(tracer.records)} records to {args.jsonl}")
+        print(f"{result.scheduler}: makespan {result.makespan:.2f} s, "
+              f"{result.offloads} off-loads, {len(tracer.records)} trace "
+              f"records")
+        print(f"wrote Chrome trace to {args.out} "
+              f"(open at https://ui.perfetto.dev)")
+    elif args.command == "stats":
+        _tracer, metrics, result = _run_observed(
+            args.scenario, args.bootstraps, args.tasks, args.seed
+        )
+        if args.json:
+            print(metrics.to_json())
+        else:
+            print(render_scheduler_summary(
+                metrics,
+                title=f"{args.scenario}: {result.scheduler} on "
+                      f"{args.bootstraps} bootstraps x {args.tasks} tasks",
+            ))
+            print()
+            print(metrics.render())
     else:  # pragma: no cover - argparse enforces choices
         raise SystemExit(2)
+
+    if getattr(args, "trace", None) and args.command != "trace":
+        if own_traces:
+            write_chrome_trace(own_traces, args.trace)
+        else:
+            bootstraps = getattr(args, "bootstraps", 3)
+            tasks = getattr(args, "tasks", None) or 200
+            tracer, _, _ = _run_observed(args.command, bootstraps, tasks)
+            write_chrome_trace(tracer, args.trace)
+        print(f"wrote Chrome trace to {args.trace} "
+              f"(open at https://ui.perfetto.dev)")
     return 0
 
 

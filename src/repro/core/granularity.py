@@ -25,8 +25,9 @@ Two robustness details beyond the paper's one-line description:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Optional
 
+from ..obs.metrics import NULL_REGISTRY
 from ..workloads.taskspec import TaskSpec
 
 __all__ = ["GranularityGovernor", "OffloadDecision"]
@@ -49,6 +50,7 @@ class GranularityGovernor:
         enabled: bool = True,
         ewma_alpha: float = 0.02,
         reprobe_interval: int = 30,
+        metrics: Optional[object] = None,
     ) -> None:
         if t_comm < 0:
             raise ValueError("t_comm must be non-negative")
@@ -65,6 +67,22 @@ class GranularityGovernor:
         self._throttle_streak: Dict[str, int] = {}
         self.throttled = 0
         self.offloaded = 0
+        m = metrics if metrics is not None else NULL_REGISTRY
+        self._m_accept = m.counter(
+            "granularity.accept", "off-load requests that passed the test"
+        )
+        self._m_reject = m.counter(
+            "granularity.reject", "off-load requests throttled to the PPE"
+        )
+        self._m_reason = {
+            reason: m.counter(f"granularity.decision.{reason}")
+            for reason in ("disabled", "optimistic", "pass", "fail", "reprobe")
+        }
+
+    def _note(self, decision: OffloadDecision) -> OffloadDecision:
+        (self._m_accept if decision.offload else self._m_reject).inc()
+        self._m_reason[decision.reason].inc()
+        return decision
 
     def decide(self, task: TaskSpec, t_code: float = 0.0) -> OffloadDecision:
         """Should ``task`` be off-loaded?
@@ -76,25 +94,25 @@ class GranularityGovernor:
         self.record_ppe(task.function, task.ppe_time)
         if not self.enabled:
             self.offloaded += 1
-            return OffloadDecision(True, "disabled")
+            return self._note(OffloadDecision(True, "disabled"))
         t_spe = self._measured_spe.get(task.function)
         if t_spe is None:
             self.offloaded += 1
-            return OffloadDecision(True, "optimistic")
+            return self._note(OffloadDecision(True, "optimistic"))
         t_ppe = self._measured_ppe[task.function]
         if t_spe + t_code + 2.0 * self.t_comm < t_ppe:
             self.offloaded += 1
             self._throttle_streak[task.function] = 0
-            return OffloadDecision(True, "pass")
+            return self._note(OffloadDecision(True, "pass"))
         streak = self._throttle_streak.get(task.function, 0) + 1
         if streak >= self.reprobe_interval:
             # Refresh the SPE measurement rather than throttling forever.
             self._throttle_streak[task.function] = 0
             self.offloaded += 1
-            return OffloadDecision(True, "reprobe")
+            return self._note(OffloadDecision(True, "reprobe"))
         self._throttle_streak[task.function] = streak
         self.throttled += 1
-        return OffloadDecision(False, "fail")
+        return self._note(OffloadDecision(False, "fail"))
 
     def record_spe(self, function: str, duration: float) -> None:
         """Feed back a measured SPE execution time."""

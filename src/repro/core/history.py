@@ -15,13 +15,20 @@ from __future__ import annotations
 from collections import deque
 from typing import Deque, Optional, Tuple
 
+from ..obs.metrics import NULL_REGISTRY
+
 __all__ = ["UtilizationHistory"]
 
 
 class UtilizationHistory:
     """Sliding-window estimator of exposed task-level parallelism."""
 
-    def __init__(self, n_spes: int, window: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        n_spes: int,
+        window: Optional[int] = None,
+        metrics: Optional[object] = None,
+    ) -> None:
         if n_spes < 1:
             raise ValueError("n_spes must be >= 1")
         self.n_spes = n_spes
@@ -32,6 +39,17 @@ class UtilizationHistory:
         self._u_samples: Deque[int] = deque(maxlen=self.window)
         self.dispatches = 0
         self.departures = 0
+        m = metrics if metrics is not None else NULL_REGISTRY
+        self._m_u = m.histogram(
+            "mgps.u_sample", buckets=tuple(range(1, 17)),
+            help="per-departure exposed-TLP samples (U)",
+        )
+        self._m_u_estimate = m.gauge(
+            "mgps.u_estimate", "rolling-window mean of U (rounded)"
+        )
+        self._m_window_util = m.gauge(
+            "mgps.window_utilization", "window utilization U / n_spes"
+        )
 
     # -- recording ---------------------------------------------------------
     def note_dispatch(self, time: float) -> bool:
@@ -54,6 +72,10 @@ class UtilizationHistory:
         u = 1 + sum(1 for t in self._dispatch_times if start < t <= end)
         u = max(1, min(u, self.n_spes))
         self._u_samples.append(u)
+        self._m_u.observe(u)
+        estimate = self.u_estimate
+        self._m_u_estimate.set(estimate)
+        self._m_window_util.set(estimate / self.n_spes)
         return u
 
     # -- decision inputs ---------------------------------------------------

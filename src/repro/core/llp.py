@@ -30,6 +30,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..cell.mfc import MFC
 from ..cell.params import CellParams
+from ..obs.metrics import NULL_REGISTRY
 from ..workloads.taskspec import TaskSpec
 
 __all__ = ["LLPConfig", "LLPInvocation", "LoopParallelModel", "split_iterations"]
@@ -115,6 +116,7 @@ class LoopParallelModel:
         self,
         params: CellParams,
         config: Optional[LLPConfig] = None,
+        metrics: Optional[object] = None,
     ) -> None:
         self.params = params
         self.config = config or LLPConfig()
@@ -122,6 +124,25 @@ class LoopParallelModel:
         self._fraction: Dict[Tuple[str, int], float] = {}
         self.invocations = 0
         self.total_join_idle = 0.0
+        m = metrics if metrics is not None else NULL_REGISTRY
+        self._m_invocations = m.counter(
+            "llp.invocations", "loop-parallel task invocations"
+        )
+        self._m_chunk = m.histogram(
+            "llp.chunk_size",
+            buckets=(1, 2, 4, 8, 16, 32, 64, 128, 256, 512),
+            help="iterations per SPE chunk (master and workers)",
+        )
+        self._m_join_idle = m.histogram(
+            "llp.join_idle_us", help="master idle time at the join, us"
+        )
+        self._m_degree = m.histogram(
+            "llp.degree", buckets=(1, 2, 3, 4, 5, 6, 7, 8, 16),
+            help="SPEs per loop-parallel invocation",
+        )
+        self._m_fraction = m.gauge(
+            "llp.master_fraction", "master chunk fraction of the last invocation"
+        )
 
     # -- adaptive state ---------------------------------------------------
     def master_fraction(self, function: str, k: int) -> float:
@@ -227,6 +248,12 @@ class LoopParallelModel:
 
         self.invocations += 1
         self.total_join_idle += join_idle
+        self._m_invocations.inc()
+        self._m_degree.observe(k)
+        for c in chunks:
+            self._m_chunk.observe(c)
+        self._m_join_idle.observe(join_idle * 1e6)
+        self._m_fraction.set(f)
         return LLPInvocation(
             duration=duration,
             k=k,

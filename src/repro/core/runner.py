@@ -31,21 +31,41 @@ from .schedulers import SchedulerSpec
 __all__ = ["run_experiment", "run_sweep", "run_bsp_experiment"]
 
 
+def _publish_run_metrics(metrics, env, machine, raw, scale, occupancy) -> None:
+    """End-of-run gauges: the whole-run facts the registry should carry.
+
+    These are the numbers :mod:`repro.analysis.metrics` reads back
+    instead of recomputing them from busy intervals.
+    """
+    g = metrics.gauge
+    g("run.raw_makespan_s", "simulated makespan, seconds").set(raw)
+    g("run.makespan_s", "paper-scale makespan, seconds").set(raw * scale)
+    g("run.spe_utilization").set(machine.spe_utilization(raw))
+    g("run.ppe_occupancy").set(occupancy)
+    g("ppe.context_switches", "PPE context switches over the run").set(
+        sum(c.switches for c in machine.cores)
+    )
+    g("sim.events_processed").set(env.events_processed)
+
+
 def run_experiment(
     spec: SchedulerSpec,
     workload: Workload,
     blade: BladeParams = DEFAULT_BLADE,
     seed: int = 0,
     tracer: Optional[Tracer] = None,
+    metrics=None,
 ) -> ScheduleResult:
     """Execute ``workload`` under ``spec`` on a fresh simulated blade.
 
     Pass a :class:`~repro.sim.trace.Tracer` to record per-SPE task events
-    (for timelines; see :mod:`repro.analysis.timeline`).
+    (for timelines; see :mod:`repro.analysis.timeline`) and/or a
+    :class:`~repro.obs.metrics.MetricsRegistry` to collect scheduler
+    decision metrics.  Neither affects scheduling decisions.
     """
-    env = Environment()
+    env = Environment(tracer=tracer, metrics=metrics)
     machine = CellMachine(env, blade)
-    runtime = spec.build(env, machine, tracer=tracer)
+    runtime = spec.build(env, machine, tracer=tracer, metrics=metrics)
 
     n_procs = spec.default_processes(machine.n_spes, workload.bootstraps)
     if spec.kind == "linux" and n_procs > machine.n_spes:
@@ -94,6 +114,8 @@ def run_experiment(
         else 0.0
     )
     st = runtime.stats
+    if metrics is not None:
+        _publish_run_metrics(metrics, env, machine, raw, scale, occupancy)
     return ScheduleResult(
         scheduler=spec.name,
         bootstraps=workload.bootstraps,
@@ -125,6 +147,7 @@ def run_bsp_experiment(
     blade: BladeParams = DEFAULT_BLADE,
     seed: int = 0,
     tracer: Optional[Tracer] = None,
+    metrics=None,
 ) -> ScheduleResult:
     """Execute a :class:`~repro.workloads.coupled.BSPWorkload`.
 
@@ -135,9 +158,9 @@ def run_bsp_experiment(
     from ..mpi.process import bsp_worker
     from ..sim.resources import Barrier
 
-    env = Environment()
+    env = Environment(tracer=tracer, metrics=metrics)
     machine = CellMachine(env, blade)
-    runtime = spec.build(env, machine, tracer=tracer)
+    runtime = spec.build(env, machine, tracer=tracer, metrics=metrics)
     if spec.kind == "linux" and workload.n_processes > machine.n_spes:
         raise ValueError("the Linux baseline pins one SPE per process")
 
@@ -175,6 +198,8 @@ def run_bsp_experiment(
         if raw > 0
         else 0.0
     )
+    if metrics is not None:
+        _publish_run_metrics(metrics, env, machine, raw, scale, occupancy)
     return ScheduleResult(
         scheduler=spec.name,
         bootstraps=workload.iterations,

@@ -26,6 +26,8 @@ from typing import Generator, List, Optional, Set
 from ..cell.machine import CellMachine
 from ..cell.smt import CoreThread
 from ..cell.spe import SPE
+from ..obs.metrics import NULL_REGISTRY
+from ..obs.spans import SpanRecorder
 from ..sim.engine import Environment
 from ..sim.events import Event
 from ..sim.trace import Tracer
@@ -87,6 +89,7 @@ class OffloadRuntime:
         offload_enabled: bool = True,
         tracer: Optional[Tracer] = None,
         locality_aware: bool = False,
+        metrics: Optional[object] = None,
     ) -> None:
         self.env = env
         self.machine = machine
@@ -94,21 +97,57 @@ class OffloadRuntime:
         self.optimized = optimized
         self.offload_enabled = offload_enabled
         self.locality_aware = locality_aware
+        if tracer is None:
+            tracer = getattr(env, "tracer", None)
         self.tracer = tracer if tracer is not None else Tracer(enabled=False)
+        if metrics is None:
+            metrics = getattr(env, "metrics", None)
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        self.spans = SpanRecorder(self.tracer, env)
         self.granularity = GranularityGovernor(
-            t_comm=self.cell.ppe_spe_signal, enabled=granularity_enabled
+            t_comm=self.cell.ppe_spe_signal, enabled=granularity_enabled,
+            metrics=self.metrics,
         )
-        self.llp_model = LoopParallelModel(self.cell, llp_config)
+        self.llp_model = LoopParallelModel(
+            self.cell, llp_config, metrics=self.metrics
+        )
         self.stats = RuntimeStats()
         self._active_sources: Set[int] = set()
+        m = self.metrics
+        self._m_offloads = m.counter("runtime.offloads", "SPE off-load dispatches")
+        self._m_fallbacks = m.counter(
+            "runtime.ppe_fallbacks", "throttled tasks executed on the PPE"
+        )
+        self._m_waits = m.counter(
+            "runtime.offload_waits", "off-loads that blocked for a free SPE"
+        )
+        self._m_code_loads = m.counter(
+            "runtime.code_loads", "SPE code-image (re)loads"
+        )
+        self._m_data_hits = m.counter("runtime.data_hits")
+        self._m_data_misses = m.counter("runtime.data_misses")
+        self._m_offload_latency = m.histogram(
+            "runtime.offload_latency_us",
+            help="dispatch-to-completion latency of SPE off-loads, us",
+        )
 
     # -- bookkeeping hooks ----------------------------------------------------
     def note_bootstrap_start(self, ctx: ProcContext, index: int) -> None:
         self._active_sources.add(ctx.rank)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                self.env.now, "proc", f"mpi{ctx.rank}", "span_begin",
+                name=f"bootstrap[{index}]", depth=0,
+            )
 
     def note_bootstrap_end(self, ctx: ProcContext, index: int) -> None:
         self._active_sources.discard(ctx.rank)
         self.stats.bootstraps_done += 1
+        if self.tracer.enabled:
+            self.tracer.emit(
+                self.env.now, "proc", f"mpi{ctx.rank}", "span_end",
+                name=f"bootstrap[{index}]", depth=0,
+            )
 
     @property
     def active_sources(self) -> int:
@@ -169,6 +208,7 @@ class OffloadRuntime:
             t_load = max(t_load, w.load_code(trace.llp_image))
         if t_load > 0:
             self.stats.code_loads += 1
+            self._m_code_loads.inc()
             yield env.timeout(t_load)
 
         # Stage the task's working set (memory-aware extension): a hit
@@ -178,9 +218,11 @@ class OffloadRuntime:
             if moved:
                 self.stats.data_misses += 1
                 self.stats.data_bytes_transferred += moved
+                self._m_data_misses.inc()
                 yield env.timeout(spe.mfc.transfer_time(moved))
             else:
                 self.stats.data_hits += 1
+                self._m_data_hits.inc()
 
         if workers:
             cross = sum(1 for w in workers if w.cell_id != spe.cell_id)
@@ -250,6 +292,7 @@ class OffloadRuntime:
     ) -> Generator[Event, None, None]:
         """Execute the task's PPE version in place (throttled off-load)."""
         self.stats.ppe_fallbacks += 1
+        self._m_fallbacks.inc()
         self.tracer.emit(
             self.env.now, "ppe", f"mpi{ctx.rank}", "ppe_fallback",
             function=task.function, duration=task.ppe_time,
@@ -277,21 +320,28 @@ class LinuxRuntime(OffloadRuntime):
         if not self.offload_enabled or not decision.offload:
             yield from self._ppe_fallback(ctx, task)
             return
-        # The process itself writes the task descriptor to the SPE mailbox.
-        yield ctx.thread.run(self.cell.dispatch_overhead)
-        self.stats.offloads += 1
-        start = self.env.now
-        self.on_dispatch(start)
-        done = self.env.process(
-            self._spe_exec(ctx, ctx.pinned_spe, [], task, trace, release=False),
-            name=f"exec.p{ctx.rank}",
-        )
-        # Busy-wait: the MPI process holds its PPE context while the SPE
-        # computes.  This is the whole pathology of the baseline.
-        yield ctx.thread.spin_until(done)
-        self.on_departure(start, self.env.now)
-        # Completion handling (reading the mailbox, resuming the code path).
-        yield ctx.thread.run(self.cell.completion_overhead)
+        with self.spans.span("proc", f"mpi{ctx.rank}", "offload") as sp:
+            if self.tracer.enabled:
+                sp.set(function=task.function, reason=decision.reason)
+            # The process itself writes the task descriptor to the SPE mailbox.
+            yield ctx.thread.run(self.cell.dispatch_overhead)
+            self.stats.offloads += 1
+            self._m_offloads.inc()
+            start = self.env.now
+            self.on_dispatch(start)
+            done = self.env.process(
+                self._spe_exec(ctx, ctx.pinned_spe, [], task, trace,
+                               release=False),
+                name=f"exec.p{ctx.rank}",
+            )
+            # Busy-wait: the MPI process holds its PPE context while the SPE
+            # computes.  This is the whole pathology of the baseline.
+            yield ctx.thread.spin_until(done)
+            self.on_departure(start, self.env.now)
+            self._m_offload_latency.observe((self.env.now - start) * 1e6)
+            # Completion handling (reading the mailbox, resuming the code
+            # path).
+            yield ctx.thread.run(self.cell.completion_overhead)
 
 
 class EDTLPRuntime(OffloadRuntime):
@@ -320,6 +370,7 @@ class EDTLPRuntime(OffloadRuntime):
             # All SPEs busy: the scheduler parks this process (its PPE
             # context is free for siblings) until a departure.
             self.stats.offload_waits += 1
+            self._m_waits.inc()
             spe = yield self.machine.pool.acquire(prefer_cell=ctx.cell_id)
         return spe
 
@@ -336,23 +387,30 @@ class EDTLPRuntime(OffloadRuntime):
         if not self.offload_enabled or not decision.offload:
             yield from self._ppe_fallback(ctx, task)
             return
-        # User-level scheduler work: find an SPE, ship the descriptor.
-        yield ctx.thread.run(self.cell.dispatch_overhead)
-        spe = yield from self._acquire_spe(ctx, task)
-        workers = self._acquire_workers(ctx, spe, task)
-        self.stats.offloads += 1
-        start = self.env.now
-        self.on_dispatch(start)
-        # Block (voluntary context switch): the PPE immediately serves the
-        # next runnable MPI process while the SPE computes.
-        yield self.env.process(
-            self._spe_exec(ctx, spe, workers, task, trace, release=True),
-            name=f"exec.p{ctx.rank}",
-        )
-        self.on_departure(start, self.env.now)
-        # Scheduler completion handling on the PPE before the process
-        # continues (Section 5.2's t_comm bookkeeping on the PPE side).
-        yield ctx.thread.run(self.cell.completion_overhead)
+        with self.spans.span("proc", f"mpi{ctx.rank}", "offload") as sp:
+            if self.tracer.enabled:
+                sp.set(function=task.function, reason=decision.reason)
+            # User-level scheduler work: find an SPE, ship the descriptor.
+            yield ctx.thread.run(self.cell.dispatch_overhead)
+            spe = yield from self._acquire_spe(ctx, task)
+            workers = self._acquire_workers(ctx, spe, task)
+            if self.tracer.enabled:
+                sp.set(spe=spe.name, llp_degree=1 + len(workers))
+            self.stats.offloads += 1
+            self._m_offloads.inc()
+            start = self.env.now
+            self.on_dispatch(start)
+            # Block (voluntary context switch): the PPE immediately serves
+            # the next runnable MPI process while the SPE computes.
+            yield self.env.process(
+                self._spe_exec(ctx, spe, workers, task, trace, release=True),
+                name=f"exec.p{ctx.rank}",
+            )
+            self.on_departure(start, self.env.now)
+            self._m_offload_latency.observe((self.env.now - start) * 1e6)
+            # Scheduler completion handling on the PPE before the process
+            # continues (Section 5.2's t_comm bookkeeping on the PPE side).
+            yield ctx.thread.run(self.cell.completion_overhead)
 
 
 class StaticHybridRuntime(EDTLPRuntime):
@@ -393,8 +451,23 @@ class MGPSRuntime(EDTLPRuntime):
     ) -> None:
         super().__init__(*args, **kwargs)
         n = self.machine.n_spes
-        self.history = UtilizationHistory(n, window)
+        self.history = UtilizationHistory(n, window, metrics=self.metrics)
         self.staleness = staleness
+        self._m_decisions = self.metrics.counter(
+            "mgps.decisions", "window-boundary LLP policy evaluations"
+        )
+        self._m_mode_switches = self.metrics.counter(
+            "mgps.mode_switches", "LLP activation/degree changes"
+        )
+        self._m_window_resets = self.metrics.counter(
+            "mgps.window_resets", "history resets after off-load droughts"
+        )
+        self._m_degree = self.metrics.gauge(
+            "mgps.degree", "current LLP degree (1 = serial tasks)"
+        )
+        self._m_llp_active = self.metrics.gauge(
+            "mgps.llp_active", "1 while loop-level parallelism is on"
+        )
         # Beyond ~half the SPEs per loop, per-worker overheads dominate
         # (Table 2: "using five or more SPE threads decreases
         # efficiency"), so MGPS caps the LLP degree there.
@@ -414,6 +487,7 @@ class MGPSRuntime(EDTLPRuntime):
             # present.  (Paper: timer-interrupt-driven adaptation.)
             self.history.reset()
             self._source_samples.clear()
+            self._m_window_resets.inc()
         self._last_dispatch = time
         self._source_samples.append(
             self.current_sources(include_dispatcher=True)
@@ -434,5 +508,15 @@ class MGPSRuntime(EDTLPRuntime):
         active = active and degree > 1
         if active != self.llp_active or (active and degree != self.current_degree):
             self.stats.llp_mode_switches += 1
+            self._m_mode_switches.inc()
         self.llp_active = active
         self.current_degree = degree if active else 1
+        self._m_decisions.inc()
+        self._m_degree.set(self.current_degree)
+        self._m_llp_active.set(1 if active else 0)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                self._last_dispatch, "sched", "mgps", "decision",
+                u=self.history.u_estimate, t=t, active=active,
+                degree=self.current_degree,
+            )

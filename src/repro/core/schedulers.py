@@ -78,8 +78,17 @@ class SchedulerSpec:
         return max(1, min(bootstraps, per_machine))
 
     def build(self, env: Environment, machine: CellMachine,
-              tracer=None) -> OffloadRuntime:
-        """Instantiate the runtime for this spec on ``machine``."""
+              tracer=None, metrics=None) -> OffloadRuntime:
+        """Instantiate the runtime for this spec on ``machine``.
+
+        ``tracer``/``metrics`` fall back to the sinks attached to ``env``
+        (see :class:`~repro.sim.engine.Environment`), so observability can
+        be injected once at environment construction.
+        """
+        if tracer is None:
+            tracer = getattr(env, "tracer", None)
+        if metrics is None:
+            metrics = getattr(env, "metrics", None)
         common = dict(
             granularity_enabled=self.granularity_enabled,
             optimized=self.optimized,
@@ -87,6 +96,7 @@ class SchedulerSpec:
             offload_enabled=self.offload_enabled,
             locality_aware=self.locality_aware,
             tracer=tracer,
+            metrics=metrics,
         )
         if self.kind == "linux":
             return LinuxRuntime(env, machine, **common)

@@ -1,0 +1,51 @@
+"""Observability: spans, metrics and trace export for scheduler runs.
+
+The runtimes in :mod:`repro.core` make feedback-driven decisions (MGPS's
+utilization window, the LLP chunk tuner, the granularity test); this
+package makes those decisions observable without perturbing them:
+
+* :mod:`repro.obs.spans` — nested, attributed intervals recorded through
+  the existing :class:`~repro.sim.trace.Tracer`;
+* :mod:`repro.obs.metrics` — counters / gauges / fixed-bucket histograms
+  in a per-run :class:`MetricsRegistry` (no-op when absent);
+* :mod:`repro.obs.export` — Chrome/Perfetto trace-event JSON, JSONL
+  record sink, and deterministic metrics snapshots.
+
+Everything is stdlib-only and hangs off per-run objects — no globals.
+"""
+
+from .export import (
+    chrome_trace,
+    chrome_trace_events,
+    write_chrome_trace,
+    write_metrics_snapshot,
+    write_trace_jsonl,
+)
+from .metrics import (
+    Counter,
+    DEFAULT_BUCKETS,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_REGISTRY,
+    NullRegistry,
+)
+from .spans import NULL_SPAN, Span, SpanRecorder
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "DEFAULT_BUCKETS",
+    "Span",
+    "SpanRecorder",
+    "NULL_SPAN",
+    "chrome_trace",
+    "chrome_trace_events",
+    "write_chrome_trace",
+    "write_trace_jsonl",
+    "write_metrics_snapshot",
+]

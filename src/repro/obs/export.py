@@ -1,0 +1,125 @@
+"""Exporters: Chrome/Perfetto trace-event JSON, JSONL sink, metrics text.
+
+:func:`chrome_trace` turns recorded :class:`~repro.sim.trace.TraceRecord`
+streams into the Chrome trace-event format that https://ui.perfetto.dev
+and ``chrome://tracing`` open directly:
+
+* ``task_start``/``task_end`` and ``span_begin``/``span_end`` records
+  become paired "B"/"E" duration events (nesting preserved);
+* every other record becomes a thread-scoped instant event ("i");
+* each (category, actor) pair maps to one named thread, each run to one
+  named process — pass ``{"mgps": tracer_a, "edtlp": tracer_b}`` to
+  compare schedulers side by side in one view.
+
+Output is deterministic: actors are numbered in sorted order, floats are
+rounded to fixed precision and keys are sorted, so exported traces from
+identical simulations diff cleanly.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Mapping, Union
+
+from ..sim.trace import Tracer
+
+__all__ = [
+    "chrome_trace",
+    "chrome_trace_events",
+    "write_chrome_trace",
+    "write_trace_jsonl",
+    "write_metrics_snapshot",
+]
+
+TracerLike = Union[Tracer, Mapping[str, Tracer]]
+
+# Events exported as Chrome duration pairs; everything else is instant.
+_PHASE = {
+    "task_start": "B",
+    "task_end": "E",
+    "span_begin": "B",
+    "span_end": "E",
+}
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, tuple):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, list):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {k: _jsonable(v) for k, v in value.items()}
+    return value
+
+
+def _as_map(traces: TracerLike) -> Dict[str, Tracer]:
+    if isinstance(traces, Tracer):
+        return {"repro": traces}
+    return dict(traces)
+
+
+def chrome_trace_events(traces: TracerLike) -> List[dict]:
+    """Flat list of Chrome trace events (metadata first, then records)."""
+    events: List[dict] = []
+    for pid, (run_name, tracer) in enumerate(_as_map(traces).items()):
+        actors = sorted({(r.category, r.actor) for r in tracer.records})
+        tid_of = {key: tid for tid, key in enumerate(actors)}
+        events.append({
+            "ph": "M", "name": "process_name", "pid": pid, "tid": 0,
+            "args": {"name": run_name},
+        })
+        for (category, actor), tid in sorted(tid_of.items(), key=lambda kv: kv[1]):
+            events.append({
+                "ph": "M", "name": "thread_name", "pid": pid, "tid": tid,
+                "args": {"name": f"{category}:{actor}"},
+            })
+        for record in tracer.records:
+            args = {k: _jsonable(v) for k, v in record.data}
+            name = args.pop("name", None) or args.get("function") or record.event
+            event: Dict[str, Any] = {
+                "name": name,
+                "cat": record.category,
+                "ph": _PHASE.get(record.event, "i"),
+                "ts": round(record.time * 1e6, 3),  # microseconds
+                "pid": pid,
+                "tid": tid_of[(record.category, record.actor)],
+            }
+            if event["ph"] == "i":
+                event["s"] = "t"  # thread-scoped instant
+            if args:
+                event["args"] = args
+            events.append(event)
+    return events
+
+
+def chrome_trace(traces: TracerLike) -> Dict[str, Any]:
+    """Full Chrome trace-event document (the JSON object form)."""
+    return {
+        "traceEvents": chrome_trace_events(traces),
+        "displayTimeUnit": "ms",
+        "otherData": {"exporter": "repro.obs"},
+    }
+
+
+def write_chrome_trace(traces: TracerLike, path) -> str:
+    """Write a Perfetto-loadable trace JSON file; returns the path."""
+    doc = chrome_trace(traces)
+    with open(path, "w") as fh:
+        json.dump(doc, fh, sort_keys=True, separators=(",", ":"))
+        fh.write("\n")
+    return str(path)
+
+
+def write_trace_jsonl(tracer: Tracer, path) -> str:
+    """Persist raw trace records as JSON Lines; returns the path."""
+    with open(path, "w") as fh:
+        fh.write(tracer.to_jsonl())
+    return str(path)
+
+
+def write_metrics_snapshot(registry, path) -> str:
+    """Write a registry's deterministic JSON snapshot; returns the path."""
+    with open(path, "w") as fh:
+        fh.write(registry.to_json())
+        fh.write("\n")
+    return str(path)

@@ -32,14 +32,31 @@ class Environment:
         If True (default), an exception escaping a process propagates out
         of :meth:`run` immediately — the right behaviour for tests.  If
         False, the process fails as an event and waiters see the error.
+    tracer / metrics:
+        Optional observability sinks carried by the environment so every
+        component of a run (machine, runtime, workers) can reach the
+        same :class:`~repro.sim.trace.Tracer` and
+        :class:`~repro.obs.metrics.MetricsRegistry` without threading
+        them through each constructor.  Both default to ``None``
+        (observability off); neither influences event ordering.
     """
 
-    def __init__(self, initial_time: float = 0.0, strict: bool = True) -> None:
+    def __init__(
+        self,
+        initial_time: float = 0.0,
+        strict: bool = True,
+        *,
+        tracer: Optional[Any] = None,
+        metrics: Optional[Any] = None,
+    ) -> None:
         self._now = float(initial_time)
         self._queue: List[Tuple[float, int, int, Event]] = []
         self._seq = 0
         self._active_process: Optional[Process] = None
         self.strict = strict
+        self.tracer = tracer
+        self.metrics = metrics
+        self.events_processed = 0
 
     # -- clock ------------------------------------------------------------
     @property
@@ -92,6 +109,7 @@ class Environment:
         except IndexError:
             raise EmptySchedule() from None
         self._now = when
+        self.events_processed += 1
         event._process()
 
     def run(self, until: Optional[float] = None) -> float:

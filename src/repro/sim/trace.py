@@ -8,8 +8,10 @@ for the ASCII timelines printed by the examples.
 
 from __future__ import annotations
 
+import json
+from collections.abc import Mapping
 from dataclasses import dataclass
-from typing import Any, Dict, Iterable, List, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
 
 __all__ = ["TraceRecord", "Tracer", "BusyTracker"]
 
@@ -48,12 +50,30 @@ class Tracer:
         category: str,
         actor: str,
         event: str,
-        **data: Any,
+        data: Union[Mapping, Iterable[Tuple[str, Any]], None] = None,
+        **kw: Any,
     ) -> None:
+        """Record one event.
+
+        The payload may be passed as keyword arguments (the original
+        calling convention), as a ``Mapping``, or as a pre-built iterable
+        of ``(key, value)`` pairs — the latter two avoid rebuilding a
+        kwargs dict at hot call sites.  When both are given, keyword
+        arguments are appended after ``data``.
+        """
         if not self.enabled:
             return
+        if data is None:
+            payload = tuple(kw.items())
+        else:
+            if isinstance(data, Mapping):
+                payload = tuple(data.items())
+            else:
+                payload = tuple(data)
+            if kw:
+                payload += tuple(kw.items())
         self.records.append(
-            TraceRecord(time, category, actor, event, tuple(data.items()))
+            TraceRecord(time, category, actor, event, payload)
         )
 
     def filter(
@@ -74,6 +94,58 @@ class Tracer:
 
     def clear(self) -> None:
         self.records.clear()
+
+    # -- persistence -------------------------------------------------------
+    def to_jsonl(self) -> str:
+        """Serialize all records as JSON Lines (one record per line).
+
+        Payload pair order is preserved; tuple values are stored as JSON
+        arrays and restored as tuples by :meth:`from_jsonl`, so a
+        round-trip reproduces the original records exactly (lists, which
+        never appear in emitted payloads, would also come back as
+        tuples).
+        """
+        lines = []
+        for r in self.records:
+            lines.append(json.dumps(
+                {
+                    "t": r.time,
+                    "cat": r.category,
+                    "actor": r.actor,
+                    "event": r.event,
+                    "data": [[k, _to_jsonable(v)] for k, v in r.data],
+                },
+                sort_keys=True,
+            ))
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    @classmethod
+    def from_jsonl(cls, text: Union[str, Iterable[str]]) -> "Tracer":
+        """Rebuild a tracer from :meth:`to_jsonl` output."""
+        tracer = cls(enabled=True)
+        lines = text.splitlines() if isinstance(text, str) else text
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            d = json.loads(line)
+            payload = tuple((k, _from_jsonable(v)) for k, v in d["data"])
+            tracer.records.append(
+                TraceRecord(d["t"], d["cat"], d["actor"], d["event"], payload)
+            )
+        return tracer
+
+
+def _to_jsonable(value: Any) -> Any:
+    if isinstance(value, (tuple, list)):
+        return [_to_jsonable(v) for v in value]
+    return value
+
+
+def _from_jsonable(value: Any) -> Any:
+    if isinstance(value, list):
+        return tuple(_from_jsonable(v) for v in value)
+    return value
 
 
 class BusyTracker:

@@ -72,3 +72,67 @@ def test_table1_command(capsys):
     assert main(["table1", "--tasks", "120"]) == 0
     out = capsys.readouterr().out
     assert "edtlp(paper)" in out and "linux(paper)" in out
+
+
+def test_trace_command_writes_chrome_trace(tmp_path, capsys):
+    import json
+
+    out_path = tmp_path / "t.json"
+    jsonl_path = tmp_path / "t.jsonl"
+    assert main(["trace", "fig8", "--out", str(out_path),
+                 "--jsonl", str(jsonl_path),
+                 "--bootstraps", "2", "--tasks", "60"]) == 0
+    out = capsys.readouterr().out
+    assert "perfetto" in out
+
+    doc = json.loads(out_path.read_text())
+    assert set(doc) >= {"traceEvents", "displayTimeUnit"}
+    events = doc["traceEvents"]
+    assert events
+    phases = {e["ph"] for e in events}
+    assert {"B", "E", "M"} <= phases
+    for e in events:
+        assert {"ph", "pid", "tid", "name"} <= set(e)
+        if e["ph"] != "M":
+            assert isinstance(e["ts"], (int, float))
+    # Every B has a matching E per (pid, tid) — Perfetto requirement.
+    depth = {}
+    for e in sorted((e for e in events if e["ph"] in "BE"),
+                    key=lambda e: e["ts"]):
+        key = (e["pid"], e["tid"])
+        depth[key] = depth.get(key, 0) + (1 if e["ph"] == "B" else -1)
+        assert depth[key] >= 0
+    assert all(d == 0 for d in depth.values())
+    assert jsonl_path.read_text().count("\n") > 0
+
+
+def test_stats_command_reports_scheduler_metrics(capsys):
+    assert main(["stats", "fig8", "--bootstraps", "3",
+                 "--tasks", "100"]) == 0
+    out = capsys.readouterr().out
+    assert "MGPS window utilization U=" in out
+    assert "context switches" in out
+    assert "granularity accept/reject" in out
+    assert "llp.chunk_size" in out
+    assert "metrics snapshot" in out
+
+
+def test_stats_command_json_mode(capsys):
+    import json
+
+    assert main(["stats", "edtlp", "--bootstraps", "2", "--tasks", "60",
+                 "--json"]) == 0
+    snap = json.loads(capsys.readouterr().out)
+    assert snap["runtime.offloads"]["value"] > 0
+
+
+def test_scenario_trace_flag(tmp_path, capsys):
+    import json
+
+    path = tmp_path / "cmp.json"
+    assert main(["compare", "--bootstraps", "2", "--tasks", "60",
+                 "--trace", str(path)]) == 0
+    doc = json.loads(path.read_text())
+    # One Perfetto process per scheduler in the comparison.
+    pids = {e["pid"] for e in doc["traceEvents"]}
+    assert len(pids) == 5
