@@ -1,0 +1,30 @@
+#!/usr/bin/env python
+"""Benchmark regression gate: current measurement vs committed baselines.
+
+Thin executable wrapper over :func:`repro.obs.bench.check_baselines` —
+re-measures the tracked scheduler ladder and diffs every deterministic
+(non-``_wall``) metric against the committed repo-root ``BENCH_core.json``
+and ``BENCH_obs.json`` with per-metric tolerances.  Exits 1 on drift.
+
+Equivalent to ``python -m repro bench --check``.  Run it after any
+scheduler change; if the drift is intended, refresh the baselines with
+``python -m repro bench --write`` and the benchmark suite, and commit
+the diff.
+"""
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent.parent / "src"))
+
+from repro.obs.bench import check_baselines, find_repo_root  # noqa: E402
+
+
+def main() -> int:
+    ok, report = check_baselines(root=find_repo_root(pathlib.Path(__file__)))
+    print(report)
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,14 +2,17 @@
 
 Every benchmark regenerates one of the paper's tables/figures, times the
 harness with pytest-benchmark (``rounds=1`` — these are simulations, not
-microbenchmarks), writes its artifact to ``benchmarks/out/`` and echoes
-it to the terminal report.
+microbenchmarks), writes its artifact to ``benchmarks/out/`` (or, for
+the tracked ``BENCH_*.json`` baselines, the repo root) and echoes it to
+the terminal report.
 
 Artifacts are deterministic by construction: tables come from seeded
 simulations, and JSON artifacts go through :func:`record_json`, which
-sorts keys and rounds floats (via :func:`repro.obs.metrics.stable_round`)
-so re-runs produce byte-identical files — except explicitly wall-clock
-fields, which callers mark with a ``_wall`` suffix.
+sorts keys and rounds floats (via
+:func:`repro.obs.bench.stable_payload`) so re-runs produce
+byte-identical files — except explicitly wall-clock fields, which
+callers mark with a ``_wall`` suffix and which the regression gate
+(``repro bench --check``) never compares.
 """
 
 import json
@@ -17,22 +20,12 @@ import pathlib
 
 import pytest
 
-from repro.obs.metrics import stable_round
+from repro.obs.bench import stable_payload
 
 OUT_DIR = pathlib.Path(__file__).parent / "out"
+REPO_ROOT = pathlib.Path(__file__).parent.parent
 
 _collected = []
-
-
-def _stable(obj):
-    """Recursively round floats for diff-stable JSON artifacts."""
-    if isinstance(obj, float):
-        return stable_round(obj)
-    if isinstance(obj, dict):
-        return {k: _stable(v) for k, v in sorted(obj.items())}
-    if isinstance(obj, (list, tuple)):
-        return [_stable(v) for v in obj]
-    return obj
 
 
 @pytest.fixture
@@ -49,20 +42,23 @@ def record_table():
 
 @pytest.fixture
 def record_json():
-    """Persist a JSON artifact under ``benchmarks/out/`` deterministically.
+    """Persist a JSON benchmark artifact deterministically.
 
-    Keys are emitted sorted and floats rounded; keys ending in ``_wall``
-    are passed through untouched (wall-clock timings are expected to
-    vary between runs).
+    Keys are emitted sorted and floats rounded (at any nesting depth);
+    keys ending in ``_wall`` are passed through untouched (wall-clock
+    timings are expected to vary between runs).  By default artifacts
+    land in gitignored ``benchmarks/out/``; ``root=True`` writes to the
+    repo root instead — that is how the *tracked* ``BENCH_*.json``
+    baseline trajectory is refreshed (commit the diff deliberately).
     """
 
-    def _record(name: str, payload: dict) -> pathlib.Path:
-        OUT_DIR.mkdir(exist_ok=True)
-        stable = {
-            k: (v if k.endswith("_wall") else _stable(v))
-            for k, v in sorted(payload.items())
-        }
-        path = OUT_DIR / f"{name}.json"
+    def _record(name: str, payload: dict, root: bool = False) -> pathlib.Path:
+        stable = stable_payload(payload)
+        if root:
+            path = REPO_ROOT / f"{name}.json"
+        else:
+            OUT_DIR.mkdir(exist_ok=True)
+            path = OUT_DIR / f"{name}.json"
         path.write_text(
             json.dumps(stable, indent=2, sort_keys=True) + "\n"
         )

@@ -130,6 +130,7 @@ def scheduler_summary(registry) -> Dict[str, float]:
     summary = {
         "makespan_s": v("run.makespan_s"),
         "spe_utilization": v("run.spe_utilization"),
+        "spe_idle_ratio": 1.0 - v("run.spe_utilization"),
         "ppe_occupancy": v("run.ppe_occupancy"),
         "ppe_context_switches": v("ppe.context_switches"),
         "offloads": v("runtime.offloads"),

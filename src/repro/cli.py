@@ -12,6 +12,10 @@ Examples::
     python -m repro timeline --scheduler mgps --bootstraps 4
     python -m repro trace fig8 --out trace.json   # open in ui.perfetto.dev
     python -m repro stats fig8                    # scheduler metrics snapshot
+    python -m repro stats fig8 --fail-on 'spe_idle_ratio>0.25'
+    python -m repro health fig8                   # rule-based run diagnosis
+    python -m repro report fig8 --out report.html # self-contained HTML report
+    python -m repro bench --check                 # baseline regression gate
 
 Every scenario subcommand also accepts ``--trace PATH`` to write a
 Chrome/Perfetto trace alongside its normal output.
@@ -163,6 +167,64 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--json", action="store_true",
                    help="emit the registry snapshot as JSON instead of text")
+    p.add_argument(
+        "--fail-on", metavar="EXPR", action="append", default=[],
+        help="exit non-zero if a summary metric violates EXPR, e.g. "
+             "'spe_idle_ratio>0.25' or 'runtime.offload_waits>0'; "
+             "repeatable",
+    )
+
+    p = sub.add_parser(
+        "health",
+        help="diagnose one scenario run with the rule-based health monitor",
+        description=(
+            "Run one representative simulation of the named scenario (or "
+            "scheduler), feed its trace and metrics to the health "
+            "monitor's detectors (SPE starvation, MGPS oscillation, "
+            "window-U saturation, LLP imbalance, granularity churn) and "
+            "print the findings.  Exits non-zero if any finding fires."
+        ),
+    )
+    p.add_argument("scenario", choices=_OBSERVABLE)
+    p.add_argument("--bootstraps", type=int, default=3)
+    p.add_argument("--tasks", type=int, default=200)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--json", action="store_true",
+                   help="emit findings as a JSON array instead of text")
+
+    p = sub.add_parser(
+        "report",
+        help="write a self-contained HTML performance report for one run",
+        description=(
+            "Run one representative simulation of the named scenario (or "
+            "scheduler) and render a single self-contained HTML file — "
+            "SPE Gantt lanes, the MGPS window-U series, off-load latency "
+            "histogram, LLP adaptation curve and the health monitor's "
+            "findings.  Inline CSS/SVG only; opens offline."
+        ),
+    )
+    p.add_argument("scenario", choices=_OBSERVABLE)
+    p.add_argument("--out", required=True, metavar="PATH",
+                   help="output path for the HTML report")
+    p.add_argument("--bootstraps", type=int, default=3)
+    p.add_argument("--tasks", type=int, default=200)
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser(
+        "bench",
+        help="run the tracked scheduler benchmark ladder",
+        description=(
+            "Measure the four headline schedulers on the tracked "
+            "Figure-8-style workload.  --check diffs the measurement "
+            "against the committed BENCH_*.json baselines (the "
+            "regression gate); --write refreshes BENCH_core.json."
+        ),
+    )
+    p.add_argument("--check", action="store_true",
+                   help="diff against committed baselines; exit non-zero "
+                        "on drift")
+    p.add_argument("--write", action="store_true",
+                   help="rewrite BENCH_core.json at the repo root")
 
     return parser
 
@@ -319,6 +381,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"wrote Chrome trace to {args.out} "
               f"(open at https://ui.perfetto.dev)")
     elif args.command == "stats":
+        from .analysis.metrics import scheduler_summary
+        from .obs import parse_threshold
+
+        try:
+            rules = [parse_threshold(expr) for expr in args.fail_on]
+        except ValueError as exc:
+            print(f"repro stats: error: {exc}", file=sys.stderr)
+            return 2
         _tracer, metrics, result = _run_observed(
             args.scenario, args.bootstraps, args.tasks, args.seed
         )
@@ -332,6 +402,84 @@ def main(argv: Optional[List[str]] = None) -> int:
             ))
             print()
             print(metrics.render())
+        if rules:
+            summary = scheduler_summary(metrics)
+            failed = False
+            for rule in rules:
+                if rule.metric in summary:
+                    observed = summary[rule.metric]
+                else:
+                    inst = metrics.get(rule.metric)
+                    if inst is None:
+                        print(f"repro stats: error: unknown metric "
+                              f"{rule.metric!r} in --fail-on", file=sys.stderr)
+                        return 2
+                    observed = float(inst.value)
+                if rule.violated(observed):
+                    print(f"FAIL {rule} (observed {observed:g})",
+                          file=sys.stderr)
+                    failed = True
+                else:
+                    print(f"ok   {rule} (observed {observed:g})")
+            if failed:
+                return 1
+    elif args.command == "health":
+        import json as _json
+
+        from .obs import analyze_run, render_findings
+
+        tracer, metrics, result = _run_observed(
+            args.scenario, args.bootstraps, args.tasks, args.seed
+        )
+        findings = analyze_run(tracer, metrics)
+        if args.json:
+            print(_json.dumps([f.to_dict() for f in findings], indent=2))
+        else:
+            print(f"{args.scenario}: {result.scheduler} on "
+                  f"{args.bootstraps} bootstraps x {args.tasks} tasks")
+            print(render_findings(findings))
+        if findings:
+            return 1
+    elif args.command == "report":
+        import pathlib
+
+        from .obs import analyze_run, write_report
+
+        if not pathlib.Path(args.out).parent.is_dir():
+            print(f"repro report: error: directory of {args.out!r} does "
+                  f"not exist", file=sys.stderr)
+            return 2
+        tracer, metrics, result = _run_observed(
+            args.scenario, args.bootstraps, args.tasks, args.seed
+        )
+        findings = analyze_run(tracer, metrics)
+        write_report(
+            args.out, tracer, metrics, findings,
+            title=f"{args.scenario}: {result.scheduler} scheduler run",
+            subtitle=f"{args.bootstraps} bootstraps x {args.tasks} tasks, "
+                     f"seed {args.seed} — makespan {result.makespan:.2f} s",
+        )
+        print(f"wrote report to {args.out} ({len(findings)} finding(s); "
+              f"self-contained, open in any browser)")
+    elif args.command == "bench":
+        from .obs import bench as obs_bench
+
+        current = obs_bench.measure_core()
+        for name, row in current["schedulers"].items():
+            speedup = current["speedup_over_serial"][name]
+            print(f"{name:>11}: makespan {row['makespan_s']:8.2f} s  "
+                  f"({speedup:4.2f}x serial), {row['offloads']:4d} "
+                  f"off-loads, {row['llp_invocations']:3d} LLP")
+        if args.write:
+            path = obs_bench.write_baseline(
+                obs_bench.find_repo_root(), obs_bench.CORE_BASELINE, current
+            )
+            print(f"wrote {path}")
+        if args.check:
+            ok, report = obs_bench.check_baselines(current_core=current)
+            print(report)
+            if not ok:
+                return 1
     else:  # pragma: no cover - argparse enforces choices
         raise SystemExit(2)
 

@@ -65,23 +65,42 @@ class GranularityGovernor:
         self._measured_spe: Dict[str, float] = {}
         self._measured_ppe: Dict[str, float] = {}
         self._throttle_streak: Dict[str, int] = {}
+        self._last_decision: Dict[str, bool] = {}
+        self.flips: Dict[str, int] = {}
         self.throttled = 0
         self.offloaded = 0
-        m = metrics if metrics is not None else NULL_REGISTRY
+        self._metrics = metrics if metrics is not None else NULL_REGISTRY
+        m = self._metrics
         self._m_accept = m.counter(
             "granularity.accept", "off-load requests that passed the test"
         )
         self._m_reject = m.counter(
             "granularity.reject", "off-load requests throttled to the PPE"
         )
+        self._m_flips = m.counter(
+            "granularity.flips",
+            "accept<->reject decision reversals across all functions",
+        )
         self._m_reason = {
             reason: m.counter(f"granularity.decision.{reason}")
             for reason in ("disabled", "optimistic", "pass", "fail", "reprobe")
         }
 
-    def _note(self, decision: OffloadDecision) -> OffloadDecision:
+    def _note(self, function: str, decision: OffloadDecision) -> OffloadDecision:
         (self._m_accept if decision.offload else self._m_reject).inc()
         self._m_reason[decision.reason].inc()
+        # Flip tracking: a stable function decides the same way every
+        # time; accept->reject churn (measurement noise, a borderline
+        # kernel) is the health monitor's granularity-churn signal.
+        prev = self._last_decision.get(function)
+        if prev is not None and prev != decision.offload:
+            self.flips[function] = self.flips.get(function, 0) + 1
+            self._m_flips.inc()
+            self._metrics.counter(
+                f"granularity.flips.{function}",
+                "accept<->reject decision reversals for one function",
+            ).inc()
+        self._last_decision[function] = decision.offload
         return decision
 
     def decide(self, task: TaskSpec, t_code: float = 0.0) -> OffloadDecision:
@@ -94,25 +113,25 @@ class GranularityGovernor:
         self.record_ppe(task.function, task.ppe_time)
         if not self.enabled:
             self.offloaded += 1
-            return self._note(OffloadDecision(True, "disabled"))
+            return self._note(task.function, OffloadDecision(True, "disabled"))
         t_spe = self._measured_spe.get(task.function)
         if t_spe is None:
             self.offloaded += 1
-            return self._note(OffloadDecision(True, "optimistic"))
+            return self._note(task.function, OffloadDecision(True, "optimistic"))
         t_ppe = self._measured_ppe[task.function]
         if t_spe + t_code + 2.0 * self.t_comm < t_ppe:
             self.offloaded += 1
             self._throttle_streak[task.function] = 0
-            return self._note(OffloadDecision(True, "pass"))
+            return self._note(task.function, OffloadDecision(True, "pass"))
         streak = self._throttle_streak.get(task.function, 0) + 1
         if streak >= self.reprobe_interval:
             # Refresh the SPE measurement rather than throttling forever.
             self._throttle_streak[task.function] = 0
             self.offloaded += 1
-            return self._note(OffloadDecision(True, "reprobe"))
+            return self._note(task.function, OffloadDecision(True, "reprobe"))
         self._throttle_streak[task.function] = streak
         self.throttled += 1
-        return self._note(OffloadDecision(False, "fail"))
+        return self._note(task.function, OffloadDecision(False, "fail"))
 
     def record_spe(self, function: str, duration: float) -> None:
         """Feed back a measured SPE execution time."""

@@ -28,6 +28,7 @@ class UtilizationHistory:
         n_spes: int,
         window: Optional[int] = None,
         metrics: Optional[object] = None,
+        llp_threshold: Optional[int] = None,
     ) -> None:
         if n_spes < 1:
             raise ValueError("n_spes must be >= 1")
@@ -35,6 +36,14 @@ class UtilizationHistory:
         self.window = window if window is not None else n_spes
         if self.window < 1:
             raise ValueError("window must be >= 1")
+        # LLP activates when U <= llp_threshold (the paper uses half the
+        # SPEs).  0 disables the trigger entirely — a deliberately broken
+        # configuration the health monitor is expected to flag.
+        self.llp_threshold = (
+            n_spes // 2 if llp_threshold is None else llp_threshold
+        )
+        if self.llp_threshold < 0:
+            raise ValueError("llp_threshold must be >= 0")
         self._dispatch_times: Deque[float] = deque(maxlen=4 * self.window)
         self._u_samples: Deque[int] = deque(maxlen=self.window)
         self.dispatches = 0
@@ -95,12 +104,12 @@ class UtilizationHistory:
     def llp_decision(self, waiting_tasks: int) -> Tuple[bool, int]:
         """(activate_llp, degree) per the Section 5.4 rule.
 
-        LLP activates when the window shows U <= n_spes/2; the degree is
-        ``floor(n_spes / T)`` for ``T`` current task sources, clamped to
-        [1, n_spes].
+        LLP activates when the window shows ``U <= llp_threshold``
+        (``n_spes // 2`` by default); the degree is ``floor(n_spes / T)``
+        for ``T`` current task sources, clamped to [1, n_spes].
         """
         u = self.u_estimate
-        if u == 0 or u > self.n_spes // 2:
+        if u == 0 or u > self.llp_threshold:
             return False, 1
         t = max(1, waiting_tasks)
         degree = max(1, min(self.n_spes, self.n_spes // t))

@@ -37,15 +37,26 @@ def _publish_run_metrics(metrics, env, machine, raw, scale, occupancy) -> None:
     These are the numbers :mod:`repro.analysis.metrics` reads back
     instead of recomputing them from busy intervals.
     """
+    from ..obs.metrics import labeled
+
     g = metrics.gauge
     g("run.raw_makespan_s", "simulated makespan, seconds").set(raw)
     g("run.makespan_s", "paper-scale makespan, seconds").set(raw * scale)
     g("run.spe_utilization").set(machine.spe_utilization(raw))
+    g("run.n_spes", "SPEs on the simulated blade").set(machine.n_spes)
     g("run.ppe_occupancy").set(occupancy)
     g("ppe.context_switches", "PPE context switches over the run").set(
         sum(c.switches for c in machine.cores)
     )
     g("sim.events_processed").set(env.events_processed)
+    # Per-SPE utilization gauges: idle SPEs never appear in the trace
+    # (no task records), so the starvation detector needs the full
+    # per-actor picture from the registry.
+    for s in machine.spes:
+        g(
+            labeled("spe.utilization", spe=s.name),
+            "busy fraction of one SPE over the run",
+        ).set(s.utilization(raw))
 
 
 def run_experiment(

@@ -230,6 +230,18 @@ class OffloadRuntime:
             duration = inv.duration
             self.stats.llp_invocations += 1
             self.stats.llp_worker_seconds += duration * len(workers)
+            if self.tracer.enabled:
+                # Per-invocation adaptation record: the join-idle series
+                # per (function, k) is what the health monitor checks for
+                # adaptive-unbalancing convergence, and what the HTML
+                # report plots as the chunk-adaptation curve.
+                self.tracer.emit(
+                    env.now, "llp", spe.name, "llp_invoke",
+                    function=task.function, k=inv.k,
+                    join_idle_us=inv.join_idle * 1e6,
+                    master_fraction=inv.master_fraction,
+                    chunks=inv.chunks,
+                )
         else:
             duration = self._exec_time(task)
         owner = f"p{ctx.rank}"
@@ -447,11 +459,14 @@ class MGPSRuntime(EDTLPRuntime):
         window: Optional[int] = None,
         staleness: float = 20e-3,
         max_degree: Optional[int] = None,
+        llp_u_threshold: Optional[int] = None,
         **kwargs,
     ) -> None:
         super().__init__(*args, **kwargs)
         n = self.machine.n_spes
-        self.history = UtilizationHistory(n, window, metrics=self.metrics)
+        self.history = UtilizationHistory(
+            n, window, metrics=self.metrics, llp_threshold=llp_u_threshold
+        )
         self.staleness = staleness
         self._m_decisions = self.metrics.counter(
             "mgps.decisions", "window-boundary LLP policy evaluations"

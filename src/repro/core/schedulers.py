@@ -50,6 +50,7 @@ class SchedulerSpec:
     locality_aware: bool = False
     llp_config: Optional[LLPConfig] = None
     history_window: Optional[int] = None
+    llp_u_threshold: Optional[int] = None
     label: Optional[str] = None
 
     def __post_init__(self) -> None:
@@ -104,7 +105,10 @@ class SchedulerSpec:
             return EDTLPRuntime(env, machine, **common)
         if self.kind == "static":
             return StaticHybridRuntime(env, machine, degree=self.llp_degree, **common)
-        return MGPSRuntime(env, machine, window=self.history_window, **common)
+        return MGPSRuntime(
+            env, machine, window=self.history_window,
+            llp_u_threshold=self.llp_u_threshold, **common,
+        )
 
     def with_(self, **kwargs) -> "SchedulerSpec":
         return replace(self, **kwargs)

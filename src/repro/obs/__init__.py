@@ -9,11 +9,18 @@ package makes those decisions observable without perturbing them:
 * :mod:`repro.obs.metrics` — counters / gauges / fixed-bucket histograms
   in a per-run :class:`MetricsRegistry` (no-op when absent);
 * :mod:`repro.obs.export` — Chrome/Perfetto trace-event JSON, JSONL
-  record sink, and deterministic metrics snapshots.
+  record sink, and deterministic metrics snapshots;
+* :mod:`repro.obs.monitor` — rule-based post-run health detectors
+  (starvation, oscillation, saturation, imbalance, churn);
+* :mod:`repro.obs.report` — one self-contained HTML performance report
+  per run (inline SVG, no network);
+* :mod:`repro.obs.bench` — the tracked benchmark trajectory and its
+  regression gate over the committed ``BENCH_*.json`` baselines.
 
 Everything is stdlib-only and hangs off per-run objects — no globals.
 """
 
+from .bench import check_baselines, compare, measure_core
 from .export import (
     chrome_trace,
     chrome_trace_events,
@@ -29,7 +36,18 @@ from .metrics import (
     MetricsRegistry,
     NULL_REGISTRY,
     NullRegistry,
+    labeled,
 )
+from .monitor import (
+    HealthFinding,
+    HealthMonitor,
+    MonitorConfig,
+    Threshold,
+    analyze_run,
+    parse_threshold,
+    render_findings,
+)
+from .report import render_report, write_report
 from .spans import NULL_SPAN, Span, SpanRecorder
 
 __all__ = [
@@ -40,6 +58,7 @@ __all__ = [
     "NullRegistry",
     "NULL_REGISTRY",
     "DEFAULT_BUCKETS",
+    "labeled",
     "Span",
     "SpanRecorder",
     "NULL_SPAN",
@@ -48,4 +67,16 @@ __all__ = [
     "write_chrome_trace",
     "write_trace_jsonl",
     "write_metrics_snapshot",
+    "HealthFinding",
+    "HealthMonitor",
+    "MonitorConfig",
+    "Threshold",
+    "analyze_run",
+    "parse_threshold",
+    "render_findings",
+    "render_report",
+    "write_report",
+    "measure_core",
+    "compare",
+    "check_baselines",
 ]

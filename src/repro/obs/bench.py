@@ -1,0 +1,347 @@
+"""The tracked benchmark trajectory: measurement, baselines, gates.
+
+The repo keeps two committed baseline files at its root:
+
+* ``BENCH_core.json`` — makespans/off-load counts for the four headline
+  schedulers (serial, EDTLP, static EDTLP-LLP, MGPS) on a Figure-8-style
+  workload, written by ``benchmarks/bench_schedulers.py``;
+* ``BENCH_obs.json`` — the observability-overhead summary, written by
+  ``benchmarks/bench_obs_overhead.py``.
+
+Simulated quantities are deterministic (same seed, same arithmetic), so
+a drift in any non-``_wall`` field is a real behavior change — that is
+the regression gate ``repro bench --check`` (and its thin wrapper
+``benchmarks/check_bench.py``) enforces.  Wall-clock fields carry a
+``_wall`` suffix and are never compared.
+
+:func:`measure_core` produces the current numbers, :func:`compare`
+diffs a payload against a committed baseline with per-metric
+tolerances, and :func:`check_baselines` runs the whole gate.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+# NOTE: repro.core imports repro.obs at module load (for NULL_REGISTRY),
+# so this module must not import repro.core at the top level; the
+# scheduler/runner imports happen inside the functions that need them.
+from .metrics import stable_round
+
+__all__ = [
+    "CORE_BASELINE",
+    "OBS_BASELINE",
+    "REQUIRED_CORE_KEYS",
+    "REQUIRED_OBS_KEYS",
+    "DEFAULT_TOLERANCES",
+    "find_repo_root",
+    "core_schedulers",
+    "measure_core",
+    "stable_payload",
+    "write_baseline",
+    "flatten",
+    "compare",
+    "check_baselines",
+]
+
+CORE_BASELINE = "BENCH_core.json"
+OBS_BASELINE = "BENCH_obs.json"
+
+# The workload every tracked benchmark shares (Figure-8-style: few
+# bootstraps, many tasks -> MGPS must fall back on loop parallelism).
+BOOTSTRAPS = 3
+TASKS = 200
+SEED = 0
+
+REQUIRED_CORE_KEYS = ("workload", "schedulers", "speedup_over_serial")
+REQUIRED_OBS_KEYS = (
+    "workload",
+    "makespan_s",
+    "offloads",
+    "on_over_off_ratio_wall",
+    "metrics_over_off_ratio_wall",
+)
+
+# Relative tolerance per flattened metric path suffix.  Simulated values
+# are bit-deterministic, but rounding through ``stable_round`` and JSON
+# can move the last digit, so "exact" is a tiny epsilon, not 0.0.
+_EXACT = 1e-9
+DEFAULT_TOLERANCES = {
+    "makespan_s": _EXACT,
+    "spe_utilization": _EXACT,
+    "offloads": 0.0,
+    "llp_invocations": 0.0,
+    "ppe_fallbacks": 0.0,
+    "speedup_over_serial": 1e-6,
+}
+_DEFAULT_TOL = _EXACT
+
+
+def find_repo_root(start: Optional[pathlib.Path] = None) -> pathlib.Path:
+    """Walk up from ``start`` to the directory holding the baselines.
+
+    Recognizes the repo root by ``.git`` or an existing baseline file;
+    falls back to the package checkout root (three levels above this
+    module: ``src/repro/obs`` -> repo).
+    """
+    here = pathlib.Path(start or pathlib.Path.cwd()).resolve()
+    for candidate in (here, *here.parents):
+        if (candidate / ".git").exists() or (candidate / CORE_BASELINE).exists():
+            return candidate
+    return pathlib.Path(__file__).resolve().parents[3]
+
+
+def core_schedulers() -> List[Tuple[str, "SchedulerSpec"]]:
+    """The tracked scheduler ladder, slowest first."""
+    from ..core.schedulers import edtlp, mgps, static_hybrid
+
+    return [
+        ("serial", edtlp(n_processes=1, label="serial")),
+        ("edtlp", edtlp()),
+        ("edtlp-llp4", static_hybrid(4)),
+        ("mgps", mgps()),
+    ]
+
+
+def measure_core(
+    bootstraps: int = BOOTSTRAPS,
+    tasks: int = TASKS,
+    seed: int = SEED,
+    time_source=time.perf_counter,
+) -> Dict[str, Any]:
+    """Run the scheduler ladder once; returns the ``BENCH_core`` payload.
+
+    All fields are deterministic except the per-scheduler
+    ``seconds_wall`` timings.
+    """
+    from ..core.runner import run_experiment
+    from ..workloads.traces import Workload
+
+    rows: Dict[str, Dict[str, Any]] = {}
+    for name, spec in core_schedulers():
+        wl = Workload(bootstraps=bootstraps, tasks_per_bootstrap=tasks, seed=seed)
+        t0 = time_source()
+        result = run_experiment(spec, wl, seed=seed)
+        wall = time_source() - t0
+        rows[name] = {
+            "makespan_s": result.makespan,
+            "spe_utilization": result.spe_utilization,
+            "offloads": result.offloads,
+            "ppe_fallbacks": result.ppe_fallbacks,
+            "llp_invocations": result.llp_invocations,
+            "seconds_wall": wall,
+        }
+    serial = rows["serial"]["makespan_s"]
+    return {
+        "workload": {
+            "bootstraps": bootstraps,
+            "tasks_per_bootstrap": tasks,
+            "seed": seed,
+        },
+        "schedulers": rows,
+        "speedup_over_serial": {
+            name: serial / rows[name]["makespan_s"] for name in rows
+        },
+    }
+
+
+def stable_payload(payload: Any) -> Any:
+    """Diff-stable form: sorted keys, rounded floats, ``_wall`` verbatim.
+
+    Wall-clock fields are expected to differ between runs; everything
+    else rounds through :func:`~repro.obs.metrics.stable_round` so two
+    measurements of the same simulation serialize byte-identically.
+    """
+    if isinstance(payload, dict):
+        return {
+            k: (v if isinstance(k, str) and k.endswith("_wall")
+                else stable_payload(v))
+            for k, v in sorted(payload.items())
+        }
+    if isinstance(payload, (list, tuple)):
+        return [stable_payload(v) for v in payload]
+    if isinstance(payload, float):
+        return stable_round(payload)
+    return payload
+
+
+def write_baseline(root: pathlib.Path, name: str, payload: Dict[str, Any]) -> pathlib.Path:
+    """Write one ``BENCH_*.json`` baseline at the repo root."""
+    path = pathlib.Path(root) / name
+    path.write_text(
+        json.dumps(stable_payload(payload), indent=2, sort_keys=True) + "\n"
+    )
+    return path
+
+
+def flatten(payload: Any, prefix: str = "") -> Dict[str, Any]:
+    """Nested dict -> {'a.b.c': leaf}; lists indexed numerically."""
+    out: Dict[str, Any] = {}
+    if isinstance(payload, dict):
+        for k, v in payload.items():
+            out.update(flatten(v, f"{prefix}{k}."))
+    elif isinstance(payload, (list, tuple)):
+        for i, v in enumerate(payload):
+            out.update(flatten(v, f"{prefix}{i}."))
+    else:
+        out[prefix[:-1]] = payload
+    return out
+
+
+def _tolerance_for(path: str, tolerances: Dict[str, float]) -> float:
+    leaf = path.rsplit(".", 1)[-1]
+    for key in (path, leaf):
+        if key in tolerances:
+            return tolerances[key]
+    for key, tol in tolerances.items():
+        if path.startswith(key + ".") or path.endswith("." + key):
+            return tol
+    return _DEFAULT_TOL
+
+
+def compare(
+    current: Dict[str, Any],
+    baseline: Dict[str, Any],
+    tolerances: Optional[Dict[str, float]] = None,
+) -> List[Dict[str, Any]]:
+    """Diff two benchmark payloads; returns the list of violations.
+
+    Wall-clock fields (path leaf ending in ``_wall``) are skipped.
+    Numeric leaves compare with a per-metric relative tolerance; other
+    leaves (workload descriptors, labels) must match exactly.  Missing
+    or extra non-wall leaves are violations too: a baseline that loses a
+    metric silently is as suspect as one that drifts.
+    """
+    tol_map = dict(DEFAULT_TOLERANCES)
+    tol_map.update(tolerances or {})
+    # Round both sides the way baselines are serialized, so a fresh
+    # in-memory measurement compares cleanly against a committed file.
+    cur = {
+        k: v for k, v in flatten(stable_payload(current)).items()
+        if not k.rsplit(".", 1)[-1].endswith("_wall")
+    }
+    base = {
+        k: v for k, v in flatten(stable_payload(baseline)).items()
+        if not k.rsplit(".", 1)[-1].endswith("_wall")
+    }
+    violations: List[Dict[str, Any]] = []
+    for path in sorted(base.keys() | cur.keys()):
+        if path not in cur:
+            violations.append({"path": path, "kind": "missing",
+                               "baseline": base[path], "current": None})
+            continue
+        if path not in base:
+            violations.append({"path": path, "kind": "new",
+                               "baseline": None, "current": cur[path]})
+            continue
+        b, c = base[path], cur[path]
+        if isinstance(b, (int, float)) and isinstance(c, (int, float)) \
+                and not isinstance(b, bool) and not isinstance(c, bool):
+            tol = _tolerance_for(path, tol_map)
+            scale = max(abs(float(b)), abs(float(c)), 1e-12)
+            if abs(float(c) - float(b)) > tol * scale + 1e-12:
+                violations.append({
+                    "path": path, "kind": "drift",
+                    "baseline": b, "current": c, "tolerance": tol,
+                })
+        elif b != c:
+            violations.append({"path": path, "kind": "changed",
+                               "baseline": b, "current": c})
+    return violations
+
+
+def render_violations(violations: List[Dict[str, Any]]) -> str:
+    if not violations:
+        return "bench: OK (all tracked metrics within tolerance)"
+    lines = [f"bench: {len(violations)} metric(s) drifted from baseline"]
+    for v in violations:
+        if v["kind"] == "drift":
+            lines.append(
+                f"  [drift]   {v['path']}: {v['baseline']} -> {v['current']}"
+                f" (tol {v['tolerance']:g})"
+            )
+        else:
+            lines.append(
+                f"  [{v['kind']}] {v['path']}: "
+                f"{v['baseline']!r} -> {v['current']!r}"
+            )
+    return "\n".join(lines)
+
+
+def _load(path: pathlib.Path) -> Dict[str, Any]:
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def check_baselines(
+    root: Optional[pathlib.Path] = None,
+    current_core: Optional[Dict[str, Any]] = None,
+) -> Tuple[bool, str]:
+    """The regression gate: committed baselines vs a fresh measurement.
+
+    Re-measures the core ladder (pass ``current_core`` to reuse an
+    existing measurement), diffs it against ``BENCH_core.json``, and
+    cross-checks ``BENCH_obs.json``'s deterministic fields against the
+    same run — both files describe the identical workload, so their
+    MGPS makespans must agree.  Returns ``(ok, report_text)``.
+    """
+    root = pathlib.Path(root) if root is not None else find_repo_root()
+    lines: List[str] = []
+    ok = True
+
+    core_path = root / CORE_BASELINE
+    if not core_path.exists():
+        return False, f"bench: missing baseline {core_path}"
+    baseline = _load(core_path)
+    missing = [k for k in REQUIRED_CORE_KEYS if k not in baseline]
+    if missing:
+        return False, f"bench: {CORE_BASELINE} lacks required keys {missing}"
+    current = current_core or measure_core(
+        bootstraps=baseline["workload"].get("bootstraps", BOOTSTRAPS),
+        tasks=baseline["workload"].get("tasks_per_bootstrap", TASKS),
+        seed=baseline["workload"].get("seed", SEED),
+    )
+    violations = compare(current, baseline)
+    lines.append(render_violations(violations))
+    ok &= not violations
+
+    obs_path = root / OBS_BASELINE
+    if not obs_path.exists():
+        lines.append(f"bench: missing baseline {obs_path}")
+        ok = False
+    else:
+        obs = _load(obs_path)
+        missing = [k for k in REQUIRED_OBS_KEYS if k not in obs]
+        if missing:
+            lines.append(f"bench: {OBS_BASELINE} lacks required keys {missing}")
+            ok = False
+        else:
+            obs_wl = obs["workload"]
+            mgps_row = current["schedulers"].get("mgps", {})
+            if (
+                obs_wl.get("scheduler") == "mgps"
+                and obs_wl.get("bootstraps") == current["workload"]["bootstraps"]
+                and obs_wl.get("tasks_per_bootstrap")
+                    == current["workload"]["tasks_per_bootstrap"]
+            ):
+                cross = compare(
+                    {"makespan_s": mgps_row.get("makespan_s"),
+                     "offloads": mgps_row.get("offloads")},
+                    {"makespan_s": obs["makespan_s"],
+                     "offloads": obs["offloads"]},
+                )
+                if cross:
+                    lines.append(f"bench: {OBS_BASELINE} disagrees with the "
+                                 f"core ladder on the shared MGPS workload")
+                    lines.append(render_violations(cross))
+                    ok = False
+                else:
+                    lines.append(f"bench: {OBS_BASELINE} consistent with the "
+                                 f"core ladder (shared MGPS workload)")
+            else:
+                lines.append(f"bench: {OBS_BASELINE} workload differs from "
+                             f"the core ladder; structural check only")
+    return bool(ok), "\n".join(lines)

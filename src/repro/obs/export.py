@@ -59,7 +59,14 @@ def _as_map(traces: TracerLike) -> Dict[str, Tracer]:
 
 
 def chrome_trace_events(traces: TracerLike) -> List[dict]:
-    """Flat list of Chrome trace events (metadata first, then records)."""
+    """Flat list of Chrome trace events (metadata first, then records).
+
+    Robust to imperfect inputs: an empty tracer yields only its process
+    metadata, payload keys are stringified (JSON objects require string
+    keys, and ``sort_keys`` cannot order mixed types), and duration
+    events left open by an aborted run are closed with synthetic "E"
+    events at the trace's last timestamp so viewers still render them.
+    """
     events: List[dict] = []
     for pid, (run_name, tracer) in enumerate(_as_map(traces).items()):
         actors = sorted({(r.category, r.actor) for r in tracer.records})
@@ -73,22 +80,41 @@ def chrome_trace_events(traces: TracerLike) -> List[dict]:
                 "ph": "M", "name": "thread_name", "pid": pid, "tid": tid,
                 "args": {"name": f"{category}:{actor}"},
             })
+        open_stacks: Dict[int, List[str]] = {}
+        last_ts = 0.0
         for record in tracer.records:
-            args = {k: _jsonable(v) for k, v in record.data}
+            args = {str(k): _jsonable(v) for k, v in record.data}
             name = args.pop("name", None) or args.get("function") or record.event
+            tid = tid_of[(record.category, record.actor)]
+            phase = _PHASE.get(record.event, "i")
+            ts = round(record.time * 1e6, 3)  # microseconds
+            last_ts = max(last_ts, ts)
             event: Dict[str, Any] = {
                 "name": name,
                 "cat": record.category,
-                "ph": _PHASE.get(record.event, "i"),
-                "ts": round(record.time * 1e6, 3),  # microseconds
+                "ph": phase,
+                "ts": ts,
                 "pid": pid,
-                "tid": tid_of[(record.category, record.actor)],
+                "tid": tid,
             }
+            if phase == "B":
+                open_stacks.setdefault(tid, []).append(name)
+            elif phase == "E":
+                stack = open_stacks.get(tid)
+                if stack:
+                    stack.pop()
             if event["ph"] == "i":
                 event["s"] = "t"  # thread-scoped instant
             if args:
                 event["args"] = args
             events.append(event)
+        for tid in sorted(open_stacks):
+            for name in reversed(open_stacks[tid]):
+                events.append({
+                    "name": name, "cat": "incomplete", "ph": "E",
+                    "ts": last_ts, "pid": pid, "tid": tid,
+                    "args": {"unterminated": True},
+                })
     return events
 
 

@@ -1,0 +1,428 @@
+"""Scheduler health monitor: rule-based verdicts over a finished run.
+
+PR 1 gave runs spans, metrics and exporters; this module *interprets*
+them.  The paper's argument is a set of health properties — EDTLP keeps
+all eight SPEs fed, MGPS throttles LLP on the window utilization ``U``,
+LLP's adaptive unbalancing shrinks join idle — and each detector here
+checks one of them against a run's span stream (:class:`Tracer`) and
+:class:`~repro.obs.metrics.MetricsRegistry`:
+
+================  ===========================================================
+detector          fires when
+================  ===========================================================
+spe-starvation    an SPE idles beyond a threshold while the PPE run queue
+                  was non-empty (off-loads blocked waiting for an SPE)
+mgps-oscillation  the MGPS window repeatedly toggles LLP on/off across
+                  consecutive decisions (hysteresis failure)
+window-u-sat      the window shows low exposed TLP (``U`` at or below half
+                  the SPEs) for most decisions yet LLP never fires
+llp-imbalance     master/worker join idle for one loop does not shrink
+                  across invocations (adaptive unbalancing not converging)
+granularity-churn the granularity test flips accept<->reject repeatedly
+                  for the same function (off-load decision flapping)
+================  ===========================================================
+
+Findings are structured (:class:`HealthFinding`) so CI can assert on them
+(``repro health`` exits non-zero when any fire) and the HTML report can
+render them.  The threshold mini-language (``"spe_idle_ratio>0.25"``) is
+shared with ``repro stats --fail-on`` via :func:`parse_threshold`.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+
+from ..sim.trace import TraceRecord, Tracer
+
+__all__ = [
+    "HealthFinding",
+    "HealthMonitor",
+    "MonitorConfig",
+    "Threshold",
+    "analyze_run",
+    "parse_threshold",
+    "render_findings",
+]
+
+
+# -- threshold mini-language --------------------------------------------------
+
+_OPS: Dict[str, Callable[[float, float], bool]] = {
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+}
+
+_THRESHOLD_RE = re.compile(
+    r"^\s*([A-Za-z_][\w.{}=\",-]*?)\s*(>=|<=|==|!=|>|<)\s*"
+    r"([+-]?(?:\d+\.?\d*|\.\d+)(?:[eE][+-]?\d+)?)\s*$"
+)
+
+
+@dataclass(frozen=True)
+class Threshold:
+    """One parsed rule: ``metric op value`` describes a *bad* condition."""
+
+    metric: str
+    op: str
+    value: float
+
+    def violated(self, observed: float) -> bool:
+        """True when ``observed`` satisfies the (bad) condition."""
+        return _OPS[self.op](observed, self.value)
+
+    def __str__(self) -> str:
+        return f"{self.metric}{self.op}{self.value:g}"
+
+
+def parse_threshold(expr: str) -> Threshold:
+    """Parse ``"spe_idle_ratio>0.25"`` into a :class:`Threshold`.
+
+    The metric side is a bare name (summary key or registry metric name,
+    label suffixes included); the operator is one of ``> >= < <= == !=``;
+    the value is a number.  Raises :class:`ValueError` on anything else.
+    """
+    m = _THRESHOLD_RE.match(expr)
+    if m is None:
+        raise ValueError(
+            f"cannot parse threshold {expr!r} "
+            f"(expected e.g. 'spe_idle_ratio>0.25')"
+        )
+    return Threshold(m.group(1), m.group(2), float(m.group(3)))
+
+
+# -- findings -----------------------------------------------------------------
+
+@dataclass(frozen=True)
+class HealthFinding:
+    """One detector verdict on one run."""
+
+    detector: str
+    severity: str  # "warning" | "critical"
+    summary: str
+    evidence: Mapping[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "detector": self.detector,
+            "severity": self.severity,
+            "summary": self.summary,
+            "evidence": dict(self.evidence),
+        }
+
+
+def render_findings(findings: List[HealthFinding]) -> str:
+    """Terminal rendering of a finding list (the ``repro health`` view)."""
+    if not findings:
+        return "health: OK (0 findings)"
+    lines = [f"health: {len(findings)} finding(s)"]
+    for f in findings:
+        lines.append(f"  [{f.severity}] {f.detector}: {f.summary}")
+        for key in sorted(f.evidence):
+            lines.append(f"      {key} = {f.evidence[key]}")
+    return "\n".join(lines)
+
+
+# -- configuration ------------------------------------------------------------
+
+@dataclass(frozen=True)
+class MonitorConfig:
+    """Detector thresholds, grounded in the paper's operating points.
+
+    Defaults are calibrated so a healthy Figure-8 MGPS run reports zero
+    findings while the known pathologies (LLP trigger disabled, adaptive
+    unbalancing frozen, flapping granularity test) fire.
+    """
+
+    # spe-starvation: idle fraction that counts as starved, provided the
+    # run queue was non-empty (at least one off-load blocked for an SPE).
+    spe_idle_ratio: float = 0.5
+    starvation_min_waits: int = 1
+    # mgps-oscillation: LLP on/off direction changes across consecutive
+    # window decisions.  A healthy run settles after at most a couple.
+    oscillation_toggles: int = 6
+    oscillation_min_decisions: int = 8
+    # window-u-saturation: "low U" is U <= saturation_u_fraction * n_spes
+    # (the paper's trigger point is half the SPEs); the detector fires
+    # when at least saturation_low_windows of decisions are low-U yet LLP
+    # never activated.
+    saturation_u_fraction: float = 0.5
+    saturation_low_windows: float = 0.5
+    saturation_min_decisions: int = 4
+    # llp-imbalance: for loops with at least imbalance_min_invocations,
+    # the mean join idle of the last third must fall below
+    # imbalance_shrink_ratio x the first third's, unless it is already
+    # under imbalance_floor_us (converged).
+    imbalance_min_invocations: int = 9
+    imbalance_shrink_ratio: float = 0.9
+    imbalance_floor_us: float = 2.0
+    # granularity-churn: accept<->reject reversals per function.
+    churn_flips: int = 4
+
+    def with_(self, **kwargs: Any) -> "MonitorConfig":
+        return replace(self, **kwargs)
+
+
+# -- monitor ------------------------------------------------------------------
+
+def _registry_value(registry, name: str, default: float = 0.0) -> float:
+    inst = registry.get(name) if registry is not None else None
+    if inst is None:
+        return default
+    return float(inst.value)
+
+
+_SPE_UTIL_RE = re.compile(r'^spe\.utilization\{spe="(?P<spe>[^"]+)"\}$')
+_FLIP_PREFIX = "granularity.flips."
+
+
+class HealthMonitor:
+    """Runs every detector over one finished run's telemetry."""
+
+    def __init__(self, config: Optional[MonitorConfig] = None) -> None:
+        self.config = config or MonitorConfig()
+
+    # -- shared readers ---------------------------------------------------
+    def _makespan(self, tracer: Optional[Tracer], registry) -> float:
+        raw = _registry_value(registry, "run.raw_makespan_s")
+        if raw > 0:
+            return raw
+        if tracer is not None and tracer.records:
+            return max(r.time for r in tracer.records)
+        return 0.0
+
+    def _n_spes(self, tracer: Optional[Tracer], registry) -> int:
+        n = int(_registry_value(registry, "run.n_spes"))
+        if n > 0:
+            return n
+        if tracer is not None:
+            actors = {r.actor for r in tracer.records if r.category == "spe"}
+            if actors:
+                return len(actors)
+        return 8
+
+    def _spe_utilizations(
+        self, tracer: Optional[Tracer], registry, makespan: float
+    ) -> Dict[str, float]:
+        """Per-SPE busy fraction: registry gauges first, trace fallback."""
+        out: Dict[str, float] = {}
+        if registry is not None:
+            for name in registry.names():
+                m = _SPE_UTIL_RE.match(name)
+                if m:
+                    out[m.group("spe")] = float(registry.get(name).value)
+        if out or tracer is None or makespan <= 0:
+            return out
+        busy: Dict[str, float] = {}
+        open_at: Dict[str, float] = {}
+        for r in tracer.records:
+            if r.category != "spe":
+                continue
+            if r.event == "task_start":
+                open_at.setdefault(r.actor, r.time)
+            elif r.event == "task_end" and r.actor in open_at:
+                busy[r.actor] = busy.get(r.actor, 0.0) + r.time - open_at.pop(r.actor)
+        # A task left open by an aborted run is busy through the end.
+        for actor, since in open_at.items():
+            busy[actor] = busy.get(actor, 0.0) + makespan - since
+        return {a: b / makespan for a, b in busy.items()}
+
+    @staticmethod
+    def _decisions(tracer: Optional[Tracer]) -> List[TraceRecord]:
+        if tracer is None:
+            return []
+        return tracer.filter(category="sched", event="decision")
+
+    # -- detectors --------------------------------------------------------
+    def _detect_spe_starvation(
+        self, tracer, registry, findings: List[HealthFinding]
+    ) -> None:
+        cfg = self.config
+        waits = _registry_value(registry, "runtime.offload_waits")
+        if waits < cfg.starvation_min_waits:
+            return  # run queue never backed up: idle SPEs are slack, not starvation
+        makespan = self._makespan(tracer, registry)
+        utils = self._spe_utilizations(tracer, registry, makespan)
+        if not utils:
+            return
+        n_spes = self._n_spes(tracer, registry)
+        starved = {
+            spe: round(1.0 - u, 4)
+            for spe, u in sorted(utils.items())
+            if 1.0 - u > cfg.spe_idle_ratio
+        }
+        # SPEs that never ran a task have no gauge only in the
+        # trace-fallback path; count them as fully idle.
+        missing = n_spes - len(utils)
+        for i in range(missing):
+            starved[f"(untracked spe {i})"] = 1.0
+        if not starved:
+            return
+        worst = max(starved.values())
+        findings.append(HealthFinding(
+            detector="spe-starvation",
+            severity="critical" if worst > 0.75 else "warning",
+            summary=(
+                f"{len(starved)} of {n_spes} SPEs idled more than "
+                f"{cfg.spe_idle_ratio:.0%} of the run while "
+                f"{waits:.0f} off-loads blocked waiting for an SPE"
+            ),
+            evidence={
+                "idle_ratio_by_spe": starved,
+                "offload_waits": waits,
+                "threshold": cfg.spe_idle_ratio,
+            },
+        ))
+
+    def _detect_mgps_oscillation(
+        self, tracer, registry, findings: List[HealthFinding]
+    ) -> None:
+        cfg = self.config
+        decisions = self._decisions(tracer)
+        if len(decisions) < cfg.oscillation_min_decisions:
+            return
+        actives = [bool(d.get("active")) for d in decisions]
+        toggles = sum(1 for a, b in zip(actives, actives[1:]) if a != b)
+        if toggles < cfg.oscillation_toggles:
+            return
+        findings.append(HealthFinding(
+            detector="mgps-oscillation",
+            severity="warning",
+            summary=(
+                f"LLP toggled on/off {toggles} times across "
+                f"{len(decisions)} window decisions — the U window is not "
+                f"providing hysteresis"
+            ),
+            evidence={
+                "toggles": toggles,
+                "decisions": len(decisions),
+                "toggle_rate": round(toggles / len(decisions), 4),
+                "threshold": cfg.oscillation_toggles,
+            },
+        ))
+
+    def _detect_window_u_saturation(
+        self, tracer, registry, findings: List[HealthFinding]
+    ) -> None:
+        cfg = self.config
+        decisions = self._decisions(tracer)
+        if len(decisions) < cfg.saturation_min_decisions:
+            return
+        n_spes = self._n_spes(tracer, registry)
+        u_low = n_spes * cfg.saturation_u_fraction
+        low = [d for d in decisions if float(d.get("u", 0)) <= u_low]
+        llp_fired = (
+            any(bool(d.get("active")) for d in decisions)
+            or _registry_value(registry, "llp.invocations") > 0
+        )
+        if llp_fired:
+            return
+        low_fraction = len(low) / len(decisions)
+        if low_fraction < cfg.saturation_low_windows:
+            return
+        findings.append(HealthFinding(
+            detector="window-u-saturation",
+            severity="critical",
+            summary=(
+                f"{low_fraction:.0%} of {len(decisions)} window decisions "
+                f"saw U <= {u_low:g} (low exposed TLP on {n_spes} SPEs) "
+                f"but loop-level parallelism never fired"
+            ),
+            evidence={
+                "decisions": len(decisions),
+                "low_u_decisions": len(low),
+                "u_threshold": u_low,
+                "llp_invocations": _registry_value(registry, "llp.invocations"),
+            },
+        ))
+
+    def _detect_llp_imbalance(
+        self, tracer, registry, findings: List[HealthFinding]
+    ) -> None:
+        cfg = self.config
+        if tracer is None:
+            return
+        series: Dict[Tuple[str, int], List[float]] = {}
+        for r in tracer.filter(event="llp_invoke"):
+            key = (str(r.get("function")), int(r.get("k", 0)))
+            series.setdefault(key, []).append(float(r.get("join_idle_us", 0.0)))
+        for (function, k), idles in sorted(series.items()):
+            n = len(idles)
+            if n < cfg.imbalance_min_invocations:
+                continue
+            third = n // 3
+            first = sum(idles[:third]) / third
+            last = sum(idles[-third:]) / third
+            if last <= cfg.imbalance_floor_us:
+                continue  # converged to negligible idle
+            if last < first * cfg.imbalance_shrink_ratio:
+                continue  # shrinking as the paper's feedback promises
+            findings.append(HealthFinding(
+                detector="llp-imbalance",
+                severity="warning",
+                summary=(
+                    f"join idle for loop {function!r} (k={k}) is not "
+                    f"shrinking: {first:.2f} us early vs {last:.2f} us "
+                    f"late over {n} invocations — adaptive unbalancing "
+                    f"is not converging"
+                ),
+                evidence={
+                    "function": function,
+                    "k": k,
+                    "invocations": n,
+                    "first_third_mean_us": round(first, 3),
+                    "last_third_mean_us": round(last, 3),
+                },
+            ))
+
+    def _detect_granularity_churn(
+        self, tracer, registry, findings: List[HealthFinding]
+    ) -> None:
+        cfg = self.config
+        if registry is None:
+            return
+        churned: Dict[str, float] = {}
+        for name in registry.names():
+            if name.startswith(_FLIP_PREFIX):
+                flips = float(registry.get(name).value)
+                if flips >= cfg.churn_flips:
+                    churned[name[len(_FLIP_PREFIX):]] = flips
+        if not churned:
+            return
+        worst_fn = max(churned, key=lambda f: churned[f])
+        findings.append(HealthFinding(
+            detector="granularity-churn",
+            severity="warning",
+            summary=(
+                f"granularity test flapped accept<->reject for "
+                f"{len(churned)} function(s); worst is {worst_fn!r} with "
+                f"{churned[worst_fn]:.0f} reversals"
+            ),
+            evidence={"flips_by_function": churned,
+                      "threshold": cfg.churn_flips},
+        ))
+
+    # -- entry point ------------------------------------------------------
+    def analyze(self, tracer: Optional[Tracer], registry) -> List[HealthFinding]:
+        """All findings for one run, in detector-catalogue order."""
+        findings: List[HealthFinding] = []
+        self._detect_spe_starvation(tracer, registry, findings)
+        self._detect_mgps_oscillation(tracer, registry, findings)
+        self._detect_window_u_saturation(tracer, registry, findings)
+        self._detect_llp_imbalance(tracer, registry, findings)
+        self._detect_granularity_churn(tracer, registry, findings)
+        return findings
+
+
+def analyze_run(
+    tracer: Optional[Tracer],
+    registry,
+    config: Optional[MonitorConfig] = None,
+) -> List[HealthFinding]:
+    """Convenience wrapper: one call, all detectors."""
+    return HealthMonitor(config).analyze(tracer, registry)

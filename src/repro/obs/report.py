@@ -1,0 +1,580 @@
+"""Self-contained HTML performance report for one scheduler run.
+
+``render_report`` turns a finished run's span stream + metrics registry
+(+ the health monitor's findings) into a single HTML file with inline
+CSS and inline SVG — no scripts, no network, no external URLs — so the
+artifact can be attached to a CI run or mailed around and still open a
+decade later.  Sections (each with a stable anchor, asserted by tests):
+
+* ``#summary`` — headline stat tiles (makespan, SPE utilization, ...);
+* ``#findings`` — the health monitor's verdicts as a table;
+* ``#gantt`` — one utilization lane per SPE actor, master vs LLP-worker
+  task intervals;
+* ``#u-series`` — the MGPS window-``U`` estimate per decision with the
+  LLP trigger threshold marked;
+* ``#latency`` — off-load dispatch-to-completion latency histogram;
+* ``#llp-adaptation`` — the master chunk fraction per loop invocation
+  (the adaptive-unbalancing trajectory).
+
+Charts follow the fixed mark specs (2px lines, thin rounded bars, 2px
+surface gaps, hairline grid) and a categorical palette validated for
+color-vision deficiency; identity is never carried by color alone (every
+multi-series chart has a legend, marks carry native ``<title>``
+tooltips, and the findings table pairs severity color with a glyph and
+label).
+"""
+
+from __future__ import annotations
+
+import html
+import math
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..sim.trace import Tracer
+from .monitor import HealthFinding
+
+__all__ = ["render_report", "write_report"]
+
+
+# -- data extraction ----------------------------------------------------------
+
+def _makespan(tracer: Optional[Tracer], registry) -> float:
+    inst = registry.get("run.raw_makespan_s") if registry is not None else None
+    if inst is not None and inst.value > 0:
+        return float(inst.value)
+    if tracer is not None and tracer.records:
+        return max(r.time for r in tracer.records)
+    return 0.0
+
+
+def _value(registry, name: str, default: float = 0.0) -> float:
+    inst = registry.get(name) if registry is not None else None
+    return float(inst.value) if inst is not None else default
+
+
+def _spe_lanes(
+    tracer: Optional[Tracer], registry, makespan: float
+) -> Dict[str, List[Tuple[float, float, str, str]]]:
+    """Per-SPE task intervals: actor -> [(start, end, role, function)].
+
+    Actors known only from the registry's per-SPE utilization gauges
+    (SPEs that never ran a task) get an empty lane, so starvation is
+    *visible* rather than silently cropped.
+    """
+    lanes: Dict[str, List[Tuple[float, float, str, str]]] = {}
+    if registry is not None:
+        for name in registry.names():
+            if name.startswith('spe.utilization{spe="'):
+                lanes.setdefault(name[len('spe.utilization{spe="'):-2], [])
+    open_at: Dict[str, Tuple[float, str, str]] = {}
+    for r in (tracer.records if tracer is not None else ()):
+        if r.category != "spe":
+            continue
+        if r.event == "task_start":
+            role = "worker" if r.get("role") == "worker" else "master"
+            open_at[r.actor] = (r.time, role, str(r.get("function", "")))
+            lanes.setdefault(r.actor, [])
+        elif r.event == "task_end" and r.actor in open_at:
+            t0, role, fn = open_at.pop(r.actor)
+            lanes[r.actor].append((t0, r.time, role, fn))
+    for actor, (t0, role, fn) in open_at.items():
+        lanes[actor].append((t0, makespan, role, fn))
+    return {a: lanes[a] for a in sorted(lanes)}
+
+
+def _u_series(tracer: Optional[Tracer]) -> List[Tuple[float, float, bool]]:
+    """(time, U, llp_active) per MGPS window decision."""
+    if tracer is None:
+        return []
+    return [
+        (r.time, float(r.get("u", 0)), bool(r.get("active")))
+        for r in tracer.filter(category="sched", event="decision")
+    ]
+
+
+def _adaptation_series(
+    tracer: Optional[Tracer],
+) -> Dict[str, List[Tuple[int, float, float]]]:
+    """Per loop: [(invocation index, master_fraction, join_idle_us)]."""
+    series: Dict[str, List[Tuple[int, float, float]]] = {}
+    if tracer is None:
+        return series
+    for r in tracer.filter(event="llp_invoke"):
+        key = f"{r.get('function')} (k={r.get('k')})"
+        seq = series.setdefault(key, [])
+        seq.append((
+            len(seq),
+            float(r.get("master_fraction", 0.0)),
+            float(r.get("join_idle_us", 0.0)),
+        ))
+    return series
+
+
+# -- svg primitives -----------------------------------------------------------
+
+_W = 720          # chart viewBox width
+_PAD_L, _PAD_R, _PAD_T, _PAD_B = 52, 16, 12, 30
+
+
+def _esc(text: Any) -> str:
+    return html.escape(str(text), quote=True)
+
+
+def _fmt(v: float) -> str:
+    if v == 0:
+        return "0"
+    if abs(v) >= 1000:
+        return f"{v:,.0f}"
+    if abs(v) >= 10:
+        return f"{v:.0f}"
+    if abs(v) >= 1:
+        return f"{v:.1f}".rstrip("0").rstrip(".")
+    return f"{v:.2g}"
+
+
+def _ticks(lo: float, hi: float, n: int = 5) -> List[float]:
+    """Clean tick positions covering [lo, hi]."""
+    if hi <= lo:
+        return [lo]
+    raw = (hi - lo) / max(1, n)
+    mag = 10.0 ** math.floor(math.log10(raw))
+    for m in (1, 2, 5, 10):
+        if raw <= m * mag:
+            step = m * mag
+            break
+    first = math.ceil(lo / step) * step
+    out = []
+    t = first
+    while t <= hi + 1e-12:
+        out.append(round(t, 12))
+        t += step
+    return out or [lo]
+
+
+def _grid_and_axes(
+    plot_h: float,
+    x_lo: float, x_hi: float, y_lo: float, y_hi: float,
+    x_label: str, y_label: str,
+    x_fmt=None, y_fmt=None,
+    y_axis: bool = True, x_ticks: bool = True,
+) -> Tuple[str, Any, Any]:
+    """Hairline grid + tick labels; returns (svg, x_scale, y_scale).
+
+    ``y_axis=False`` drops the horizontal gridlines and y tick labels
+    (Gantt lanes label themselves); ``x_ticks=False`` drops numeric x
+    labels (categorical bins label their own marks).
+    """
+    plot_w = _W - _PAD_L - _PAD_R
+    span_x = (x_hi - x_lo) or 1.0
+    span_y = (y_hi - y_lo) or 1.0
+    sx = lambda v: _PAD_L + (v - x_lo) / span_x * plot_w
+    sy = lambda v: _PAD_T + plot_h - (v - y_lo) / span_y * plot_h
+    x_fmt = x_fmt or _fmt
+    y_fmt = y_fmt or _fmt
+    parts = []
+    if y_axis:
+        for t in _ticks(y_lo, y_hi):
+            y = sy(t)
+            parts.append(
+                f'<line class="grid" x1="{_PAD_L}" y1="{y:.1f}" '
+                f'x2="{_W - _PAD_R}" y2="{y:.1f}"/>'
+            )
+            parts.append(
+                f'<text class="tick" x="{_PAD_L - 6}" y="{y + 3:.1f}" '
+                f'text-anchor="end">{_esc(y_fmt(t))}</text>'
+            )
+    if x_ticks:
+        for t in _ticks(x_lo, x_hi, 8):
+            x = sx(t)
+            parts.append(
+                f'<text class="tick" x="{x:.1f}" y="{_PAD_T + plot_h + 14}" '
+                f'text-anchor="middle">{_esc(x_fmt(t))}</text>'
+            )
+    parts.append(
+        f'<line class="axis" x1="{_PAD_L}" y1="{_PAD_T + plot_h}" '
+        f'x2="{_W - _PAD_R}" y2="{_PAD_T + plot_h}"/>'
+    )
+    parts.append(
+        f'<text class="axis-label" x="{_W - _PAD_R}" '
+        f'y="{_PAD_T + plot_h + 26}" text-anchor="end">{_esc(x_label)}</text>'
+    )
+    if y_label:
+        parts.append(
+            f'<text class="axis-label" x="{_PAD_L}" y="{_PAD_T - 2}" '
+            f'text-anchor="start">{_esc(y_label)}</text>'
+        )
+    return "".join(parts), sx, sy
+
+
+def _legend(entries: Sequence[Tuple[str, str]]) -> str:
+    """Inline legend: [(css-class, label)] -> swatch + text row."""
+    items = "".join(
+        f'<span class="key"><span class="swatch {cls}"></span>{_esc(lab)}</span>'
+        for cls, lab in entries
+    )
+    return f'<div class="legend">{items}</div>'
+
+
+# -- charts -------------------------------------------------------------------
+
+def _gantt_svg(
+    lanes: Dict[str, List[Tuple[float, float, str, str]]], makespan: float
+) -> str:
+    if not lanes or makespan <= 0:
+        return '<p class="empty">No SPE task intervals recorded.</p>'
+    lane_h, gap = 18, 6
+    plot_h = len(lanes) * (lane_h + gap) - gap
+    unit = 1e3 if makespan < 0.5 else 1.0
+    unit_name = "ms" if unit == 1e3 else "s"
+    grid, sx, _sy = _grid_and_axes(
+        plot_h, 0.0, makespan * unit, 0.0, 1.0,
+        f"time [{unit_name}]", "",
+        y_axis=False,
+    )
+    parts = [grid]
+    busy_of = {
+        a: sum(e - s for s, e, _r, _f in iv) / makespan
+        for a, iv in lanes.items()
+    }
+    for i, (actor, intervals) in enumerate(lanes.items()):
+        y = _PAD_T + i * (lane_h + gap)
+        parts.append(
+            f'<text class="tick" x="{_PAD_L - 6}" y="{y + lane_h / 2 + 3}" '
+            f'text-anchor="end">{_esc(actor)} '
+            f'{busy_of[actor]:.0%}</text>'
+        )
+        parts.append(
+            f'<rect class="lane" x="{_PAD_L}" y="{y}" '
+            f'width="{_W - _PAD_L - _PAD_R}" height="{lane_h}"/>'
+        )
+        for s, e, role, fn in intervals:
+            x0, x1 = sx(s * unit), sx(e * unit)
+            w = max(x1 - x0 - 0.5, 0.75)  # 0.5px surface gap between tasks
+            cls = "s3" if role == "worker" else "s1"
+            title = (f"{fn} on {actor} ({role}): "
+                     f"{(e - s) * 1e6:.1f} us at t={s * unit:.3f} {unit_name}")
+            parts.append(
+                f'<rect class="{cls}" x="{x0:.2f}" y="{y + 1}" '
+                f'width="{w:.2f}" height="{lane_h - 2}">'
+                f'<title>{_esc(title)}</title></rect>'
+            )
+    height = _PAD_T + plot_h + _PAD_B
+    svg = (f'<svg viewBox="0 0 {_W} {height}" role="img" '
+           f'aria-label="SPE utilization Gantt">{"".join(parts)}</svg>')
+    return _legend([("s1", "task (master SPE)"),
+                    ("s3", "LLP worker chunk")]) + svg
+
+
+def _u_series_svg(
+    series: List[Tuple[float, float, bool]], n_spes: int, threshold: float
+) -> str:
+    if not series:
+        return ('<p class="empty">No MGPS window decisions recorded '
+                '(scheduler without a utilization window).</p>')
+    plot_h = 180
+    xs = list(range(len(series)))
+    y_hi = max(n_spes, max(u for _t, u, _a in series))
+    grid, sx, sy = _grid_and_axes(
+        plot_h, 0, max(len(series) - 1, 1), 0, y_hi,
+        "window decision #", "U (exposed task parallelism)",
+    )
+    pts = " ".join(
+        f"{sx(i):.1f},{sy(u):.1f}" for i, (_t, u, _a) in zip(xs, series)
+    )
+    thr_y = sy(threshold)
+    parts = [grid]
+    parts.append(
+        f'<line class="threshold" x1="{_PAD_L}" y1="{thr_y:.1f}" '
+        f'x2="{_W - _PAD_R}" y2="{thr_y:.1f}"/>'
+    )
+    parts.append(
+        f'<text class="threshold-label" x="{_W - _PAD_R - 4}" '
+        f'y="{thr_y - 4:.1f}" text-anchor="end">'
+        f'LLP trigger (U &#8804; {_fmt(threshold)})</text>'
+    )
+    parts.append(f'<polyline class="line s1" points="{pts}"/>')
+    for i, (t, u, active) in zip(xs, series):
+        state = "LLP on" if active else "LLP off"
+        parts.append(
+            f'<circle class="dot {"s1" if active else "hollow"}" '
+            f'cx="{sx(i):.1f}" cy="{sy(u):.1f}" r="3">'
+            f'<title>decision {i}: U={_fmt(u)}, {state}, '
+            f't={t * 1e3:.3f} ms</title></circle>'
+        )
+    height = _PAD_T + plot_h + _PAD_B
+    svg = (f'<svg viewBox="0 0 {_W} {height}" role="img" '
+           f'aria-label="Window utilization U per decision">'
+           f'{"".join(parts)}</svg>')
+    return _legend([("s1", "U estimate (filled dot: LLP active)")]) + svg
+
+
+def _latency_svg(registry) -> str:
+    hist = registry.get("runtime.offload_latency_us") if registry else None
+    if hist is None or getattr(hist, "count", 0) == 0:
+        return '<p class="empty">No off-load latency samples recorded.</p>'
+    snap = hist.snapshot()
+    buckets = snap["buckets"]
+    if not buckets:
+        return '<p class="empty">No off-load latency samples recorded.</p>'
+    plot_h = 180
+    n = len(buckets)
+    max_count = max(c for _b, c in buckets)
+    grid, _sx, sy = _grid_and_axes(
+        plot_h, 0, n, 0, max_count,
+        "latency bucket [us, upper bound]", "off-loads",
+        x_ticks=False,  # buckets are categorical bins, labeled per bar
+    )
+    plot_w = _W - _PAD_L - _PAD_R
+    slot = plot_w / n
+    bar_w = min(24.0, slot - 2.0)  # 2px surface gap between bars
+    parts = [grid]
+    for i, (bound, count) in enumerate(buckets):
+        x = _PAD_L + i * slot + (slot - bar_w) / 2
+        y = sy(count)
+        h = _PAD_T + plot_h - y
+        r = min(4.0, h / 2, bar_w / 2)
+        label = "+inf" if bound == "+inf" else _fmt(float(bound))
+        # Rounded data end, square baseline.
+        parts.append(
+            f'<path class="s1" d="M{x:.1f},{_PAD_T + plot_h:.1f} '
+            f'V{y + r:.1f} Q{x:.1f},{y:.1f} {x + r:.1f},{y:.1f} '
+            f'H{x + bar_w - r:.1f} Q{x + bar_w:.1f},{y:.1f} '
+            f'{x + bar_w:.1f},{y + r:.1f} V{_PAD_T + plot_h:.1f} Z">'
+            f'<title>&#8804; {_esc(label)} us: {count} off-loads</title>'
+            f'</path>'
+        )
+        parts.append(
+            f'<text class="tick" x="{x + bar_w / 2:.1f}" '
+            f'y="{_PAD_T + plot_h + 14}" text-anchor="middle">'
+            f'{_esc(label)}</text>'
+        )
+    stats = (f'p50 {_fmt(snap["p50"])} us &#183; '
+             f'p90 {_fmt(snap["p90"])} us &#183; '
+             f'p99 {_fmt(snap["p99"])} us &#183; '
+             f'max {_fmt(snap["max"])} us')
+    height = _PAD_T + plot_h + _PAD_B
+    svg = (f'<svg viewBox="0 0 {_W} {height}" role="img" '
+           f'aria-label="Off-load latency histogram">{"".join(parts)}</svg>')
+    return f'<p class="chart-note">{stats}</p>{svg}'
+
+
+def _adaptation_svg(series: Dict[str, List[Tuple[int, float, float]]]) -> str:
+    if not series:
+        return ('<p class="empty">No loop-parallel invocations recorded '
+                '(LLP never fired).</p>')
+    # Fixed-order categorical slots; beyond three series, fold the
+    # shortest into "other" rather than cycling hues.
+    keys = sorted(series, key=lambda k: -len(series[k]))
+    shown, folded = keys[:3], keys[3:]
+    plot_h = 180
+    n_max = max(len(series[k]) for k in shown)
+    f_vals = [f for k in shown for _i, f, _j in series[k]]
+    y_lo = min(0.0, min(f_vals))
+    y_hi = max(1.0, max(f_vals))
+    grid, sx_raw, sy = _grid_and_axes(
+        plot_h, 0, max(n_max - 1, 1), y_lo, y_hi,
+        "loop invocation #", "master chunk fraction",
+        y_fmt=lambda v: f"{v:.2g}",
+    )
+    parts = [grid]
+    slot_classes = ["s1", "s2", "s3"]
+    for cls, key in zip(slot_classes, shown):
+        seq = series[key]
+        scale = (n_max - 1) / max(len(seq) - 1, 1) if n_max > 1 else 1.0
+        pts = " ".join(
+            f"{sx_raw(i * scale):.1f},{sy(f):.1f}" for i, f, _j in seq
+        )
+        parts.append(f'<polyline class="line {cls}" points="{pts}"/>')
+        last_i, last_f, last_j = seq[-1]
+        parts.append(
+            f'<circle class="dot {cls}" cx="{sx_raw(last_i * scale):.1f}" '
+            f'cy="{sy(last_f):.1f}" r="4">'
+            f'<title>{_esc(key)}: fraction {last_f:.3f} after '
+            f'{len(seq)} invocations (join idle {last_j:.2f} us)</title>'
+            f'</circle>'
+        )
+    height = _PAD_T + plot_h + _PAD_B
+    svg = (f'<svg viewBox="0 0 {_W} {height}" role="img" '
+           f'aria-label="LLP chunk adaptation">{"".join(parts)}</svg>')
+    note = ""
+    if folded:
+        note = (f'<p class="chart-note">{len(folded)} further loop '
+                f'series omitted: {_esc(", ".join(folded))}</p>')
+    return _legend(list(zip(slot_classes, shown))) + svg + note
+
+
+def _findings_table(findings: Sequence[HealthFinding]) -> str:
+    if not findings:
+        return ('<p class="ok"><span class="chip good">&#10003; OK</span> '
+                'All detectors passed &#8212; no findings.</p>')
+    rows = []
+    for f in findings:
+        glyph = "&#10007;" if f.severity == "critical" else "&#9888;"
+        evidence = "; ".join(
+            f"{k}={f.evidence[k]}" for k in sorted(f.evidence)
+        )
+        rows.append(
+            f'<tr><td><span class="chip {_esc(f.severity)}">{glyph} '
+            f'{_esc(f.severity)}</span></td>'
+            f'<td class="mono">{_esc(f.detector)}</td>'
+            f'<td>{_esc(f.summary)}'
+            f'<div class="evidence">{_esc(evidence)}</div></td></tr>'
+        )
+    return (
+        '<table><thead><tr><th>severity</th><th>detector</th>'
+        '<th>finding</th></tr></thead>'
+        f'<tbody>{"".join(rows)}</tbody></table>'
+    )
+
+
+# -- page ---------------------------------------------------------------------
+
+_CSS = """
+:root { color-scheme: light dark; }
+body.viz-root {
+  --surface-1: #fcfcfb; --page: #f9f9f7;
+  --text-primary: #0b0b0b; --text-secondary: #52514e; --muted: #898781;
+  --grid: #e1e0d9; --baseline: #c3c2b7;
+  --series-1: #2a78d6; --series-2: #eb6834; --series-3: #1baf7a;
+  --good: #0ca30c; --warning: #fab219; --critical: #d03b3b;
+  --lane: #f0efec; --border: rgba(11,11,11,0.10);
+  margin: 0; background: var(--page); color: var(--text-primary);
+  font: 14px/1.5 system-ui, -apple-system, "Segoe UI", sans-serif;
+}
+@media (prefers-color-scheme: dark) {
+  body.viz-root {
+    --surface-1: #1a1a19; --page: #0d0d0d;
+    --text-primary: #ffffff; --text-secondary: #c3c2b7;
+    --grid: #2c2c2a; --baseline: #383835;
+    --series-1: #3987e5; --series-2: #d95926; --series-3: #199e70;
+    --lane: #242422; --border: rgba(255,255,255,0.10);
+  }
+}
+main { max-width: 860px; margin: 0 auto; padding: 24px 20px 48px; }
+h1 { font-size: 22px; margin: 0 0 2px; }
+h2 { font-size: 16px; margin: 0 0 8px; }
+.meta { color: var(--text-secondary); margin: 0 0 16px; }
+section { background: var(--surface-1); border: 1px solid var(--border);
+  border-radius: 8px; padding: 16px 18px; margin: 0 0 16px; }
+.tiles { display: flex; flex-wrap: wrap; gap: 10px; margin: 0 0 16px; }
+.tile { background: var(--surface-1); border: 1px solid var(--border);
+  border-radius: 8px; padding: 10px 14px; min-width: 108px; }
+.tile .label { color: var(--text-secondary); font-size: 12px; }
+.tile .value { font-size: 22px; font-weight: 600; }
+svg { width: 100%; height: auto; display: block; }
+svg text { font: 10px system-ui, -apple-system, "Segoe UI", sans-serif; }
+.grid { stroke: var(--grid); stroke-width: 1; }
+.axis { stroke: var(--baseline); stroke-width: 1; }
+.tick { fill: var(--muted); }
+.axis-label { fill: var(--text-secondary); }
+.lane { fill: var(--lane); }
+rect.s1, path.s1, circle.s1 { fill: var(--series-1); }
+rect.s2, path.s2, circle.s2 { fill: var(--series-2); }
+rect.s3, path.s3, circle.s3 { fill: var(--series-3); }
+polyline.line { fill: none; stroke-width: 2;
+  stroke-linejoin: round; stroke-linecap: round; }
+polyline.s1 { stroke: var(--series-1); }
+polyline.s2 { stroke: var(--series-2); }
+polyline.s3 { stroke: var(--series-3); }
+circle.dot { stroke: var(--surface-1); stroke-width: 2; }
+circle.hollow { fill: var(--surface-1); stroke: var(--series-1); }
+.threshold { stroke: var(--critical); stroke-width: 1; }
+.threshold-label { fill: var(--text-secondary); }
+.legend { display: flex; gap: 16px; flex-wrap: wrap;
+  color: var(--text-secondary); font-size: 12px; margin: 0 0 8px; }
+.key { display: inline-flex; align-items: center; gap: 6px; }
+.swatch { width: 10px; height: 10px; border-radius: 3px; display: inline-block; }
+.swatch.s1 { background: var(--series-1); }
+.swatch.s2 { background: var(--series-2); }
+.swatch.s3 { background: var(--series-3); }
+table { border-collapse: collapse; width: 100%; }
+th { text-align: left; color: var(--text-secondary); font-weight: 600;
+  font-size: 12px; border-bottom: 1px solid var(--baseline); padding: 6px 10px; }
+td { border-bottom: 1px solid var(--grid); padding: 8px 10px;
+  vertical-align: top; }
+.mono { font-family: ui-monospace, SFMono-Regular, Menlo, monospace;
+  font-size: 13px; }
+.evidence { color: var(--muted); font-size: 12px; margin-top: 2px; }
+.chip { display: inline-block; border-radius: 999px; padding: 1px 10px;
+  font-size: 12px; font-weight: 600; color: #fff; white-space: nowrap; }
+.chip.good { background: var(--good); }
+.chip.warning { background: var(--warning); color: #0b0b0b; }
+.chip.critical { background: var(--critical); }
+.empty, .chart-note { color: var(--muted); font-size: 13px; }
+.ok { margin: 0; }
+footer { color: var(--muted); font-size: 12px; }
+"""
+
+
+def render_report(
+    tracer: Optional[Tracer],
+    registry,
+    findings: Optional[Sequence[HealthFinding]] = None,
+    title: str = "Scheduler run report",
+    subtitle: str = "",
+) -> str:
+    """One self-contained HTML page for a finished run."""
+    findings = list(findings or [])
+    makespan = _makespan(tracer, registry)
+    n_spes = int(_value(registry, "run.n_spes", 0))
+    lanes = _spe_lanes(tracer, registry, makespan)
+    if n_spes == 0:
+        n_spes = len(lanes) or 8
+    u_series = _u_series(tracer)
+    threshold = n_spes / 2
+    tiles = [
+        ("makespan", f"{_value(registry, 'run.makespan_s'):.2f} s"),
+        ("SPE utilization", f"{_value(registry, 'run.spe_utilization'):.0%}"),
+        ("off-loads", _fmt(_value(registry, "runtime.offloads"))),
+        ("LLP invocations", _fmt(_value(registry, "llp.invocations"))),
+        ("PPE fallbacks", _fmt(_value(registry, "runtime.ppe_fallbacks"))),
+        ("findings", str(len(findings))),
+    ]
+    tiles_html = "".join(
+        f'<div class="tile"><div class="label">{_esc(label)}</div>'
+        f'<div class="value">{_esc(value)}</div></div>'
+        for label, value in tiles
+    )
+    sections = [
+        ("findings", "Health findings", _findings_table(findings)),
+        ("gantt", "SPE utilization timeline", _gantt_svg(lanes, makespan)),
+        ("u-series",
+         "Window utilization U per MGPS decision",
+         _u_series_svg(u_series, n_spes, threshold)),
+        ("latency", "Off-load latency", _latency_svg(registry)),
+        ("llp-adaptation",
+         "LLP adaptive unbalancing",
+         _adaptation_svg(_adaptation_series(tracer))),
+    ]
+    body = "".join(
+        f'<section id="{sid}"><h2>{_esc(heading)}</h2>{content}</section>'
+        for sid, heading, content in sections
+    )
+    sub = f'<p class="meta">{_esc(subtitle)}</p>' if subtitle else ""
+    return (
+        '<!DOCTYPE html>\n<html lang="en">\n<head>\n<meta charset="utf-8">\n'
+        '<meta name="viewport" content="width=device-width, initial-scale=1">\n'
+        f"<title>{_esc(title)}</title>\n<style>{_CSS}</style>\n</head>\n"
+        '<body class="viz-root">\n<main>\n'
+        f'<header id="summary"><h1>{_esc(title)}</h1>{sub}'
+        f'<div class="tiles">{tiles_html}</div></header>\n'
+        f"{body}\n"
+        "<footer>Generated by <span class=\"mono\">repro report</span> "
+        "&#8212; self-contained, no network access required.</footer>\n"
+        "</main>\n</body>\n</html>\n"
+    )
+
+
+def write_report(
+    path,
+    tracer: Optional[Tracer],
+    registry,
+    findings: Optional[Sequence[HealthFinding]] = None,
+    title: str = "Scheduler run report",
+    subtitle: str = "",
+) -> str:
+    """Render and write the report; returns the path written."""
+    doc = render_report(tracer, registry, findings, title, subtitle)
+    with open(path, "w") as fh:
+        fh.write(doc)
+    return str(path)

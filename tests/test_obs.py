@@ -30,6 +30,7 @@ from repro.obs import (
     SpanRecorder,
     chrome_trace,
     chrome_trace_events,
+    labeled,
 )
 from repro.sim.trace import TraceRecord, Tracer
 from repro.workloads.traces import Workload
@@ -322,3 +323,118 @@ class TestRegistryConsumers:
         assert registry_value(reg, "nope", default=-1.0) == -1.0
         assert llp_chunk_profile(reg)["count"] == 0
         assert offload_latency_percentiles(reg)["p99"] == 0.0
+
+
+# -- registry merge and labeled names ----------------------------------------
+
+class TestMergeAndLabels:
+    def test_labeled_formats_sorted_prometheus_style(self):
+        assert labeled("spe.utilization", spe="cell0.spe3") == \
+            'spe.utilization{spe="cell0.spe3"}'
+        # Labels serialize in sorted key order regardless of kwarg order,
+        # values always quoted (Prometheus exposition style).
+        assert labeled("m", b=2, a="x") == 'm{a="x",b="2"}'
+        assert labeled("m") == "m"
+
+    def test_merge_files_names_under_labels(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        b.counter("runtime.offloads").inc(5)
+        a.merge(b, scheduler="mgps")
+        inst = a.get('runtime.offloads{scheduler="mgps"}')
+        assert inst is not None and inst.value == 5
+        assert a.get("runtime.offloads") is None
+
+    def test_merge_combines_counters_and_histograms(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("c").inc(2)
+        b.counter("c").inc(3)
+        a.histogram("h", buckets=(1.0, 10.0)).observe(0.5)
+        b.histogram("h", buckets=(1.0, 10.0)).observe(100.0)
+        a.merge(b)
+        assert a.get("c").value == 5
+        h = a.get("h")
+        assert h.count == 2
+        assert h.min == 0.5 and h.max == 100.0
+
+    def test_merge_gauge_last_write_wins_but_not_untouched(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.gauge("g").set(1.0)
+        b.gauge("g").set(7.0)
+        a.merge(b)
+        assert a.get("g").value == 7.0
+        # An untouched incoming gauge must not zero out a written one.
+        c = MetricsRegistry()
+        c.gauge("g")  # registered, never set
+        a.merge(c)
+        assert a.get("g").value == 7.0
+
+    def test_merge_rejects_kind_mismatch(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("x").inc()
+        b.gauge("x").set(1.0)
+        with pytest.raises(TypeError):
+            a.merge(b)
+
+    def test_merge_rejects_histogram_layout_mismatch(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram("h", buckets=(1.0, 2.0)).observe(1.0)
+        b.histogram("h", buckets=(5.0, 50.0)).observe(1.0)
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_merge_returns_self_for_chaining(self):
+        a, b, c = MetricsRegistry(), MetricsRegistry(), MetricsRegistry()
+        b.counter("n").inc()
+        c.counter("n").inc()
+        out = a.merge(b, run=1).merge(c, run=2)
+        assert out is a
+        assert {'n{run="1"}', 'n{run="2"}'} <= set(a.names())
+
+
+# -- exporter edge cases ------------------------------------------------------
+
+class TestExporterEdgeCases:
+    def test_empty_trace_exports_metadata_only(self):
+        doc = chrome_trace(Tracer())
+        assert doc["traceEvents"] == [
+            {"ph": "M", "name": "process_name", "pid": 0, "tid": 0,
+             "args": {"name": "repro"}},
+        ]
+        json.dumps(doc)  # and it serializes
+
+    def test_unterminated_spans_get_synthetic_closers(self):
+        tracer = Tracer()
+        tracer.emit(0.0, "spe", "spe0", "task_start", function="outer")
+        tracer.emit(1.0, "spe", "spe0", "task_start", function="inner")
+        tracer.emit(2.0, "spe", "spe0", "task_end")  # closes inner only
+        events = chrome_trace_events(tracer)
+        closers = [e for e in events if e.get("cat") == "incomplete"]
+        assert len(closers) == 1
+        assert closers[0]["name"] == "outer"
+        assert closers[0]["ph"] == "E"
+        assert closers[0]["ts"] == 2.0 * 1e6
+        assert closers[0]["args"] == {"unterminated": True}
+        # B/E events now pair up: equal counts per thread.
+        n_b = sum(1 for e in events if e["ph"] == "B")
+        n_e = sum(1 for e in events if e["ph"] == "E")
+        assert n_b == n_e
+
+    def test_stray_end_event_does_not_crash(self):
+        tracer = Tracer()
+        tracer.emit(0.5, "spe", "spe0", "task_end")  # end with no begin
+        events = chrome_trace_events(tracer)
+        assert any(e["ph"] == "E" for e in events)
+
+    def test_mapping_payload_with_non_string_keys(self):
+        tracer = Tracer()
+        tracer.emit(0.0, "sched", "ppe", "decision", {1: "one", 2: "two"})
+        # Chrome export stringifies keys instead of crashing json.dump.
+        events = chrome_trace_events(tracer)
+        instant = [e for e in events if e["ph"] == "i"]
+        assert instant[0]["args"] == {"1": "one", "2": "two"}
+        json.dumps(chrome_trace(tracer), sort_keys=True)
+        # JSONL keeps the original int keys through a round-trip
+        # (pairs serialize as arrays, so key types survive).
+        back = Tracer.from_jsonl(tracer.to_jsonl())
+        assert back.records[0].get(1) == "one"
+        assert back.records[0].data == tracer.records[0].data
