@@ -42,8 +42,9 @@ class GreedySpec(SchedulerSpec):
         super().__init__(kind="edtlp", label="greedy-llp")
 
     def build(self, env: Environment, machine: CellMachine, tracer=None,
-              metrics=None):
-        return GreedyLLPRuntime(env, machine, tracer=tracer, metrics=metrics)
+              metrics=None, faults=None, tolerance=None):
+        return GreedyLLPRuntime(env, machine, tracer=tracer, metrics=metrics,
+                                faults=faults, tolerance=tolerance)
 
 
 def main() -> None:

@@ -35,6 +35,7 @@ class SPEPool:
         self._free: List[SPE] = list(spes)
         self._all = list(spes)
         self._waiters: Deque[Tuple[Event, Optional[int]]] = deque()
+        self._n_out = 0  # SPEs permanently out of service (dead/blacklisted)
 
     @property
     def n_free(self) -> int:
@@ -43,6 +44,11 @@ class SPEPool:
     @property
     def n_total(self) -> int:
         return len(self._all)
+
+    @property
+    def n_live(self) -> int:
+        """SPEs still in service (not dead, not blacklisted)."""
+        return len(self._all) - self._n_out
 
     @property
     def n_waiting(self) -> int:
@@ -62,10 +68,17 @@ class SPEPool:
         return self._free.pop()
 
     def acquire(self, prefer_cell: Optional[int] = None) -> Event:
-        """Blocking acquire: the event fires with an :class:`SPE`."""
+        """Blocking acquire: the event fires with an :class:`SPE`.
+
+        When no SPE remains in service (every SPE dead or blacklisted)
+        the event fires immediately with ``None`` instead of blocking
+        forever — fault-tolerant callers fall back to the PPE.
+        """
         ev = Event(self.env)
         if self._free:
             ev.succeed(self._pick(prefer_cell), priority=URGENT)
+        elif self.n_live == 0:
+            ev.succeed(None, priority=URGENT)
         else:
             self._waiters.append((ev, prefer_cell))
         return ev
@@ -116,14 +129,54 @@ class SPEPool:
         return out
 
     def release(self, spe: SPE) -> None:
-        """Return an SPE to the pool, waking the oldest waiter if any."""
+        """Return an SPE to the pool, waking the oldest waiter if any.
+
+        An SPE that left service while busy (killed or blacklisted
+        mid-task) is dropped rather than recirculated; if that drop
+        leaves the pool with zero live SPEs, every blocked waiter is
+        woken with ``None`` so processes can fall back to the PPE
+        instead of deadlocking.
+        """
         if spe in self._free:
             raise RuntimeError(f"{spe.name} released twice")
+        if not spe.in_service:
+            self._fail_stranded_waiters()
+            return
         if self._waiters:
             ev, prefer = self._waiters.popleft()
             ev.succeed(spe, priority=URGENT)
         else:
             self._free.append(spe)
+
+    def mark_out_of_service(self, spe: SPE) -> None:
+        """Remove a dead/blacklisted SPE from circulation.
+
+        The caller must already have cleared :attr:`SPE.in_service`
+        (via ``alive`` or ``blacklisted``).  Idempotent per SPE: a kill
+        following a blacklist (or vice versa) is counted once.
+        """
+        if spe.in_service:
+            raise RuntimeError(
+                f"{spe.name} is still in service; clear alive/blacklisted "
+                f"before retiring it from the pool"
+            )
+        if spe not in self._all:
+            raise RuntimeError(f"{spe.name} does not belong to this pool")
+        if getattr(spe, "_pool_retired", False):
+            return
+        spe._pool_retired = True
+        self._n_out += 1
+        if spe in self._free:
+            self._free.remove(spe)
+        self._fail_stranded_waiters()
+
+    def _fail_stranded_waiters(self) -> None:
+        """Wake all waiters with ``None`` once no live SPE can ever serve."""
+        if self.n_live > 0:
+            return
+        while self._waiters:
+            ev, _prefer = self._waiters.popleft()
+            ev.succeed(None, priority=URGENT)
 
 
 class CellMachine:
@@ -164,6 +217,15 @@ class CellMachine:
     @property
     def n_spes(self) -> int:
         return len(self.spes)
+
+    @property
+    def live_spes(self) -> List[SPE]:
+        """SPEs still in service (alive and not blacklisted)."""
+        return [s for s in self.spes if s.in_service]
+
+    @property
+    def n_live_spes(self) -> int:
+        return self.pool.n_live
 
     # -- latencies -----------------------------------------------------------
     def signal_latency(self, cell_id: int, spe: SPE) -> float:

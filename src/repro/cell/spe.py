@@ -42,6 +42,12 @@ class SPE:
         self.mfc = MFC(params)
         self.busy = False
         self.owner: Optional[str] = None
+        # Fault state: ``alive`` is cleared by a permanent kill,
+        # ``blacklisted`` by the tolerance policy after repeated
+        # failures.  Either takes the SPE out of service.
+        self.alive = True
+        self.blacklisted = False
+        self.fail_time: Optional[float] = None
         self._busy_since = 0.0
         self.busy_seconds = 0.0
         self.tasks_executed = 0
@@ -110,6 +116,12 @@ class SPE:
         self._resident[key] = nbytes
         return nbytes
 
+    # -- fault state -------------------------------------------------------
+    @property
+    def in_service(self) -> bool:
+        """True while the SPE can be scheduled (alive, not blacklisted)."""
+        return self.alive and not self.blacklisted
+
     # -- execution ---------------------------------------------------------
     def mark_busy(self, owner: str) -> None:
         if self.busy:
@@ -152,4 +164,7 @@ class SPE:
         return busy / window
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"<SPE {self.name} {'busy' if self.busy else 'idle'}>"
+        state = "busy" if self.busy else "idle"
+        if not self.in_service:
+            state += " dead" if not self.alive else " blacklisted"
+        return f"<SPE {self.name} {state}>"

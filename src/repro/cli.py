@@ -16,6 +16,7 @@ Examples::
     python -m repro health fig8                   # rule-based run diagnosis
     python -m repro report fig8 --out report.html # self-contained HTML report
     python -m repro bench --check                 # baseline regression gate
+    python -m repro faults mgps --spe-kill 2:2e-4 --dma-error-rate 0.02
 
 Every scenario subcommand also accepts ``--trace PATH`` to write a
 Chrome/Perfetto trace alongside its normal output.
@@ -211,20 +212,60 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
 
     p = sub.add_parser(
+        "faults",
+        help="run one scenario under an injected fault plan",
+        description=(
+            "Run one representative simulation of the named scenario (or "
+            "scheduler) twice — fault-free, then under the given fault "
+            "plan — and report the recovery actions (retries, PPE "
+            "fallbacks, blacklists, loop recoveries) plus the headline "
+            "invariant: the application results must be bit-identical; "
+            "only the timeline may change.  Exits non-zero if the result "
+            "digests diverge."
+        ),
+    )
+    p.add_argument("scenario", choices=_OBSERVABLE)
+    p.add_argument("--bootstraps", type=int, default=3)
+    p.add_argument("--tasks", type=int, default=200)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--plan", metavar="PATH", default=None,
+                   help="JSON fault plan (see FaultPlan.to_json); flags "
+                        "below override/extend the file's plan")
+    p.add_argument("--fault-seed", type=int, default=None, metavar="N",
+                   help="seed for the fault RNG streams (default 0)")
+    p.add_argument("--offload-fail-rate", type=float, default=None,
+                   metavar="P", help="transient off-load failure probability")
+    p.add_argument("--dma-error-rate", type=float, default=None, metavar="P",
+                   help="per-DMA-transfer error probability")
+    p.add_argument("--spe-kill", action="append", default=[],
+                   metavar="SPE:TIME",
+                   help="kill SPE index at simulated time (seconds); "
+                        "repeatable, e.g. --spe-kill 2:2e-4")
+    p.add_argument("--slow-spe", action="append", default=[],
+                   metavar="SPE:FACTOR",
+                   help="degrade SPE index by a service-time factor; "
+                        "repeatable, e.g. --slow-spe 5:2.0")
+    p.add_argument("--json", action="store_true",
+                   help="emit the comparison as JSON instead of text")
+    add_trace_flag(p)
+
+    p = sub.add_parser(
         "bench",
         help="run the tracked scheduler benchmark ladder",
         description=(
             "Measure the four headline schedulers on the tracked "
-            "Figure-8-style workload.  --check diffs the measurement "
-            "against the committed BENCH_*.json baselines (the "
-            "regression gate); --write refreshes BENCH_core.json."
+            "Figure-8-style workload, plus the fault-handling overhead "
+            "scenarios.  --check diffs the measurement against the "
+            "committed BENCH_*.json baselines (the regression gate); "
+            "--write refreshes BENCH_core.json and BENCH_faults.json."
         ),
     )
     p.add_argument("--check", action="store_true",
                    help="diff against committed baselines; exit non-zero "
                         "on drift")
     p.add_argument("--write", action="store_true",
-                   help="rewrite BENCH_core.json at the repo root")
+                   help="rewrite BENCH_core.json and BENCH_faults.json "
+                        "at the repo root")
 
     return parser
 
@@ -382,7 +423,7 @@ def main(argv: Optional[List[str]] = None) -> int:
               f"(open at https://ui.perfetto.dev)")
     elif args.command == "stats":
         from .analysis.metrics import scheduler_summary
-        from .obs import parse_threshold
+        from .obs import parse_threshold, resolve_metric
 
         try:
             rules = [parse_threshold(expr) for expr in args.fail_on]
@@ -406,15 +447,11 @@ def main(argv: Optional[List[str]] = None) -> int:
             summary = scheduler_summary(metrics)
             failed = False
             for rule in rules:
-                if rule.metric in summary:
-                    observed = summary[rule.metric]
-                else:
-                    inst = metrics.get(rule.metric)
-                    if inst is None:
-                        print(f"repro stats: error: unknown metric "
-                              f"{rule.metric!r} in --fail-on", file=sys.stderr)
-                        return 2
-                    observed = float(inst.value)
+                try:
+                    observed = resolve_metric(rule.metric, summary, metrics)
+                except ValueError as exc:
+                    print(f"repro stats: error: {exc}", file=sys.stderr)
+                    return 2
                 if rule.violated(observed):
                     print(f"FAIL {rule} (observed {observed:g})",
                           file=sys.stderr)
@@ -461,6 +498,122 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
         print(f"wrote report to {args.out} ({len(findings)} finding(s); "
               f"self-contained, open in any browser)")
+    elif args.command == "faults":
+        import json as _json
+        import pathlib
+
+        from .cell.params import BladeParams
+        from .faults import FaultPlan, SPEKill, SlowSPE
+
+        def parse_pair(text: str, flag: str) -> Tuple[int, float]:
+            try:
+                left, right = text.split(":", 1)
+                return int(left), float(right)
+            except ValueError:
+                raise SystemExit(
+                    f"repro faults: error: {flag} expects INDEX:VALUE, "
+                    f"got {text!r}"
+                )
+
+        if args.plan:
+            path = pathlib.Path(args.plan)
+            if not path.is_file():
+                print(f"repro faults: error: plan file {args.plan!r} not "
+                      f"found", file=sys.stderr)
+                return 2
+            try:
+                plan = FaultPlan.from_json(path.read_text())
+            except ValueError as exc:
+                print(f"repro faults: error: {exc}", file=sys.stderr)
+                return 2
+        else:
+            plan = FaultPlan()
+        overrides = {}
+        if args.fault_seed is not None:
+            overrides["seed"] = args.fault_seed
+        if args.offload_fail_rate is not None:
+            overrides["offload_fail_rate"] = args.offload_fail_rate
+        if args.dma_error_rate is not None:
+            overrides["dma_error_rate"] = args.dma_error_rate
+        if args.spe_kill:
+            overrides["spe_kills"] = plan.spe_kills + tuple(
+                SPEKill(*parse_pair(t, "--spe-kill")) for t in args.spe_kill
+            )
+        if args.slow_spe:
+            overrides["slow_spes"] = plan.slow_spes + tuple(
+                SlowSPE(*parse_pair(t, "--slow-spe")) for t in args.slow_spe
+            )
+        try:
+            plan = plan.with_(**overrides) if overrides else plan
+        except ValueError as exc:
+            print(f"repro faults: error: {exc}", file=sys.stderr)
+            return 2
+
+        spec_f, n_cells = _scenario_spec(args.scenario)
+        blade = BladeParams(n_cells=n_cells)
+        wl = Workload(bootstraps=args.bootstraps,
+                      tasks_per_bootstrap=args.tasks, seed=args.seed)
+        clean = run_experiment(spec_f, wl, blade=blade, seed=args.seed)
+        tracer = Tracer(enabled=True)
+        metrics = MetricsRegistry()
+        spec_f, _ = _scenario_spec(args.scenario)
+        faulty = run_experiment(
+            spec_f, wl, blade=blade, seed=args.seed,
+            tracer=tracer, metrics=metrics, faults=plan,
+        )
+        own_traces[f"{args.scenario}-faulty"] = tracer
+        ex = faulty.extras
+        digests_match = clean.result_digest == faulty.result_digest
+        if args.json:
+            print(_json.dumps({
+                "scenario": args.scenario,
+                "scheduler": faulty.scheduler,
+                "plan": _json.loads(plan.to_json()),
+                "fault_free_makespan_s": clean.makespan,
+                "faulty_makespan_s": faulty.makespan,
+                "slowdown": (faulty.makespan / clean.makespan
+                             if clean.makespan > 0 else 1.0),
+                "spe_kills": ex.get("spe_kills", 0.0),
+                "spe_blacklists": ex.get("spe_blacklists", 0.0),
+                "offload_retries": ex.get("offload_retries", 0.0),
+                "retry_fallbacks": ex.get("retry_fallbacks", 0.0),
+                "watchdog_timeouts": ex.get("watchdog_timeouts", 0.0),
+                "dma_errors": ex.get("dma_errors", 0.0),
+                "llp_recoveries": ex.get("llp_recoveries", 0.0),
+                "live_spes": ex.get("live_spes", 0.0),
+                "bootstraps_completed": faulty.bootstraps_completed,
+                "results_identical": digests_match,
+            }, indent=2))
+        else:
+            print(f"{args.scenario}: {faulty.scheduler} on "
+                  f"{args.bootstraps} bootstraps x {args.tasks} tasks")
+            print(f"  fault-free : makespan {clean.makespan:8.2f} s, "
+                  f"{clean.offloads} off-loads")
+            print(f"  with faults: makespan {faulty.makespan:8.2f} s, "
+                  f"{faulty.offloads} off-loads "
+                  f"({faulty.makespan / clean.makespan:.2f}x)"
+                  if clean.makespan > 0 else
+                  f"  with faults: makespan {faulty.makespan:8.2f} s")
+            inj_fail = metrics.get("faults.offload_failures")
+            print(f"  injected   : {ex.get('spe_kills', 0):.0f} SPE kills, "
+                  f"{ex.get('dma_errors', 0):.0f} DMA errors, "
+                  f"{float(inj_fail.value) if inj_fail else 0:.0f} "
+                  f"transient off-load failures")
+            print(f"  recovery   : {ex.get('offload_retries', 0):.0f} "
+                  f"retries, {ex.get('retry_fallbacks', 0):.0f} PPE "
+                  f"fallbacks, {ex.get('spe_blacklists', 0):.0f} "
+                  f"blacklists, {ex.get('llp_recoveries', 0):.0f} loop "
+                  f"recoveries, {ex.get('watchdog_timeouts', 0):.0f} "
+                  f"watchdog timeouts")
+            print(f"  survivors  : {ex.get('live_spes', 0):.0f} of "
+                  f"{len(faulty.per_spe_busy)} SPEs in service; "
+                  f"{faulty.bootstraps_completed} bootstraps completed")
+            verdict = ("identical to the fault-free run"
+                       if digests_match else "DIVERGED from fault-free")
+            print(f"  results    : {verdict} "
+                  f"(digest {faulty.result_digest[:16]}...)")
+        if not digests_match:
+            return 1
     elif args.command == "bench":
         from .obs import bench as obs_bench
 
@@ -470,13 +623,25 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"{name:>11}: makespan {row['makespan_s']:8.2f} s  "
                   f"({speedup:4.2f}x serial), {row['offloads']:4d} "
                   f"off-loads, {row['llp_invocations']:3d} LLP")
+        current_faults = obs_bench.measure_faults()
+        zt = current_faults["zero_fault_tolerant"]
+        fa = current_faults["faulty"]
+        print(f"     faults: zero-fault overhead {zt['overhead_ratio']:.4f}x, "
+              f"faulty slowdown {fa['slowdown_ratio']:.2f}x "
+              f"({fa['offload_retries']:.0f} retries, "
+              f"{fa['live_spes']:.0f} live SPEs)")
         if args.write:
-            path = obs_bench.write_baseline(
-                obs_bench.find_repo_root(), obs_bench.CORE_BASELINE, current
-            )
-            print(f"wrote {path}")
+            root = obs_bench.find_repo_root()
+            for fname, payload in (
+                (obs_bench.CORE_BASELINE, current),
+                (obs_bench.FAULTS_BASELINE, current_faults),
+            ):
+                path = obs_bench.write_baseline(root, fname, payload)
+                print(f"wrote {path}")
         if args.check:
-            ok, report = obs_bench.check_baselines(current_core=current)
+            ok, report = obs_bench.check_baselines(
+                current_core=current, current_faults=current_faults
+            )
             print(report)
             if not ok:
                 return 1

@@ -33,12 +33,14 @@ class UtilizationHistory:
         if n_spes < 1:
             raise ValueError("n_spes must be >= 1")
         self.n_spes = n_spes
+        self._auto_window = window is None
         self.window = window if window is not None else n_spes
         if self.window < 1:
             raise ValueError("window must be >= 1")
         # LLP activates when U <= llp_threshold (the paper uses half the
         # SPEs).  0 disables the trigger entirely — a deliberately broken
         # configuration the health monitor is expected to flag.
+        self._auto_threshold = llp_threshold is None
         self.llp_threshold = (
             n_spes // 2 if llp_threshold is None else llp_threshold
         )
@@ -114,6 +116,36 @@ class UtilizationHistory:
         t = max(1, waiting_tasks)
         degree = max(1, min(self.n_spes, self.n_spes // t))
         return degree > 1, degree
+
+    def resize(self, n_spes: int) -> None:
+        """Re-baseline the window on a new live-SPE count.
+
+        Called when SPEs die or are blacklisted: the hysteresis window
+        and the LLP activation threshold follow the surviving capacity
+        (unless they were pinned explicitly at construction), and the U
+        cap drops so dead SPEs can no longer inflate the estimate.
+        Existing samples are kept — re-clamped to the new capacity — so
+        the estimator degrades smoothly instead of restarting cold.
+        """
+        if n_spes < 1:
+            raise ValueError("n_spes must be >= 1")
+        self.n_spes = n_spes
+        if self._auto_window:
+            self.window = n_spes
+            self._dispatch_times = deque(
+                self._dispatch_times, maxlen=4 * self.window
+            )
+            self._u_samples = deque(
+                (min(u, n_spes) for u in self._u_samples),
+                maxlen=self.window,
+            )
+        else:
+            self._u_samples = deque(
+                (min(u, n_spes) for u in self._u_samples),
+                maxlen=self._u_samples.maxlen,
+            )
+        if self._auto_threshold:
+            self.llp_threshold = n_spes // 2
 
     def reset(self) -> None:
         self._dispatch_times.clear()

@@ -1,11 +1,81 @@
-"""Result records for scheduler experiments."""
+"""Result records for scheduler experiments.
+
+Besides the timing record (:class:`ScheduleResult`), this module holds
+the :class:`ResultLedger` — a per-run chained digest over the
+*application results* each bootstrap produces.  Fault tolerance promises
+that a run perturbed by injected faults computes exactly what the
+fault-free run computes (tasks may execute on an SPE, after retries, or
+on the PPE — the numbers are the same either way); the ledger turns that
+promise into a comparable SHA-256 digest.
+"""
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, Tuple
 
-__all__ = ["ScheduleResult"]
+__all__ = ["ResultLedger", "ScheduleResult"]
+
+
+class ResultLedger:
+    """Chained per-bootstrap digest of executed application work.
+
+    Each bootstrap (keyed by the owning process rank and bootstrap id)
+    accumulates a running SHA-256 over the content of every task it
+    completes, in the order the owning process completes them — which is
+    deterministic per bootstrap because one process drives one bootstrap
+    sequentially.  The run digest hashes the *sorted* per-bootstrap
+    digests, so interleaving between processes (which faults do change)
+    cannot affect it, while any lost, duplicated, or corrupted task
+    does.
+    """
+
+    def __init__(self) -> None:
+        self._open: Dict[Tuple[int, int], "hashlib._Hash"] = {}
+        self._done: Dict[Tuple[int, int], str] = {}
+
+    def start(self, rank: int, bootstrap: int) -> None:
+        key = (rank, bootstrap)
+        if key in self._open or key in self._done:
+            raise RuntimeError(f"bootstrap {key} started twice")
+        h = hashlib.sha256()
+        h.update(f"bootstrap:{bootstrap}".encode())
+        self._open[key] = h
+
+    def record(self, rank: int, bootstrap: int, payload: str) -> None:
+        """Fold one completed task's content into its bootstrap chain."""
+        key = (rank, bootstrap)
+        h = self._open.get(key)
+        if h is None:
+            raise RuntimeError(
+                f"task recorded for bootstrap {key} which is not open"
+            )
+        h.update(payload.encode())
+
+    def finish(self, rank: int, bootstrap: int) -> str:
+        key = (rank, bootstrap)
+        h = self._open.pop(key, None)
+        if h is None:
+            raise RuntimeError(f"bootstrap {key} finished but never started")
+        digest = h.hexdigest()
+        self._done[key] = digest
+        return digest
+
+    @property
+    def completed(self) -> int:
+        return len(self._done)
+
+    @property
+    def open_bootstraps(self) -> int:
+        return len(self._open)
+
+    def run_digest(self) -> str:
+        """Order-insensitive digest over all completed bootstraps."""
+        h = hashlib.sha256()
+        for key in sorted(self._done):
+            h.update(f"{key[0]}:{key[1]}:{self._done[key]}".encode())
+        return h.hexdigest()
 
 
 @dataclass(frozen=True)
@@ -34,6 +104,13 @@ class ScheduleResult:
     ppe_context_switches: int
     per_spe_busy: Tuple[float, ...]
     extras: Dict[str, float] = field(default_factory=dict)
+    # Fault-tolerance fields (defaults keep older call sites working):
+    # ``result_digest`` is the ResultLedger run digest — equal across
+    # fault-free and faulty runs of the same workload by the headline
+    # invariant; ``bootstraps_completed`` counts ledger-verified
+    # bootstraps.
+    result_digest: str = ""
+    bootstraps_completed: int = 0
 
     @property
     def throughput(self) -> float:

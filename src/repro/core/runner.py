@@ -59,6 +59,20 @@ def _publish_run_metrics(metrics, env, machine, raw, scale, occupancy) -> None:
         ).set(s.utilization(raw))
 
 
+def _build_injector(env, machine, faults, tracer, metrics):
+    """Turn a FaultPlan (or ready injector) into an installed injector."""
+    if faults is None:
+        return None
+    from ..faults.injector import FaultInjector
+
+    if not isinstance(faults, FaultInjector):
+        faults = FaultInjector(
+            env, machine, faults, tracer=tracer, metrics=metrics
+        )
+    faults.install()
+    return faults
+
+
 def run_experiment(
     spec: SchedulerSpec,
     workload: Workload,
@@ -66,6 +80,8 @@ def run_experiment(
     seed: int = 0,
     tracer: Optional[Tracer] = None,
     metrics=None,
+    faults=None,
+    tolerance=None,
 ) -> ScheduleResult:
     """Execute ``workload`` under ``spec`` on a fresh simulated blade.
 
@@ -73,10 +89,20 @@ def run_experiment(
     (for timelines; see :mod:`repro.analysis.timeline`) and/or a
     :class:`~repro.obs.metrics.MetricsRegistry` to collect scheduler
     decision metrics.  Neither affects scheduling decisions.
+
+    ``faults`` accepts a :class:`~repro.faults.FaultPlan` (or an
+    un-installed :class:`~repro.faults.FaultInjector`) to perturb the run;
+    ``tolerance`` overrides the default
+    :class:`~repro.faults.TolerancePolicy`.  With ``faults=None`` the
+    fault machinery is entirely bypassed.
     """
     env = Environment(tracer=tracer, metrics=metrics)
     machine = CellMachine(env, blade)
-    runtime = spec.build(env, machine, tracer=tracer, metrics=metrics)
+    injector = _build_injector(env, machine, faults, tracer, metrics)
+    runtime = spec.build(
+        env, machine, tracer=tracer, metrics=metrics,
+        faults=injector, tolerance=tolerance,
+    )
 
     n_procs = spec.default_processes(machine.n_spes, workload.bootstraps)
     if spec.kind == "linux" and n_procs > machine.n_spes:
@@ -127,6 +153,25 @@ def run_experiment(
     st = runtime.stats
     if metrics is not None:
         _publish_run_metrics(metrics, env, machine, raw, scale, occupancy)
+        metrics.gauge(
+            "run.live_spes", "SPEs still in service at run end"
+        ).set(machine.pool.n_live)
+    extras = {
+        "granularity_throttled": float(runtime.granularity.throttled),
+        "llp_join_idle": runtime.llp_model.total_join_idle,
+        "llp_invocations_model": float(runtime.llp_model.invocations),
+    }
+    if injector is not None:
+        extras.update(
+            spe_kills=float(injector.kills_delivered),
+            spe_blacklists=float(st.spe_blacklists),
+            offload_retries=float(st.offload_retries),
+            retry_fallbacks=float(st.retry_fallbacks),
+            watchdog_timeouts=float(st.watchdog_timeouts),
+            dma_errors=float(st.dma_errors),
+            llp_recoveries=float(st.llp_recoveries),
+            live_spes=float(machine.pool.n_live),
+        )
     return ScheduleResult(
         scheduler=spec.name,
         bootstraps=workload.bootstraps,
@@ -144,11 +189,9 @@ def run_experiment(
         code_loads=st.code_loads,
         ppe_context_switches=sum(c.switches for c in machine.cores),
         per_spe_busy=per_spe,
-        extras={
-            "granularity_throttled": float(runtime.granularity.throttled),
-            "llp_join_idle": runtime.llp_model.total_join_idle,
-            "llp_invocations_model": float(runtime.llp_model.invocations),
-        },
+        extras=extras,
+        result_digest=runtime.ledger.run_digest(),
+        bootstraps_completed=runtime.ledger.completed,
     )
 
 
@@ -159,6 +202,8 @@ def run_bsp_experiment(
     seed: int = 0,
     tracer: Optional[Tracer] = None,
     metrics=None,
+    faults=None,
+    tolerance=None,
 ) -> ScheduleResult:
     """Execute a :class:`~repro.workloads.coupled.BSPWorkload`.
 
@@ -171,7 +216,11 @@ def run_bsp_experiment(
 
     env = Environment(tracer=tracer, metrics=metrics)
     machine = CellMachine(env, blade)
-    runtime = spec.build(env, machine, tracer=tracer, metrics=metrics)
+    injector = _build_injector(env, machine, faults, tracer, metrics)
+    runtime = spec.build(
+        env, machine, tracer=tracer, metrics=metrics,
+        faults=injector, tolerance=tolerance,
+    )
     if spec.kind == "linux" and workload.n_processes > machine.n_spes:
         raise ValueError("the Linux baseline pins one SPE per process")
 
@@ -232,6 +281,8 @@ def run_bsp_experiment(
             "barrier_generations": float(workload.iterations),
             "granularity_throttled": float(runtime.granularity.throttled),
         },
+        result_digest=runtime.ledger.run_digest(),
+        bootstraps_completed=runtime.ledger.completed,
     )
 
 

@@ -20,12 +20,14 @@ scheduling alone:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
-from typing import Generator, List, Optional, Set
+from typing import TYPE_CHECKING, Dict, Generator, List, Optional, Set
 
 from ..cell.machine import CellMachine
 from ..cell.smt import CoreThread
 from ..cell.spe import SPE
+from ..faults.tolerance import TolerancePolicy
 from ..obs.metrics import NULL_REGISTRY
 from ..obs.spans import SpanRecorder
 from ..sim.engine import Environment
@@ -35,6 +37,10 @@ from ..workloads.taskspec import BootstrapTrace, TaskSpec
 from .granularity import GranularityGovernor
 from .history import UtilizationHistory
 from .llp import LLPConfig, LoopParallelModel
+from .results import ResultLedger
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..faults.injector import FaultInjector
 
 __all__ = [
     "ProcContext",
@@ -72,6 +78,14 @@ class RuntimeStats:
     data_hits: int = 0
     data_misses: int = 0
     data_bytes_transferred: int = 0
+    # Fault tolerance (all zero on a fault-free run):
+    offload_retries: int = 0      # failed SPE attempts that were retried
+    retry_fallbacks: int = 0      # tasks that fell back to the PPE after
+                                  # exhausting SPE attempts (or losing all SPEs)
+    watchdog_timeouts: int = 0    # attempts abandoned by the watchdog
+    dma_errors: int = 0           # DMA errors absorbed by MFC re-issues
+    llp_recoveries: int = 0       # LLP chunks reclaimed from dead workers
+    spe_blacklists: int = 0       # SPEs retired after consecutive failures
 
 
 class OffloadRuntime:
@@ -90,6 +104,8 @@ class OffloadRuntime:
         tracer: Optional[Tracer] = None,
         locality_aware: bool = False,
         metrics: Optional[object] = None,
+        faults: Optional["FaultInjector"] = None,
+        tolerance: Optional[TolerancePolicy] = None,
     ) -> None:
         self.env = env
         self.machine = machine
@@ -113,6 +129,21 @@ class OffloadRuntime:
         )
         self.stats = RuntimeStats()
         self._active_sources: Set[int] = set()
+        # Fault tolerance: ``faults`` is the injector realizing a plan on
+        # this machine (None = fault-free fast path, byte-identical to the
+        # pre-fault-tolerance runtime); ``tolerance`` configures the
+        # retry/watchdog/blacklist/fallback machinery.
+        self.faults = faults
+        self.tolerance = tolerance or TolerancePolicy()
+        self._consec_failures: Dict[str, int] = {}
+        if faults is not None:
+            faults.add_listener(self._on_capacity_change)
+        # Application-result ledger: one chained digest per bootstrap,
+        # recorded by the worker processes via note_task_complete.  The
+        # run digest is the bit-identity witness of the fault-tolerance
+        # invariant (pure wall-clock cost; simulated time is untouched).
+        self.ledger = ResultLedger()
+        self._current_bootstrap: Dict[int, int] = {}
         m = self.metrics
         self._m_offloads = m.counter("runtime.offloads", "SPE off-load dispatches")
         self._m_fallbacks = m.counter(
@@ -130,10 +161,28 @@ class OffloadRuntime:
             "runtime.offload_latency_us",
             help="dispatch-to-completion latency of SPE off-loads, us",
         )
+        self._m_retries = m.counter(
+            "runtime.offload_retries", "failed SPE attempts that were retried"
+        )
+        self._m_retry_fallbacks = m.counter(
+            "runtime.retry_fallbacks",
+            "tasks executed on the PPE after exhausting SPE attempts",
+        )
+        self._m_watchdog = m.counter(
+            "runtime.watchdog_timeouts", "off-load attempts abandoned by the watchdog"
+        )
+        self._m_llp_recoveries = m.counter(
+            "runtime.llp_recoveries", "LLP chunks reclaimed from dead workers"
+        )
+        self._m_blacklists = m.counter(
+            "runtime.spe_blacklists", "SPEs retired after consecutive failures"
+        )
 
     # -- bookkeeping hooks ----------------------------------------------------
     def note_bootstrap_start(self, ctx: ProcContext, index: int) -> None:
         self._active_sources.add(ctx.rank)
+        self._current_bootstrap[ctx.rank] = index
+        self.ledger.start(ctx.rank, index)
         if self.tracer.enabled:
             self.tracer.emit(
                 self.env.now, "proc", f"mpi{ctx.rank}", "span_begin",
@@ -143,11 +192,29 @@ class OffloadRuntime:
     def note_bootstrap_end(self, ctx: ProcContext, index: int) -> None:
         self._active_sources.discard(ctx.rank)
         self.stats.bootstraps_done += 1
+        self.ledger.finish(ctx.rank, index)
         if self.tracer.enabled:
             self.tracer.emit(
                 self.env.now, "proc", f"mpi{ctx.rank}", "span_end",
                 name=f"bootstrap[{index}]", depth=0,
             )
+
+    def note_task_complete(self, ctx: ProcContext, task: TaskSpec) -> None:
+        """Fold one completed task into its bootstrap's result chain.
+
+        Called by the worker process after ``offload`` returns.  The
+        payload is the task's *content* — identical whether the task ran
+        on an SPE, after retries, or on the PPE — so the run digest is
+        invariant under any fault plan that lets the run complete.
+        """
+        index = self._current_bootstrap.get(ctx.rank)
+        if index is None:
+            return  # task outside a bootstrap (direct runtime tests)
+        self.ledger.record(
+            ctx.rank, index,
+            f"{task.function}|{task.spe_time!r}|{task.ppe_time!r}"
+            f"|{task.naive_spe_time!r}|{task.working_set}|{task.data_key}",
+        )
 
     @property
     def active_sources(self) -> int:
@@ -182,6 +249,9 @@ class OffloadRuntime:
 
     def on_departure(self, start: float, end: float) -> None:
         """Called at every off-load completion."""
+
+    def _on_capacity_change(self) -> None:
+        """Called after every SPE kill or blacklist (live set shrank)."""
 
     # -- mechanics ------------------------------------------------------------
     def _exec_time(self, task: TaskSpec) -> float:
@@ -317,6 +387,242 @@ class OffloadRuntime:
     ) -> Generator[Event, None, None]:
         raise NotImplementedError
 
+    # -- fault-tolerant mechanics ---------------------------------------------
+    def _note_spe_failure(self, spe: SPE) -> None:
+        """Track consecutive failures; blacklist the SPE past the limit."""
+        n = self._consec_failures.get(spe.name, 0) + 1
+        self._consec_failures[spe.name] = n
+        if (
+            n >= self.tolerance.blacklist_after
+            and spe.alive
+            and not spe.blacklisted
+        ):
+            spe.blacklisted = True
+            spe.fail_time = self.env.now
+            self.machine.pool.mark_out_of_service(spe)
+            self.stats.spe_blacklists += 1
+            self._m_blacklists.inc()
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    self.env.now, "fault", spe.name, "spe_blacklist",
+                    consecutive_failures=n,
+                    live_spes=self.machine.pool.n_live,
+                )
+            self._on_capacity_change()
+
+    def _note_spe_success(self, spe: SPE) -> None:
+        self._consec_failures.pop(spe.name, None)
+
+    def _expected_attempt_time(self, task: TaskSpec) -> float:
+        """Expected duration of one attempt, for the watchdog deadline.
+
+        Conservative: the serial SPE time plus maximum memory contention.
+        A healthy attempt (even an LLP one) finishes well inside it; only
+        a pathologically slow SPE or a lost completion signal trips it.
+        """
+        return self._exec_time(task) * (1.0 + self.cell.memory_contention_cap)
+
+    def _faulty_dma_time(self, spe: SPE, base: float) -> "tuple[float, bool]":
+        """(time to pay, succeeded) for one DMA under the fault plan.
+
+        Mirrors :meth:`~repro.cell.mfc.MFC.transfer_time_with_retries`
+        for a transfer whose clean duration is already known: each error
+        costs ``dma_retry_penalty`` extra transfers; more errors than the
+        policy absorbs means the transfer is abandoned.
+        """
+        errors = self.faults.dma_errors(spe, self.tolerance.max_dma_retries)
+        if errors == 0:
+            return base, True
+        self.stats.dma_errors += errors
+        t = base * (1.0 + self.faults.plan.dma_retry_penalty * errors)
+        return t, errors <= self.tolerance.max_dma_retries
+
+    def _spe_exec_faulty(
+        self,
+        ctx: ProcContext,
+        spe: SPE,
+        workers: List[SPE],
+        task: TaskSpec,
+        trace: BootstrapTrace,
+        release: bool,
+    ) -> Generator[Event, None, str]:
+        """Fault-aware twin of :meth:`_spe_exec`; a process.
+
+        Returns a status string as the process value instead of raising
+        (the simulation runs strict, so an exception here would abort the
+        whole run): ``"ok"``, ``"offload-fail"`` (transient dispatch
+        loss), ``"dma-fail"`` (transfer abandoned), ``"spe-dead"``
+        (master died before or during execution).  Always returns its
+        resources — released here, not by the dispatching process, so a
+        watchdog-abandoned attempt cleans up after itself when it
+        eventually finishes.
+        """
+        env = self.env
+        faults = self.faults
+        policy = self.tolerance
+
+        def _give_back() -> None:
+            if release:
+                for w in workers:
+                    self.machine.pool.release(w)
+                self.machine.pool.release(spe)
+
+        death = faults.death_time(spe)
+        if death <= env.now or not spe.in_service:
+            _give_back()
+            return "spe-dead"
+
+        # PPE -> SPE start signal.
+        yield env.timeout(self.machine.signal_latency(ctx.cell_id, spe))
+        # Transient dispatch loss: the descriptor/signal never arrives.
+        if faults.offload_fails(spe):
+            _give_back()
+            return "offload-fail"
+
+        image = trace.llp_image if workers else trace.code_image
+        t_load = spe.load_code(image)
+        for w in workers:
+            t_load = max(t_load, w.load_code(trace.llp_image))
+        if t_load > 0:
+            self.stats.code_loads += 1
+            self._m_code_loads.inc()
+            t_load, ok = self._faulty_dma_time(spe, t_load)
+            yield env.timeout(t_load)
+            if not ok:
+                _give_back()
+                return "dma-fail"
+
+        if task.working_set > 0 and task.data_key is not None:
+            moved = spe.load_data(task.data_key, task.working_set)
+            if moved:
+                self.stats.data_misses += 1
+                self.stats.data_bytes_transferred += moved
+                self._m_data_misses.inc()
+                errors = faults.dma_errors(spe, policy.max_dma_retries)
+                if errors:
+                    self.stats.dma_errors += errors
+                yield env.timeout(
+                    spe.mfc.transfer_time_with_retries(
+                        moved,
+                        n_errors=errors,
+                        retry_penalty=faults.plan.dma_retry_penalty,
+                    )
+                )
+                if errors > policy.max_dma_retries:
+                    _give_back()
+                    return "dma-fail"
+            else:
+                self.stats.data_hits += 1
+                self._m_data_hits.inc()
+
+        if workers:
+            cross = sum(1 for w in workers if w.cell_id != spe.cell_id)
+            inv = self.llp_model.invoke(task, 1 + len(workers), cross)
+            duration = inv.duration
+            self.stats.llp_invocations += 1
+            self.stats.llp_worker_seconds += duration * len(workers)
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    env.now, "llp", spe.name, "llp_invoke",
+                    function=task.function, k=inv.k,
+                    join_idle_us=inv.join_idle * 1e6,
+                    master_fraction=inv.master_fraction,
+                    chunks=inv.chunks,
+                )
+            # Mid-loop recovery: a worker that dies inside the busy
+            # window forfeits the unexecuted tail of its chunk; the
+            # master reclaims and re-executes those iterations serially
+            # after the join (plus a signal to detect the loss).
+            if task.loop is not None:
+                t_iter = (
+                    task.spe_time * task.loop.coverage / task.loop.iterations
+                )
+                for j, w in enumerate(workers):
+                    w_death = faults.death_time(w)
+                    if w_death >= env.now + duration:
+                        continue
+                    frac = (
+                        1.0
+                        if duration <= 0
+                        else (env.now + duration - max(w_death, env.now))
+                        / duration
+                    )
+                    chunk = inv.chunks[j + 1] if j + 1 < len(inv.chunks) else 0
+                    reclaimed = int(math.ceil(chunk * min(1.0, frac)))
+                    extra = reclaimed * t_iter + self.machine.spe_signal_latency(
+                        w, spe
+                    )
+                    duration += extra
+                    self.stats.llp_recoveries += 1
+                    self._m_llp_recoveries.inc()
+                    if self.tracer.enabled:
+                        self.tracer.emit(
+                            env.now, "fault", spe.name, "llp_recovery",
+                            worker=w.name, died_at=w_death,
+                            reclaimed_iterations=reclaimed,
+                            extra_seconds=extra,
+                        )
+        else:
+            duration = self._exec_time(task)
+
+        owner = f"p{ctx.rank}"
+        busy_others = sum(
+            1
+            for s in self.machine.spes
+            if s.busy and s.cell_id == spe.cell_id and s.owner != owner
+        )
+        base_duration = duration
+        duration *= 1.0 + min(
+            self.cell.memory_contention_cap,
+            self.cell.memory_contention_quadratic * busy_others**2,
+        )
+        # Slow-SPE noise: multiplicative service-time perturbation.
+        duration *= faults.service_factor(spe)
+
+        for w in workers:
+            w.mark_busy(owner)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                env.now, "spe", spe.name, "task_start",
+                proc=ctx.rank, function=task.function, duration=duration,
+                workers=tuple(w.name for w in workers),
+            )
+        # Master death inside the busy window loses the task: occupy the
+        # SPE only until its planned death, then report the failure.
+        if death < env.now + duration:
+            avail = max(0.0, death - env.now)
+            spe.mark_busy(owner)
+            try:
+                if avail > 0:
+                    yield env.timeout(avail)
+            finally:
+                spe.mark_idle()
+                for w in workers:
+                    w.mark_idle()
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    env.now, "spe", spe.name, "task_abort",
+                    proc=ctx.rank, function=task.function, reason="spe_kill",
+                )
+            _give_back()
+            return "spe-dead"
+
+        try:
+            yield from spe.occupy(duration, owner)
+        finally:
+            for w in workers:
+                w.mark_idle()
+        if self.tracer.enabled:
+            self.tracer.emit(
+                env.now, "spe", spe.name, "task_end",
+                proc=ctx.rank, function=task.function,
+            )
+        _give_back()
+        self.granularity.record_spe(task.function, base_duration)
+        # SPE -> PPE completion signal.
+        yield env.timeout(self.machine.signal_latency(ctx.cell_id, spe))
+        return "ok"
+
 
 class LinuxRuntime(OffloadRuntime):
     """Naive MPI mapping: pinned SPEs, spin-wait, OS time slicing."""
@@ -331,6 +637,9 @@ class LinuxRuntime(OffloadRuntime):
         decision = self.granularity.decide(task)
         if not self.offload_enabled or not decision.offload:
             yield from self._ppe_fallback(ctx, task)
+            return
+        if self.faults is not None:
+            yield from self._offload_tolerant(ctx, task, trace, decision)
             return
         with self.spans.span("proc", f"mpi{ctx.rank}", "offload") as sp:
             if self.tracer.enabled:
@@ -354,6 +663,63 @@ class LinuxRuntime(OffloadRuntime):
             # Completion handling (reading the mailbox, resuming the code
             # path).
             yield ctx.thread.run(self.cell.completion_overhead)
+
+    def _offload_tolerant(
+        self, ctx: ProcContext, task: TaskSpec, trace: BootstrapTrace, decision
+    ) -> Generator[Event, None, None]:
+        """Fault-tolerant off-load to the *pinned* SPE.
+
+        The baseline has no pool to fail over to: retries go to the same
+        SPE, and a dead or blacklisted pinned SPE means every remaining
+        task of this process runs on the PPE.  No watchdog either — the
+        process spins, so it observes the attempt's fate directly.
+        """
+        env = self.env
+        spe = ctx.pinned_spe
+        policy = self.tolerance
+        with self.spans.span("proc", f"mpi{ctx.rank}", "offload") as sp:
+            if self.tracer.enabled:
+                sp.set(function=task.function, reason=decision.reason)
+            for attempt in range(policy.max_attempts):
+                if not spe.in_service:
+                    break
+                yield ctx.thread.run(self.cell.dispatch_overhead)
+                self.stats.offloads += 1
+                self._m_offloads.inc()
+                start = env.now
+                self.on_dispatch(start)
+                done = env.process(
+                    self._spe_exec_faulty(
+                        ctx, spe, [], task, trace, release=False
+                    ),
+                    name=f"exec.p{ctx.rank}",
+                )
+                yield ctx.thread.spin_until(done)
+                status = done.value
+                if status == "ok":
+                    self._note_spe_success(spe)
+                    self.on_departure(start, env.now)
+                    self._m_offload_latency.observe((env.now - start) * 1e6)
+                    yield ctx.thread.run(self.cell.completion_overhead)
+                    return
+                self.stats.offload_retries += 1
+                self._m_retries.inc()
+                self._note_spe_failure(spe)
+                if self.tracer.enabled:
+                    self.tracer.emit(
+                        env.now, "fault", f"mpi{ctx.rank}", "offload_retry",
+                        function=task.function, status=status,
+                        attempt=attempt, spe=spe.name,
+                    )
+                yield env.timeout(policy.backoff(attempt))
+            self.stats.retry_fallbacks += 1
+            self._m_retry_fallbacks.inc()
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    env.now, "fault", f"mpi{ctx.rank}", "retry_fallback",
+                    function=task.function,
+                )
+        yield from self._ppe_fallback(ctx, task)
 
 
 class EDTLPRuntime(OffloadRuntime):
@@ -399,6 +765,9 @@ class EDTLPRuntime(OffloadRuntime):
         if not self.offload_enabled or not decision.offload:
             yield from self._ppe_fallback(ctx, task)
             return
+        if self.faults is not None:
+            yield from self._offload_tolerant(ctx, task, trace, decision)
+            return
         with self.spans.span("proc", f"mpi{ctx.rank}", "offload") as sp:
             if self.tracer.enabled:
                 sp.set(function=task.function, reason=decision.reason)
@@ -423,6 +792,78 @@ class EDTLPRuntime(OffloadRuntime):
             # Scheduler completion handling on the PPE before the process
             # continues (Section 5.2's t_comm bookkeeping on the PPE side).
             yield ctx.thread.run(self.cell.completion_overhead)
+
+    def _offload_tolerant(
+        self, ctx: ProcContext, task: TaskSpec, trace: BootstrapTrace, decision
+    ) -> Generator[Event, None, None]:
+        """Fault-tolerant off-load against the shared pool.
+
+        Each attempt acquires a (possibly different) SPE, dispatches,
+        and races the execution against a watchdog deadline.  Failed
+        attempts back off exponentially in simulated time; after
+        ``max_attempts`` failures — or when no live SPE remains — the
+        task executes its PPE version.  A watchdog-abandoned attempt
+        becomes a harmless zombie: the SPE finishes in the background
+        and releases itself back to the pool.
+        """
+        env = self.env
+        policy = self.tolerance
+        with self.spans.span("proc", f"mpi{ctx.rank}", "offload") as sp:
+            if self.tracer.enabled:
+                sp.set(function=task.function, reason=decision.reason)
+            for attempt in range(policy.max_attempts):
+                yield ctx.thread.run(self.cell.dispatch_overhead)
+                spe = yield from self._acquire_spe(ctx, task)
+                if spe is None:
+                    # Capacity exhausted: every SPE dead or blacklisted.
+                    break
+                workers = self._acquire_workers(ctx, spe, task)
+                if self.tracer.enabled:
+                    sp.set(spe=spe.name, llp_degree=1 + len(workers))
+                self.stats.offloads += 1
+                self._m_offloads.inc()
+                start = env.now
+                self.on_dispatch(start)
+                done = env.process(
+                    self._spe_exec_faulty(
+                        ctx, spe, workers, task, trace, release=True
+                    ),
+                    name=f"exec.p{ctx.rank}",
+                )
+                deadline = policy.attempt_deadline(
+                    self._expected_attempt_time(task)
+                )
+                winner = yield env.any_of([done, env.timeout(deadline)])
+                if winner is done and done.value == "ok":
+                    self._note_spe_success(spe)
+                    self.on_departure(start, env.now)
+                    self._m_offload_latency.observe((env.now - start) * 1e6)
+                    yield ctx.thread.run(self.cell.completion_overhead)
+                    return
+                if winner is done:
+                    status = done.value
+                else:
+                    status = "watchdog-timeout"
+                    self.stats.watchdog_timeouts += 1
+                    self._m_watchdog.inc()
+                self.stats.offload_retries += 1
+                self._m_retries.inc()
+                self._note_spe_failure(spe)
+                if self.tracer.enabled:
+                    self.tracer.emit(
+                        env.now, "fault", f"mpi{ctx.rank}", "offload_retry",
+                        function=task.function, status=status,
+                        attempt=attempt, spe=spe.name,
+                    )
+                yield env.timeout(policy.backoff(attempt))
+            self.stats.retry_fallbacks += 1
+            self._m_retry_fallbacks.inc()
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    env.now, "fault", f"mpi{ctx.rank}", "retry_fallback",
+                    function=task.function,
+                )
+        yield from self._ppe_fallback(ctx, task)
 
 
 class StaticHybridRuntime(EDTLPRuntime):
@@ -485,7 +926,9 @@ class MGPSRuntime(EDTLPRuntime):
         )
         # Beyond ~half the SPEs per loop, per-worker overheads dominate
         # (Table 2: "using five or more SPE threads decreases
-        # efficiency"), so MGPS caps the LLP degree there.
+        # efficiency"), so MGPS caps the LLP degree there.  The cap
+        # follows the *live* SPE count when not pinned explicitly.
+        self._auto_max_degree = max_degree is None
         self.max_degree = max_degree if max_degree is not None else max(2, n // 2)
         self.llp_active = False
         self.current_degree = 1
@@ -512,6 +955,37 @@ class MGPSRuntime(EDTLPRuntime):
 
     def on_departure(self, start: float, end: float) -> None:
         self.history.note_departure(start, end)
+
+    def _on_capacity_change(self) -> None:
+        """Re-baseline MGPS on the surviving SPE set.
+
+        Called after every kill or blacklist: the utilization-history
+        window, the LLP activation threshold and the degree formula
+        ``floor(n_live / T)`` all shrink to the live capacity, so the
+        scheduler degrades gracefully instead of over-committing loop
+        workers it can no longer acquire.
+        """
+        n_live = max(1, self.machine.pool.n_live)
+        self.history.resize(n_live)
+        if self._auto_max_degree:
+            self.max_degree = min(n_live, max(2, n_live // 2))
+        if self.current_degree > self.max_degree:
+            self.current_degree = self.max_degree
+            if self.current_degree <= 1:
+                self.llp_active = False
+                self.current_degree = 1
+            self.stats.llp_mode_switches += 1
+            self._m_mode_switches.inc()
+            self._m_degree.set(self.current_degree)
+            self._m_llp_active.set(1 if self.llp_active else 0)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                self.env.now, "sched", "mgps", "capacity_change",
+                live_spes=self.machine.pool.n_live,
+                window=self.history.window,
+                max_degree=self.max_degree,
+                degree=self.current_degree,
+            )
 
     def _decide(self) -> None:
         # T: the most task sources seen at any recent dispatch -- the

@@ -79,12 +79,16 @@ class SchedulerSpec:
         return max(1, min(bootstraps, per_machine))
 
     def build(self, env: Environment, machine: CellMachine,
-              tracer=None, metrics=None) -> OffloadRuntime:
+              tracer=None, metrics=None, faults=None,
+              tolerance=None) -> OffloadRuntime:
         """Instantiate the runtime for this spec on ``machine``.
 
         ``tracer``/``metrics`` fall back to the sinks attached to ``env``
         (see :class:`~repro.sim.engine.Environment`), so observability can
-        be injected once at environment construction.
+        be injected once at environment construction.  ``faults`` is an
+        installed :class:`~repro.faults.FaultInjector` (None = fault-free
+        fast path); ``tolerance`` a
+        :class:`~repro.faults.TolerancePolicy` override.
         """
         if tracer is None:
             tracer = getattr(env, "tracer", None)
@@ -98,6 +102,8 @@ class SchedulerSpec:
             locality_aware=self.locality_aware,
             tracer=tracer,
             metrics=metrics,
+            faults=faults,
+            tolerance=tolerance,
         )
         if self.kind == "linux":
             return LinuxRuntime(env, machine, **common)

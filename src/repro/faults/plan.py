@@ -1,0 +1,142 @@
+"""Deterministic fault plans: what goes wrong, where, and when.
+
+A :class:`FaultPlan` is a *declarative, seeded* description of the
+perturbations one run should suffer:
+
+* **transient off-load failures** — an off-load dispatch to an SPE is
+  lost with probability ``offload_fail_rate`` per attempt (mailbox
+  write dropped, SPE signal missed);
+* **DMA errors** — each MFC transfer errors with probability
+  ``dma_error_rate`` and must be re-issued, paying
+  ``dma_retry_penalty`` times the transfer again per error;
+* **permanent SPE death** — :class:`SPEKill` removes an SPE from
+  service at an absolute simulated time;
+* **slow SPEs** — :class:`SlowSPE` multiplies an SPE's service time by
+  ``factor`` with optional per-task lognormal ``jitter``.
+
+Plans carry their own ``seed``; every random decision is drawn from a
+named :class:`~repro.sim.rng.RngStreams` substream keyed by fault kind
+and SPE, so the same plan against the same workload produces the exact
+same fault sequence — fault injection is replayable, diffable and
+bisectable, never flaky.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field, replace
+from typing import Any, Dict, Tuple
+
+__all__ = ["SPEKill", "SlowSPE", "FaultPlan"]
+
+
+@dataclass(frozen=True)
+class SPEKill:
+    """Permanent death of one SPE at an absolute simulated time."""
+
+    spe: int      # flat index into CellMachine.spes
+    time: float   # simulated seconds
+
+    def __post_init__(self) -> None:
+        if self.spe < 0:
+            raise ValueError(f"spe index must be >= 0, got {self.spe}")
+        if self.time < 0:
+            raise ValueError(f"kill time must be >= 0, got {self.time}")
+
+
+@dataclass(frozen=True)
+class SlowSPE:
+    """Multiplicative service-time perturbation of one SPE."""
+
+    spe: int
+    factor: float       # mean slowdown (1.0 = nominal)
+    jitter: float = 0.0  # sigma of per-task lognormal noise
+
+    def __post_init__(self) -> None:
+        if self.spe < 0:
+            raise ValueError(f"spe index must be >= 0, got {self.spe}")
+        if self.factor < 1.0:
+            raise ValueError(f"slow factor must be >= 1.0, got {self.factor}")
+        if self.jitter < 0:
+            raise ValueError(f"jitter must be >= 0, got {self.jitter}")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """One run's complete, deterministic fault schedule."""
+
+    seed: int = 0
+    offload_fail_rate: float = 0.0
+    dma_error_rate: float = 0.0
+    dma_retry_penalty: float = 1.0
+    spe_kills: Tuple[SPEKill, ...] = ()
+    slow_spes: Tuple[SlowSPE, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        for name in ("offload_fail_rate", "dma_error_rate"):
+            rate = getattr(self, name)
+            if not (0.0 <= rate < 1.0):
+                raise ValueError(f"{name} must be in [0, 1), got {rate}")
+        if self.dma_retry_penalty < 0:
+            raise ValueError("dma_retry_penalty must be >= 0")
+        # Normalize list inputs so plans hash/compare by value.
+        object.__setattr__(self, "spe_kills", tuple(self.spe_kills))
+        object.__setattr__(self, "slow_spes", tuple(self.slow_spes))
+        seen = set()
+        for k in self.spe_kills:
+            if k.spe in seen:
+                raise ValueError(f"duplicate kill for SPE {k.spe}")
+            seen.add(k.spe)
+
+    @property
+    def is_null(self) -> bool:
+        """True when the plan injects nothing at all."""
+        return (
+            self.offload_fail_rate == 0.0
+            and self.dma_error_rate == 0.0
+            and not self.spe_kills
+            and not self.slow_spes
+        )
+
+    def with_(self, **kwargs: Any) -> "FaultPlan":
+        return replace(self, **kwargs)
+
+    # -- (de)serialization --------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "FaultPlan":
+        known = {
+            "seed", "offload_fail_rate", "dma_error_rate",
+            "dma_retry_penalty", "spe_kills", "slow_spes",
+        }
+        unknown = set(payload) - known
+        if unknown:
+            raise ValueError(
+                f"unknown fault-plan keys {sorted(unknown)}; "
+                f"known keys: {sorted(known)}"
+            )
+        kills = tuple(
+            SPEKill(**k) if isinstance(k, dict) else SPEKill(*k)
+            for k in payload.get("spe_kills", ())
+        )
+        slows = tuple(
+            SlowSPE(**s) if isinstance(s, dict) else SlowSPE(*s)
+            for s in payload.get("slow_spes", ())
+        )
+        return cls(
+            seed=int(payload.get("seed", 0)),
+            offload_fail_rate=float(payload.get("offload_fail_rate", 0.0)),
+            dma_error_rate=float(payload.get("dma_error_rate", 0.0)),
+            dma_retry_penalty=float(payload.get("dma_retry_penalty", 1.0)),
+            spe_kills=kills,
+            slow_spes=slows,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        return cls.from_dict(json.loads(text))

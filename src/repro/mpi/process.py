@@ -42,6 +42,10 @@ def mpi_worker(
             if item.ppe_gap > 0:
                 yield ctx.thread.run(item.ppe_gap)
             yield from runtime.offload(ctx, item.task, trace)
+            # The task's result is in hand here — whether it ran on an
+            # SPE, after retries, or on the PPE — so this is where it
+            # joins the bootstrap's result chain.
+            runtime.note_task_complete(ctx, item.task)
         if trace.tail_ppe > 0:
             yield ctx.thread.run(trace.tail_ppe)
         runtime.note_bootstrap_end(ctx, index)
@@ -67,6 +71,7 @@ def bsp_worker(
             if item.ppe_gap > 0:
                 yield ctx.thread.run(item.ppe_gap)
             yield from runtime.offload(ctx, item.task, workload)
+            runtime.note_task_complete(ctx, item.task)
         phases += 1
         yield barrier.arrive()
     runtime.note_bootstrap_end(ctx, ctx.rank)

@@ -20,7 +20,7 @@ package makes those decisions observable without perturbing them:
 Everything is stdlib-only and hangs off per-run objects — no globals.
 """
 
-from .bench import check_baselines, compare, measure_core
+from .bench import check_baselines, compare, measure_core, measure_faults
 from .export import (
     chrome_trace,
     chrome_trace_events,
@@ -46,6 +46,7 @@ from .monitor import (
     analyze_run,
     parse_threshold,
     render_findings,
+    resolve_metric,
 )
 from .report import render_report, write_report
 from .spans import NULL_SPAN, Span, SpanRecorder
@@ -74,9 +75,11 @@ __all__ = [
     "analyze_run",
     "parse_threshold",
     "render_findings",
+    "resolve_metric",
     "render_report",
     "write_report",
     "measure_core",
+    "measure_faults",
     "compare",
     "check_baselines",
 ]

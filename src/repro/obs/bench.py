@@ -34,12 +34,15 @@ from .metrics import stable_round
 __all__ = [
     "CORE_BASELINE",
     "OBS_BASELINE",
+    "FAULTS_BASELINE",
     "REQUIRED_CORE_KEYS",
     "REQUIRED_OBS_KEYS",
+    "REQUIRED_FAULTS_KEYS",
     "DEFAULT_TOLERANCES",
     "find_repo_root",
     "core_schedulers",
     "measure_core",
+    "measure_faults",
     "stable_payload",
     "write_baseline",
     "flatten",
@@ -49,6 +52,7 @@ __all__ = [
 
 CORE_BASELINE = "BENCH_core.json"
 OBS_BASELINE = "BENCH_obs.json"
+FAULTS_BASELINE = "BENCH_faults.json"
 
 # The workload every tracked benchmark shares (Figure-8-style: few
 # bootstraps, many tasks -> MGPS must fall back on loop parallelism).
@@ -57,6 +61,12 @@ TASKS = 200
 SEED = 0
 
 REQUIRED_CORE_KEYS = ("workload", "schedulers", "speedup_over_serial")
+REQUIRED_FAULTS_KEYS = (
+    "workload",
+    "fault_free",
+    "zero_fault_tolerant",
+    "faulty",
+)
 REQUIRED_OBS_KEYS = (
     "workload",
     "makespan_s",
@@ -144,6 +154,89 @@ def measure_core(
         "schedulers": rows,
         "speedup_over_serial": {
             name: serial / rows[name]["makespan_s"] for name in rows
+        },
+    }
+
+
+def measure_faults(
+    bootstraps: int = BOOTSTRAPS,
+    tasks: int = TASKS,
+    seed: int = SEED,
+    time_source=time.perf_counter,
+) -> Dict[str, Any]:
+    """Measure fault-handling overhead; returns the ``BENCH_faults`` payload.
+
+    Three tracked MGPS runs of the shared workload:
+
+    * ``fault_free`` — the plain fast path (no fault machinery at all);
+    * ``zero_fault_tolerant`` — a *null* fault plan, so every off-load
+      goes through the tolerant retry/watchdog path but no fault ever
+      fires: its ``overhead_ratio`` over the fault-free makespan is the
+      cost of the tolerance machinery itself;
+    * ``faulty`` — a fixed small storm (two SPE kills, transient
+      off-load and DMA error rates) exercising retries, blacklisting and
+      MGPS degradation.
+
+    ``digest_match`` fields record the headline invariant: application
+    results are bit-identical to the fault-free run.  All fields are
+    deterministic except ``seconds_wall``.
+    """
+    from ..core.runner import run_experiment
+    from ..core.schedulers import mgps
+    from ..faults import FaultPlan, SPEKill
+    from ..workloads.traces import Workload
+
+    def one(faults):
+        wl = Workload(
+            bootstraps=bootstraps, tasks_per_bootstrap=tasks, seed=seed
+        )
+        t0 = time_source()
+        result = run_experiment(mgps(), wl, seed=seed, faults=faults)
+        wall = time_source() - t0
+        return result, wall
+
+    clean, clean_wall = one(None)
+    tolerant, tolerant_wall = one(FaultPlan(seed=seed))
+    storm_plan = FaultPlan(
+        seed=seed,
+        offload_fail_rate=0.05,
+        dma_error_rate=0.02,
+        spe_kills=(SPEKill(spe=2, time=2e-4), SPEKill(spe=5, time=4e-4)),
+    )
+    faulty, faulty_wall = one(storm_plan)
+
+    return {
+        "workload": {
+            "bootstraps": bootstraps,
+            "tasks_per_bootstrap": tasks,
+            "seed": seed,
+            "scheduler": "mgps",
+        },
+        "fault_free": {
+            "makespan_s": clean.makespan,
+            "offloads": clean.offloads,
+            "seconds_wall": clean_wall,
+        },
+        "zero_fault_tolerant": {
+            "makespan_s": tolerant.makespan,
+            "offloads": tolerant.offloads,
+            "overhead_ratio": tolerant.makespan / clean.makespan,
+            "digest_match": tolerant.result_digest == clean.result_digest,
+            "offload_retries": int(tolerant.extras.get("offload_retries", 0)),
+            "retry_fallbacks": int(tolerant.extras.get("retry_fallbacks", 0)),
+            "seconds_wall": tolerant_wall,
+        },
+        "faulty": {
+            "makespan_s": faulty.makespan,
+            "slowdown_ratio": faulty.makespan / clean.makespan,
+            "digest_match": faulty.result_digest == clean.result_digest,
+            "spe_kills": int(faulty.extras.get("spe_kills", 0)),
+            "spe_blacklists": int(faulty.extras.get("spe_blacklists", 0)),
+            "offload_retries": int(faulty.extras.get("offload_retries", 0)),
+            "retry_fallbacks": int(faulty.extras.get("retry_fallbacks", 0)),
+            "dma_errors": int(faulty.extras.get("dma_errors", 0)),
+            "live_spes": int(faulty.extras.get("live_spes", 0)),
+            "seconds_wall": faulty_wall,
         },
     }
 
@@ -279,14 +372,17 @@ def _load(path: pathlib.Path) -> Dict[str, Any]:
 def check_baselines(
     root: Optional[pathlib.Path] = None,
     current_core: Optional[Dict[str, Any]] = None,
+    current_faults: Optional[Dict[str, Any]] = None,
 ) -> Tuple[bool, str]:
     """The regression gate: committed baselines vs a fresh measurement.
 
     Re-measures the core ladder (pass ``current_core`` to reuse an
-    existing measurement), diffs it against ``BENCH_core.json``, and
+    existing measurement), diffs it against ``BENCH_core.json``,
     cross-checks ``BENCH_obs.json``'s deterministic fields against the
     same run — both files describe the identical workload, so their
-    MGPS makespans must agree.  Returns ``(ok, report_text)``.
+    MGPS makespans must agree — and diffs a fresh
+    :func:`measure_faults` against ``BENCH_faults.json``.  Returns
+    ``(ok, report_text)``.
     """
     root = pathlib.Path(root) if root is not None else find_repo_root()
     lines: List[str] = []
@@ -344,4 +440,42 @@ def check_baselines(
             else:
                 lines.append(f"bench: {OBS_BASELINE} workload differs from "
                              f"the core ladder; structural check only")
+
+    faults_path = root / FAULTS_BASELINE
+    if not faults_path.exists():
+        lines.append(f"bench: missing baseline {faults_path}")
+        ok = False
+    else:
+        faults_base = _load(faults_path)
+        missing = [k for k in REQUIRED_FAULTS_KEYS if k not in faults_base]
+        if missing:
+            lines.append(
+                f"bench: {FAULTS_BASELINE} lacks required keys {missing}"
+            )
+            ok = False
+        else:
+            fcur = current_faults or measure_faults(
+                bootstraps=faults_base["workload"].get("bootstraps", BOOTSTRAPS),
+                tasks=faults_base["workload"].get(
+                    "tasks_per_bootstrap", TASKS
+                ),
+                seed=faults_base["workload"].get("seed", SEED),
+            )
+            fviol = compare(fcur, faults_base)
+            if fviol:
+                lines.append(f"bench: {FAULTS_BASELINE} drifted")
+                lines.append(render_violations(fviol))
+                ok = False
+            else:
+                lines.append(
+                    f"bench: {FAULTS_BASELINE} OK (fault-tolerance ladder "
+                    f"within tolerance)"
+                )
+            for scenario in ("zero_fault_tolerant", "faulty"):
+                if not fcur.get(scenario, {}).get("digest_match", False):
+                    lines.append(
+                        f"bench: {FAULTS_BASELINE}: {scenario} application "
+                        f"results diverged from the fault-free run"
+                    )
+                    ok = False
     return bool(ok), "\n".join(lines)

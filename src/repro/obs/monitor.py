@@ -20,6 +20,10 @@ llp-imbalance     master/worker join idle for one loop does not shrink
                   across invocations (adaptive unbalancing not converging)
 granularity-churn the granularity test flips accept<->reject repeatedly
                   for the same function (off-load decision flapping)
+fault-storm       injected faults forced a high ratio of retried off-load
+                  attempts (the tolerance machinery is saturating)
+degraded-capacity SPEs were lost to kills or blacklisting; critical when
+                  no SPE survived and everything ran on the PPE
 ================  ===========================================================
 
 Findings are structured (:class:`HealthFinding`) so CI can assert on them
@@ -44,6 +48,7 @@ __all__ = [
     "analyze_run",
     "parse_threshold",
     "render_findings",
+    "resolve_metric",
 ]
 
 
@@ -94,6 +99,27 @@ def parse_threshold(expr: str) -> Threshold:
             f"(expected e.g. 'spe_idle_ratio>0.25')"
         )
     return Threshold(m.group(1), m.group(2), float(m.group(3)))
+
+
+def resolve_metric(metric: str, summary: Mapping[str, Any], registry) -> float:
+    """Look up a threshold's metric in the summary, then the registry.
+
+    An unknown name raises :class:`ValueError` that *lists every known
+    metric name*, so a typo in ``--fail-on`` (or a monitor config) is
+    diagnosed in one round trip instead of by guesswork.
+    """
+    if metric in summary:
+        return float(summary[metric])
+    inst = registry.get(metric) if registry is not None else None
+    if inst is not None:
+        return float(inst.value)
+    known = sorted(
+        set(summary)
+        | (set(registry.names()) if registry is not None else set())
+    )
+    raise ValueError(
+        f"unknown metric {metric!r}; known metrics: {', '.join(known)}"
+    )
 
 
 # -- findings -----------------------------------------------------------------
@@ -163,6 +189,11 @@ class MonitorConfig:
     imbalance_floor_us: float = 2.0
     # granularity-churn: accept<->reject reversals per function.
     churn_flips: int = 4
+    # fault-storm: retried attempts / total off-load dispatches above this
+    # ratio (with at least storm_min_events dispatches) means the
+    # tolerance machinery is absorbing a storm rather than stray faults.
+    storm_retry_ratio: float = 0.25
+    storm_min_events: int = 8
 
     def with_(self, **kwargs: Any) -> "MonitorConfig":
         return replace(self, **kwargs)
@@ -407,6 +438,67 @@ class HealthMonitor:
                       "threshold": cfg.churn_flips},
         ))
 
+    def _detect_fault_storm(
+        self, tracer, registry, findings: List[HealthFinding]
+    ) -> None:
+        cfg = self.config
+        offloads = _registry_value(registry, "runtime.offloads")
+        retries = _registry_value(registry, "runtime.offload_retries")
+        fallbacks = _registry_value(registry, "runtime.retry_fallbacks")
+        attempts = offloads + fallbacks
+        if attempts < cfg.storm_min_events:
+            return
+        failed = retries + fallbacks
+        ratio = failed / attempts
+        if ratio <= cfg.storm_retry_ratio:
+            return
+        findings.append(HealthFinding(
+            detector="fault-storm",
+            severity="warning",
+            summary=(
+                f"{failed:.0f} of {attempts:.0f} off-load attempts failed "
+                f"({ratio:.0%} > {cfg.storm_retry_ratio:.0%}) — injected "
+                f"faults are saturating the retry machinery"
+            ),
+            evidence={
+                "offloads": offloads,
+                "offload_retries": retries,
+                "retry_fallbacks": fallbacks,
+                "failed_ratio": round(ratio, 4),
+                "threshold": cfg.storm_retry_ratio,
+            },
+        ))
+
+    def _detect_degraded_capacity(
+        self, tracer, registry, findings: List[HealthFinding]
+    ) -> None:
+        kills = _registry_value(registry, "faults.spe_kills")
+        blacklists = _registry_value(registry, "runtime.spe_blacklists")
+        lost = kills + blacklists
+        if lost <= 0:
+            return
+        n_spes = self._n_spes(tracer, registry)
+        live = _registry_value(registry, "run.live_spes", default=n_spes - lost)
+        findings.append(HealthFinding(
+            detector="degraded-capacity",
+            severity="critical" if live <= 0 else "warning",
+            summary=(
+                f"{lost:.0f} of {n_spes} SPEs left service "
+                f"({kills:.0f} killed, {blacklists:.0f} blacklisted); "
+                + (
+                    "no SPE survived — the whole run fell back to the PPE"
+                    if live <= 0
+                    else f"{live:.0f} SPEs carried the remaining load"
+                )
+            ),
+            evidence={
+                "spe_kills": kills,
+                "spe_blacklists": blacklists,
+                "live_spes": live,
+                "n_spes": n_spes,
+            },
+        ))
+
     # -- entry point ------------------------------------------------------
     def analyze(self, tracer: Optional[Tracer], registry) -> List[HealthFinding]:
         """All findings for one run, in detector-catalogue order."""
@@ -416,6 +508,8 @@ class HealthMonitor:
         self._detect_window_u_saturation(tracer, registry, findings)
         self._detect_llp_imbalance(tracer, registry, findings)
         self._detect_granularity_churn(tracer, registry, findings)
+        self._detect_fault_storm(tracer, registry, findings)
+        self._detect_degraded_capacity(tracer, registry, findings)
         return findings
 
 

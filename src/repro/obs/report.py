@@ -14,7 +14,9 @@ decade later.  Sections (each with a stable anchor, asserted by tests):
   LLP trigger threshold marked;
 * ``#latency`` — off-load dispatch-to-completion latency histogram;
 * ``#llp-adaptation`` — the master chunk fraction per loop invocation
-  (the adaptive-unbalancing trajectory).
+  (the adaptive-unbalancing trajectory);
+* ``#faults`` — injected faults and the runtime's recovery actions as a
+  time-ordered event table (empty state when the run was fault-free).
 
 Charts follow the fixed mark specs (2px lines, thin rounded bars, 2px
 surface gaps, hairline grid) and a categorical palette validated for
@@ -403,6 +405,76 @@ def _adaptation_svg(series: Dict[str, List[Tuple[int, float, float]]]) -> str:
     return _legend(list(zip(slot_classes, shown))) + svg + note
 
 
+_FAULT_EVENT_LABELS = {
+    "spe_kill": ("injected", "SPE failed permanently"),
+    "spe_blacklist": ("recovery", "SPE blacklisted by the runtime"),
+    "offload_fail": ("injected", "transient off-load failure"),
+    "dma_error": ("injected", "DMA transfer error"),
+    "offload_retry": ("recovery", "off-load retried after backoff"),
+    "retry_fallback": ("recovery", "task fell back to the PPE"),
+    "llp_recovery": ("recovery", "loop chunks reclaimed from dead worker"),
+    "task_abort": ("injected", "task aborted by SPE death"),
+}
+
+
+def _fault_events(tracer: Optional[Tracer]) -> List[Any]:
+    """Time-ordered fault-category records (plus SPE-death task aborts)."""
+    if tracer is None:
+        return []
+    return [
+        r for r in tracer.records
+        if r.category == "fault"
+        or (r.category == "spe" and r.event == "task_abort")
+    ]
+
+
+def _faults_html(tracer: Optional[Tracer], registry) -> str:
+    events = _fault_events(tracer)
+    if not events:
+        return ('<p class="empty">No faults injected or detected &#8212; '
+                'the run was fault-free.</p>')
+    counters = [
+        ("retries", _value(registry, "runtime.offload_retries")),
+        ("PPE fallbacks after retries",
+         _value(registry, "runtime.retry_fallbacks")),
+        ("watchdog timeouts", _value(registry, "runtime.watchdog_timeouts")),
+        ("DMA errors", _value(registry, "faults.dma_errors")),
+        ("SPE kills", _value(registry, "faults.spe_kills")),
+        ("blacklists", _value(registry, "runtime.spe_blacklists")),
+        ("live SPEs at end", _value(registry, "run.live_spes")),
+    ]
+    note = " &#183; ".join(
+        f"{_esc(lab)} {_fmt(v)}" for lab, v in counters if v > 0
+    )
+    rows = []
+    shown = events if len(events) <= 200 else events[:200]
+    for r in shown:
+        kind, desc = _FAULT_EVENT_LABELS.get(r.event, ("injected", r.event))
+        chip = "critical" if kind == "injected" else "warning"
+        detail = "; ".join(
+            f"{k}={v}" for k, v in sorted(r.data) if k != "function"
+        )
+        rows.append(
+            f'<tr><td class="mono">{r.time * 1e3:.3f} ms</td>'
+            f'<td><span class="chip {chip}">{_esc(kind)}</span></td>'
+            f'<td class="mono">{_esc(r.event)}</td>'
+            f'<td class="mono">{_esc(r.actor)}</td>'
+            f'<td>{_esc(desc)}'
+            f'<div class="evidence">{_esc(detail)}</div></td></tr>'
+        )
+    extra = ""
+    if len(events) > len(shown):
+        extra = (f'<p class="chart-note">{len(events) - len(shown)} further '
+                 f'fault events omitted.</p>')
+    head = f'<p class="chart-note">{note}</p>' if note else ""
+    return (
+        f"{head}"
+        '<table><thead><tr><th>time</th><th>kind</th><th>event</th>'
+        '<th>actor</th><th>detail</th></tr></thead>'
+        f'<tbody>{"".join(rows)}</tbody></table>{extra}'
+    )
+
+
 def _findings_table(findings: Sequence[HealthFinding]) -> str:
     if not findings:
         return ('<p class="ok"><span class="chip good">&#10003; OK</span> '
@@ -545,6 +617,7 @@ def render_report(
         ("llp-adaptation",
          "LLP adaptive unbalancing",
          _adaptation_svg(_adaptation_series(tracer))),
+        ("faults", "Faults and recovery", _faults_html(tracer, registry)),
     ]
     body = "".join(
         f'<section id="{sid}"><h2>{_esc(heading)}</h2>{content}</section>'

@@ -23,6 +23,7 @@ from repro.obs import (
     parse_threshold,
     render_findings,
     render_report,
+    resolve_metric,
 )
 from repro.sim.trace import Tracer
 from repro.workloads.traces import Workload
@@ -76,6 +77,29 @@ class TestThresholdParser:
         t = parse_threshold("idle>0.25")
         assert t.violated(0.3) and not t.violated(0.25)
         assert str(t) == "idle>0.25"
+
+
+class TestResolveMetric:
+    def _inputs(self):
+        reg = MetricsRegistry()
+        reg.counter("runtime.offloads").inc(7)
+        return {"spe_idle_ratio": 0.5}, reg
+
+    def test_summary_wins_over_registry(self):
+        summary, reg = self._inputs()
+        assert resolve_metric("spe_idle_ratio", summary, reg) == 0.5
+        assert resolve_metric("runtime.offloads", summary, reg) == 7.0
+
+    def test_unknown_name_lists_known_metrics(self):
+        summary, reg = self._inputs()
+        with pytest.raises(ValueError) as exc:
+            resolve_metric("no_such_metric", summary, reg)
+        msg = str(exc.value)
+        assert "no_such_metric" in msg
+        # The error is actionable: it names every metric the caller
+        # could have meant.
+        assert "spe_idle_ratio" in msg
+        assert "runtime.offloads" in msg
 
 
 # -- end-to-end acceptance ----------------------------------------------------
@@ -190,6 +214,55 @@ class TestSyntheticDetectors:
         strict = MonitorConfig().with_(churn_flips=2)
         assert len(analyze_run(None, reg, config=strict)) == 1
 
+    def _storm_registry(self, offloads, retries, fallbacks):
+        reg = MetricsRegistry()
+        reg.counter("runtime.offloads").inc(offloads)
+        reg.counter("runtime.offload_retries").inc(retries)
+        reg.counter("runtime.retry_fallbacks").inc(fallbacks)
+        return reg
+
+    def test_fault_storm_on_high_retry_ratio(self):
+        findings = analyze_run(None, self._storm_registry(20, 8, 2))
+        storm = [f for f in findings if f.detector == "fault-storm"]
+        assert len(storm) == 1
+        assert storm[0].severity == "warning"
+        assert storm[0].evidence["offload_retries"] == 8.0
+
+    def test_no_storm_below_ratio_or_volume(self):
+        # Healthy ratio: 2 retries over 40 attempts.
+        assert all(f.detector != "fault-storm"
+                   for f in analyze_run(None, self._storm_registry(40, 2, 0)))
+        # Too few events to judge: 2 of 4 failed but under min volume.
+        assert all(f.detector != "fault-storm"
+                   for f in analyze_run(None, self._storm_registry(4, 2, 0)))
+
+    def _degraded_registry(self, kills, blacklists, live, n_spes=8):
+        reg = MetricsRegistry()
+        reg.gauge("run.n_spes").set(n_spes)
+        reg.counter("faults.spe_kills").inc(kills)
+        reg.counter("runtime.spe_blacklists").inc(blacklists)
+        reg.gauge("run.live_spes").set(live)
+        return reg
+
+    def test_degraded_capacity_warns_on_lost_spes(self):
+        findings = analyze_run(None, self._degraded_registry(2, 1, 5))
+        deg = [f for f in findings if f.detector == "degraded-capacity"]
+        assert len(deg) == 1
+        assert deg[0].severity == "warning"
+        assert deg[0].evidence["spe_kills"] == 2.0
+        assert deg[0].evidence["live_spes"] == 5.0
+
+    def test_degraded_capacity_critical_when_none_survive(self):
+        findings = analyze_run(None, self._degraded_registry(8, 0, 0))
+        deg = next(f for f in findings
+                   if f.detector == "degraded-capacity")
+        assert deg.severity == "critical"
+        assert "no SPE survived" in deg.summary
+
+    def test_quiet_without_capacity_loss(self):
+        assert all(f.detector != "degraded-capacity"
+                   for f in analyze_run(None, self._degraded_registry(0, 0, 8)))
+
 
 # -- findings rendering -------------------------------------------------------
 
@@ -295,7 +368,13 @@ class TestStatsFailOn:
         code = main(["stats", "fig8", "--bootstraps", "2", "--tasks", "60",
                      "--fail-on", "no_such_metric>1"])
         assert code == 2
-        assert "unknown metric" in capsys.readouterr().err
+        err = capsys.readouterr().err
+        assert "unknown metric" in err
+        # The message lists the valid names, so the typo is fixable
+        # without reading the source.
+        assert "known metrics" in err
+        assert "spe_idle_ratio" in err
+        assert "runtime.offloads" in err
 
     def test_bad_expression_is_usage_error(self, capsys):
         code = main(["stats", "fig8", "--fail-on", "not an expression"])
