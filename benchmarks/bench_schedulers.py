@@ -33,4 +33,15 @@ def test_scheduler_ladder(benchmark, record_json):
     )
     assert speedup["mgps"] >= 1.0
 
+    # Per-LoopSchedule rows on the always-LLP hybrid.  The static row is
+    # the same spec as the ladder's edtlp-llp4 row, so the two must agree
+    # exactly; every schedule must actually run loops.
+    schedules = payload["llp_schedules"]
+    assert set(schedules) >= {"static", "dynamic", "guided", "adaptive"}
+    assert schedules["static"]["makespan_s"] == rows["edtlp-llp4"]["makespan_s"]
+    for name, row in schedules.items():
+        assert row["llp_invocations"] > 0, (
+            f"loop schedule {name!r} never ran a parallel loop"
+        )
+
     record_json("BENCH_core", payload, root=True)

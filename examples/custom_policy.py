@@ -1,10 +1,14 @@
 #!/usr/bin/env python
 """Writing your own scheduling policy on the runtime substrate.
 
-The runtimes are designed for extension: subclass
-:class:`~repro.core.runtime.EDTLPRuntime`, override the policy hooks
-(``llp_degree`` / ``on_dispatch`` / ``on_departure``), and drive the same
-machines and workloads as the built-in schedulers.
+The runtime is layered for extension: implement a
+:class:`~repro.core.runtime.SchedulingPolicy` (the *decision* half —
+``llp_degree`` / ``on_dispatch`` / ``on_departure`` /
+``on_capacity_change`` / ``admit``), register it by name, and every
+entry point that takes a ``SchedulerSpec`` — the runner, the CLI, the
+sweeps — can select it.  The *mechanics* half (SPE acquisition, DMA
+timing, granularity test, fault tolerance) stays in the shared
+:class:`~repro.core.runtime.OffloadEngine`; a policy never touches it.
 
 Here we build GREEDY-LLP — "whenever SPEs are idle right now, split the
 current loop across all of them" — a plausible-sounding alternative to
@@ -15,36 +19,36 @@ noise.
 """
 
 from repro.analysis import format_table
-from repro.cell.machine import CellMachine
 from repro.core import run_experiment
-from repro.core.runtime import EDTLPRuntime, ProcContext
+from repro.core.runtime import ProcContext, SchedulingPolicy, register_policy
 from repro.core.schedulers import SchedulerSpec, edtlp, mgps
-from repro.sim.engine import Environment
 from repro.workloads import Workload
 
 
-class GreedyLLPRuntime(EDTLPRuntime):
+class GreedyLLPPolicy(SchedulingPolicy):
     """Split loops across whatever is idle at this very instant."""
 
     name = "greedy-llp"
+    description = "split loops across every currently idle SPE (no damping)"
 
     def llp_degree(self, ctx: ProcContext) -> int:
-        idle = self.machine.pool.n_free
+        idle = self.engine.machine.pool.n_free
         # One master (about to be taken) plus every currently idle SPE,
         # capped at half the machine (Table 2's efficiency knee).
-        return max(1, min(idle, self.machine.n_spes // 2))
+        return max(1, min(idle, self.engine.machine.n_spes // 2))
 
 
-class GreedySpec(SchedulerSpec):
-    """Minimal spec wrapper so the runner can instantiate the policy."""
+# One call makes the policy a first-class scheduler kind: the spec below
+# and `SchedulerSpec(kind="greedy-llp")` anywhere else now resolve to it.
+register_policy(
+    "greedy-llp",
+    lambda spec: GreedyLLPPolicy(),
+    description=GreedyLLPPolicy.description,
+)
 
-    def __init__(self):
-        super().__init__(kind="edtlp", label="greedy-llp")
 
-    def build(self, env: Environment, machine: CellMachine, tracer=None,
-              metrics=None, faults=None, tolerance=None):
-        return GreedyLLPRuntime(env, machine, tracer=tracer, metrics=metrics,
-                                faults=faults, tolerance=tolerance)
+def greedy() -> SchedulerSpec:
+    return SchedulerSpec(kind="greedy-llp")
 
 
 def main() -> None:
@@ -52,7 +56,7 @@ def main() -> None:
     for b in (1, 2, 4, 8, 16):
         wl = Workload(bootstraps=b, tasks_per_bootstrap=300, seed=0)
         r_edtlp = run_experiment(edtlp(), wl)
-        r_greedy = run_experiment(GreedySpec(), wl)
+        r_greedy = run_experiment(greedy(), wl)
         r_mgps = run_experiment(mgps(), wl)
         rows.append(
             [b, r_edtlp.makespan, r_greedy.makespan, r_mgps.makespan]

@@ -10,6 +10,8 @@ Examples::
     python -m repro fig8 --panel b
     python -m repro compare --bootstraps 12 --tasks 300
     python -m repro timeline --scheduler mgps --bootstraps 4
+    python -m repro run mgps --llp-schedule guided    # pick a loop schedule
+    python -m repro schedulers                        # list policies/schedules
     python -m repro trace fig8 --out trace.json   # open in ui.perfetto.dev
     python -m repro stats fig8                    # scheduler metrics snapshot
     python -m repro stats fig8 --fail-on 'spe_idle_ratio>0.25'
@@ -39,6 +41,7 @@ from .analysis import (
     table2_experiment,
 )
 from .analysis.timeline import render_timeline, utilization_bar
+from .core.llp import LLPConfig, available_loop_schedules
 from .core.runner import run_experiment
 from .core.schedulers import SchedulerSpec, edtlp, linux, mgps, static_hybrid
 from .obs import MetricsRegistry, write_chrome_trace, write_trace_jsonl
@@ -90,6 +93,15 @@ def build_parser() -> argparse.ArgumentParser:
                  "run of this scenario (open at ui.perfetto.dev)",
         )
 
+    def add_llp_schedule_flag(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--llp-schedule", metavar="NAME", default=None,
+            choices=[s.name for s in available_loop_schedules()],
+            help="loop schedule for parallelized loops: "
+                 + ", ".join(s.name for s in available_loop_schedules())
+                 + " (default: static, the paper's single split)",
+        )
+
     p = sub.add_parser("sec51", help="Section 5.1 off-load optimization")
     p.add_argument("--tasks", type=int, default=500)
     add_trace_flag(p)
@@ -118,6 +130,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--tasks", type=int, default=300)
     p.add_argument("--cells", type=int, default=1)
     p.add_argument("--seed", type=int, default=0)
+    add_llp_schedule_flag(p)
     add_trace_flag(p)
 
     p = sub.add_parser("bsp", help="MGPS vs EDTLP on an imbalanced BSP workload")
@@ -131,7 +144,37 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--bootstraps", type=int, default=4)
     p.add_argument("--tasks", type=int, default=250)
     p.add_argument("--width", type=int, default=72)
+    add_llp_schedule_flag(p)
     add_trace_flag(p)
+
+    p = sub.add_parser(
+        "run",
+        help="run one scenario/scheduler once and print the result summary",
+        description=(
+            "One representative simulation of the named scenario (or "
+            "scheduler) with tracing and metrics attached — the quickest "
+            "way to try a policy/loop-schedule combination.  Prints the "
+            "makespan, SPE utilization and per-schedule LLP invocation "
+            "counts observed in the trace."
+        ),
+    )
+    p.add_argument("scenario", nargs="?", choices=_OBSERVABLE, default="mgps")
+    p.add_argument("--bootstraps", type=int, default=3)
+    p.add_argument("--tasks", type=int, default=200)
+    p.add_argument("--seed", type=int, default=0)
+    add_llp_schedule_flag(p)
+    add_trace_flag(p)
+
+    sub.add_parser(
+        "schedulers",
+        help="list registered scheduling policies and loop schedules",
+        description=(
+            "Print every scheduling policy in the registry (selectable "
+            "as SchedulerSpec kind) with its description and spec knobs, "
+            "and every loop schedule selectable via LLPConfig.schedule / "
+            "--llp-schedule."
+        ),
+    )
 
     p = sub.add_parser(
         "trace",
@@ -150,6 +193,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--bootstraps", type=int, default=3)
     p.add_argument("--tasks", type=int, default=200)
     p.add_argument("--seed", type=int, default=0)
+    add_llp_schedule_flag(p)
 
     p = sub.add_parser(
         "stats",
@@ -166,6 +210,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--bootstraps", type=int, default=3)
     p.add_argument("--tasks", type=int, default=200)
     p.add_argument("--seed", type=int, default=0)
+    add_llp_schedule_flag(p)
     p.add_argument("--json", action="store_true",
                    help="emit the registry snapshot as JSON instead of text")
     p.add_argument(
@@ -190,6 +235,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--bootstraps", type=int, default=3)
     p.add_argument("--tasks", type=int, default=200)
     p.add_argument("--seed", type=int, default=0)
+    add_llp_schedule_flag(p)
     p.add_argument("--json", action="store_true",
                    help="emit findings as a JSON array instead of text")
 
@@ -210,6 +256,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--bootstraps", type=int, default=3)
     p.add_argument("--tasks", type=int, default=200)
     p.add_argument("--seed", type=int, default=0)
+    add_llp_schedule_flag(p)
 
     p = sub.add_parser(
         "faults",
@@ -228,6 +275,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--bootstraps", type=int, default=3)
     p.add_argument("--tasks", type=int, default=200)
     p.add_argument("--seed", type=int, default=0)
+    add_llp_schedule_flag(p)
     p.add_argument("--plan", metavar="PATH", default=None,
                    help="JSON fault plan (see FaultPlan.to_json); flags "
                         "below override/extend the file's plan")
@@ -288,13 +336,27 @@ def _scenario_spec(scenario: str) -> Tuple[SchedulerSpec, int]:
     return factory(), n_cells
 
 
+def _apply_llp_schedule(
+    spec: SchedulerSpec, schedule: Optional[str]
+) -> SchedulerSpec:
+    """Select a loop schedule on ``spec`` (None keeps the spec's own)."""
+    if not schedule:
+        return spec
+    from dataclasses import replace
+
+    cfg = spec.llp_config or LLPConfig()
+    return spec.with_(llp_config=replace(cfg, schedule=schedule))
+
+
 def _run_observed(
-    scenario: str, bootstraps: int, tasks: int, seed: int = 0
+    scenario: str, bootstraps: int, tasks: int, seed: int = 0,
+    llp_schedule: Optional[str] = None,
 ):
     """One representative run of ``scenario`` with tracer + metrics on."""
     from .cell.params import BladeParams
 
     spec, n_cells = _scenario_spec(scenario)
+    spec = _apply_llp_schedule(spec, llp_schedule)
     tracer = Tracer(enabled=True)
     metrics = MetricsRegistry()
     wl = Workload(bootstraps=bootstraps, tasks_per_bootstrap=tasks, seed=seed)
@@ -352,7 +414,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         rows = []
         for name, factory in _SCHEDULERS.items():
             tracer = Tracer(enabled=True) if args.trace else None
-            r = run_experiment(factory(), wl, blade=blade, seed=args.seed,
+            spec = _apply_llp_schedule(factory(), args.llp_schedule)
+            r = run_experiment(spec, wl, blade=blade, seed=args.seed,
                                tracer=tracer)
             if tracer is not None:
                 own_traces[name] = tracer
@@ -391,7 +454,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         wl = Workload(bootstraps=args.bootstraps,
                       tasks_per_bootstrap=args.tasks)
         result = run_experiment(
-            _SCHEDULERS[args.scheduler](), wl, tracer=tracer
+            _apply_llp_schedule(_SCHEDULERS[args.scheduler](),
+                                args.llp_schedule),
+            wl, tracer=tracer,
         )
         own_traces[args.scheduler] = tracer
         window = result.raw_makespan * 0.02
@@ -410,7 +475,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                       f"exist", file=sys.stderr)
                 return 2
         tracer, _metrics, result = _run_observed(
-            args.scenario, args.bootstraps, args.tasks, args.seed
+            args.scenario, args.bootstraps, args.tasks, args.seed,
+            llp_schedule=args.llp_schedule,
         )
         write_chrome_trace(tracer, args.out)
         if args.jsonl:
@@ -431,7 +497,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"repro stats: error: {exc}", file=sys.stderr)
             return 2
         _tracer, metrics, result = _run_observed(
-            args.scenario, args.bootstraps, args.tasks, args.seed
+            args.scenario, args.bootstraps, args.tasks, args.seed,
+            llp_schedule=args.llp_schedule,
         )
         if args.json:
             print(metrics.to_json())
@@ -466,7 +533,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         from .obs import analyze_run, render_findings
 
         tracer, metrics, result = _run_observed(
-            args.scenario, args.bootstraps, args.tasks, args.seed
+            args.scenario, args.bootstraps, args.tasks, args.seed,
+            llp_schedule=args.llp_schedule,
         )
         findings = analyze_run(tracer, metrics)
         if args.json:
@@ -487,7 +555,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                   f"not exist", file=sys.stderr)
             return 2
         tracer, metrics, result = _run_observed(
-            args.scenario, args.bootstraps, args.tasks, args.seed
+            args.scenario, args.bootstraps, args.tasks, args.seed,
+            llp_schedule=args.llp_schedule,
         )
         findings = analyze_run(tracer, metrics)
         write_report(
@@ -550,6 +619,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             return 2
 
         spec_f, n_cells = _scenario_spec(args.scenario)
+        spec_f = _apply_llp_schedule(spec_f, args.llp_schedule)
         blade = BladeParams(n_cells=n_cells)
         wl = Workload(bootstraps=args.bootstraps,
                       tasks_per_bootstrap=args.tasks, seed=args.seed)
@@ -557,6 +627,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         tracer = Tracer(enabled=True)
         metrics = MetricsRegistry()
         spec_f, _ = _scenario_spec(args.scenario)
+        spec_f = _apply_llp_schedule(spec_f, args.llp_schedule)
         faulty = run_experiment(
             spec_f, wl, blade=blade, seed=args.seed,
             tracer=tracer, metrics=metrics, faults=plan,
@@ -614,6 +685,44 @@ def main(argv: Optional[List[str]] = None) -> int:
                   f"(digest {faulty.result_digest[:16]}...)")
         if not digests_match:
             return 1
+    elif args.command == "run":
+        from collections import Counter
+
+        tracer, metrics, result = _run_observed(
+            args.scenario, args.bootstraps, args.tasks, args.seed,
+            llp_schedule=args.llp_schedule,
+        )
+        own_traces[args.scenario] = tracer
+        schedule = args.llp_schedule or "static"
+        print(f"{args.scenario}: {result.scheduler} scheduler, "
+              f"{schedule} loop schedule")
+        print(f"  makespan   : {result.makespan:.2f} s "
+              f"(SPE utilization {result.spe_utilization:.0%})")
+        print(f"  off-loads  : {result.offloads} "
+              f"({result.ppe_fallbacks} PPE fallbacks)")
+        by_schedule = Counter(
+            r.get("schedule", "?")
+            for r in tracer.records if r.event == "llp_invoke"
+        )
+        if by_schedule:
+            breakdown = ", ".join(
+                f"{count} {name}" for name, count in sorted(by_schedule.items())
+            )
+            print(f"  LLP        : {result.llp_invocations} invocations "
+                  f"({breakdown})")
+        else:
+            print(f"  LLP        : {result.llp_invocations} invocations")
+    elif args.command == "schedulers":
+        from .core.runtime import available_policies
+
+        print("scheduling policies (SchedulerSpec kind):")
+        for info in available_policies():
+            knobs = f"  [knobs: {', '.join(info.knobs)}]" if info.knobs else ""
+            print(f"  {info.name:>13}: {info.description}{knobs}")
+        print()
+        print("loop schedules (LLPConfig.schedule / --llp-schedule):")
+        for s in available_loop_schedules():
+            print(f"  {s.name:>13}: {s.description}")
     elif args.command == "bench":
         from .obs import bench as obs_bench
 
@@ -623,6 +732,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"{name:>11}: makespan {row['makespan_s']:8.2f} s  "
                   f"({speedup:4.2f}x serial), {row['offloads']:4d} "
                   f"off-loads, {row['llp_invocations']:3d} LLP")
+        for name, row in current.get("llp_schedules", {}).items():
+            print(f"{'llp/' + name:>11}: makespan {row['makespan_s']:8.2f} s  "
+                  f"(edtlp-llp4), {row['llp_invocations']:3d} LLP")
         current_faults = obs_bench.measure_faults()
         zt = current_faults["zero_fault_tolerant"]
         fa = current_faults["faulty"]

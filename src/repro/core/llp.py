@@ -33,7 +33,20 @@ from ..cell.params import CellParams
 from ..obs.metrics import NULL_REGISTRY
 from ..workloads.taskspec import TaskSpec
 
-__all__ = ["LLPConfig", "LLPInvocation", "LoopParallelModel", "split_iterations"]
+__all__ = [
+    "LLPConfig",
+    "LLPInvocation",
+    "LoopParallelModel",
+    "split_iterations",
+    "LoopSchedule",
+    "StaticSchedule",
+    "DynamicSchedule",
+    "GuidedSchedule",
+    "AdaptiveChunkSchedule",
+    "register_loop_schedule",
+    "resolve_loop_schedule",
+    "available_loop_schedules",
+]
 
 US = 1e-6
 
@@ -51,8 +64,15 @@ def split_iterations(n: int, k: int, master_fraction: float) -> List[int]:
         raise ValueError("n must be >= 1")
     if k == 1:
         return [n]
+    if not (0.0 <= master_fraction < 1.0):
+        raise ValueError(
+            f"master_fraction must be within [0, 1) when k > 1, "
+            f"got {master_fraction!r}"
+        )
     if k > n:
-        raise ValueError(f"cannot split {n} iterations over {k} SPEs")
+        raise ValueError(
+            f"cannot split {n} iterations over {k} SPEs without empty chunks"
+        )
     m = int(round(master_fraction * n))
     m = max(1, min(m, n - (k - 1)))
     rest = n - m
@@ -73,6 +93,12 @@ class LLPConfig:
     barrier arming).  ``alpha`` is the feedback gain of adaptive
     unbalancing; ``adaptive=False`` freezes the master fraction at the
     equal split (ablation).
+
+    ``schedule`` names the :class:`LoopSchedule` used to distribute
+    iterations (``static`` — the paper's single split — is the default;
+    see :func:`available_loop_schedules`).  ``chunk_size`` parameterizes
+    the chunk-queue schedules: the fixed chunk of ``dynamic`` and the
+    floor chunk of ``guided`` (0 = schedule-specific auto).
     """
 
     signal_issue: float = 0.5 * US
@@ -81,6 +107,8 @@ class LLPConfig:
     alpha: float = 0.3
     adaptive: bool = True
     head_start_bias: float = 0.0  # additive initial bias on master fraction
+    schedule: str = "static"
+    chunk_size: int = 0
 
     def __post_init__(self) -> None:
         if not (0.0 <= self.alpha <= 1.0):
@@ -88,6 +116,9 @@ class LLPConfig:
         for fieldname in ("signal_issue", "pass_process", "setup"):
             if getattr(self, fieldname) < 0:
                 raise ValueError(f"{fieldname} must be non-negative")
+        if self.chunk_size < 0:
+            raise ValueError("chunk_size must be non-negative")
+        resolve_loop_schedule(self.schedule)  # unknown names raise here
 
 
 @dataclass(frozen=True)
@@ -102,6 +133,191 @@ class LLPInvocation:
     join_idle: float         # master idle at the join (pre-reduction)
     reduction_time: float
     master_fraction: float   # fraction used for this invocation
+    schedule: str = "static"            # LoopSchedule that produced it
+    chunk_counts: Tuple[int, ...] = ()  # chunks handed to each SPE
+
+
+class LoopSchedule:
+    """How loop iterations are distributed over the ``k`` SPEs.
+
+    A schedule answers one question per invocation — who computes what —
+    through :meth:`plan`, which returns ``(per_spe, sequence)`` with
+    exactly one of the two set:
+
+    * ``per_spe`` — a pre-computed partition, one chunk per SPE (master
+      first), like the paper's single work-sharing split;
+    * ``sequence`` — an ordered queue of chunk sizes handed out
+      first-come-first-served as SPEs free up (self-scheduling).
+
+    Schedules are stateless singletons; adaptive state lives on the
+    :class:`LoopParallelModel` so independent runs never share feedback.
+    :meth:`feedback` is called after every invocation with the realized
+    per-SPE iteration shares and idle times at the join.
+    """
+
+    name = "schedule"
+    description = ""
+
+    def plan(
+        self, model: "LoopParallelModel", function: str, n: int, k: int
+    ) -> Tuple[Optional[List[int]], Optional[List[int]]]:
+        raise NotImplementedError
+
+    def feedback(
+        self,
+        model: "LoopParallelModel",
+        function: str,
+        k: int,
+        shares: List[int],
+        idle: List[float],
+        t_iter: float,
+    ) -> None:
+        """Post-invocation adaptation hook (default: none)."""
+
+
+class StaticSchedule(LoopSchedule):
+    """The paper's single split with adaptive master load unbalancing."""
+
+    name = "static"
+    description = ("one chunk per SPE, master fraction tuned by the "
+                   "paper's load unbalancing (default; bit-identical to "
+                   "the pre-schedule runtime)")
+
+    def plan(self, model, function, n, k):
+        return split_iterations(n, k, model.master_fraction(function, k)), None
+
+
+class DynamicSchedule(LoopSchedule):
+    """Self-scheduling: fixed chunks handed out first-come-first-served."""
+
+    name = "dynamic"
+    description = ("self-scheduling with a fixed chunk size "
+                   "(LLPConfig.chunk_size; 0 = n / 4k), grabbed "
+                   "first-come-first-served")
+
+    def plan(self, model, function, n, k):
+        c = min(n, model.config.chunk_size or max(1, n // (4 * k)))
+        seq = [c] * (n // c)
+        if n % c:
+            seq.append(n % c)
+        return None, seq
+
+
+class GuidedSchedule(LoopSchedule):
+    """Guided self-scheduling: chunks shrink as the loop drains."""
+
+    name = "guided"
+    description = ("guided self-scheduling: each grab takes "
+                   "ceil(remaining / k) iterations, floored at "
+                   "LLPConfig.chunk_size (0 = 1)")
+
+    def plan(self, model, function, n, k):
+        floor_c = max(1, model.config.chunk_size)
+        seq: List[int] = []
+        remaining = n
+        while remaining > 0:
+            c = min(remaining, max(floor_c, -(-remaining // k)))
+            seq.append(c)
+            remaining -= c
+        return None, seq
+
+
+class AdaptiveChunkSchedule(LoopSchedule):
+    """The paper's load unbalancing generalized to every SPE.
+
+    Where :class:`StaticSchedule` tunes only the master's fraction, this
+    schedule keeps a full per-SPE ratio vector per ``(function, k)`` and
+    nudges it toward each SPE's observed capacity — its computed share
+    plus whatever it could have computed during its idle time at the
+    join.
+    """
+
+    name = "adaptive"
+    description = ("per-SPE chunk ratios tuned from idle times observed "
+                   "at the join, keyed by (function, k) like the paper's "
+                   "master fraction")
+
+    def plan(self, model, function, n, k):
+        return _largest_remainder(n, model.chunk_ratios(function, k)), None
+
+    def feedback(self, model, function, k, shares, idle, t_iter):
+        if not model.config.adaptive or t_iter <= 0.0:
+            return
+        capacity = [s + i / t_iter for s, i in zip(shares, idle)]
+        total = sum(capacity)
+        if total <= 0.0:
+            return
+        a = model.config.alpha
+        old = model.chunk_ratios(function, k)
+        new = [
+            max(1e-3, (1.0 - a) * r + a * (c / total))
+            for r, c in zip(old, capacity)
+        ]
+        s = sum(new)
+        model._ratios[(function, k)] = [r / s for r in new]
+
+
+def _largest_remainder(n: int, weights: List[float]) -> List[int]:
+    """Apportion ``n`` iterations by ``weights``, each share >= 1."""
+    total = sum(weights)
+    quotas = [w / total * n for w in weights]
+    counts = [max(1, int(q)) for q in quotas]
+    diff = n - sum(counts)
+    if diff > 0:
+        order = sorted(
+            range(len(weights)),
+            key=lambda i: quotas[i] - int(quotas[i]),
+            reverse=True,
+        )
+        idx = 0
+        while diff > 0:
+            counts[order[idx % len(order)]] += 1
+            idx += 1
+            diff -= 1
+    while diff < 0:  # min-1 clamping overshot on tiny loops
+        i = max(range(len(counts)), key=lambda j: counts[j])
+        counts[i] -= 1
+        diff += 1
+    return counts
+
+
+_SCHEDULES: Dict[str, LoopSchedule] = {}
+
+
+def register_loop_schedule(
+    schedule: LoopSchedule, replace: bool = False
+) -> LoopSchedule:
+    """Register ``schedule`` under its ``name``; returns the schedule."""
+    if schedule.name in _SCHEDULES and not replace:
+        raise ValueError(
+            f"loop schedule {schedule.name!r} is already registered; "
+            f"pass replace=True to override it"
+        )
+    _SCHEDULES[schedule.name] = schedule
+    return schedule
+
+
+def resolve_loop_schedule(name: str) -> LoopSchedule:
+    """Look up a loop schedule; unknown names list every known one."""
+    if name not in _SCHEDULES:
+        known = ", ".join(sorted(_SCHEDULES))
+        raise ValueError(
+            f"unknown loop schedule {name!r}; known schedules: {known}"
+        )
+    return _SCHEDULES[name]
+
+
+def available_loop_schedules() -> List[LoopSchedule]:
+    """Every registered loop schedule, sorted by name."""
+    return [_SCHEDULES[name] for name in sorted(_SCHEDULES)]
+
+
+for _schedule in (
+    StaticSchedule(), DynamicSchedule(), GuidedSchedule(),
+    AdaptiveChunkSchedule(),
+):
+    register_loop_schedule(_schedule)
+del _schedule
 
 
 class LoopParallelModel:
@@ -121,7 +337,9 @@ class LoopParallelModel:
         self.params = params
         self.config = config or LLPConfig()
         self.mfc = MFC(params)
+        self._schedule = resolve_loop_schedule(self.config.schedule)
         self._fraction: Dict[Tuple[str, int], float] = {}
+        self._ratios: Dict[Tuple[str, int], List[float]] = {}
         self.invocations = 0
         self.total_join_idle = 0.0
         m = metrics if metrics is not None else NULL_REGISTRY
@@ -160,6 +378,13 @@ class LoopParallelModel:
         a = self.config.alpha
         self._fraction[key] = min(0.9, max(1e-3, (1 - a) * f + a * f_opt))
 
+    def chunk_ratios(self, function: str, k: int) -> List[float]:
+        """Per-SPE chunk ratios for ``(function, k)`` (adaptive schedule)."""
+        key = (function, k)
+        if key not in self._ratios:
+            self._ratios[key] = [1.0 / k] * k
+        return self._ratios[key]
+
     # -- invocation timing --------------------------------------------------
     def invoke(
         self,
@@ -189,7 +414,10 @@ class LoopParallelModel:
                 duration=task.spe_time, k=1, chunks=(loop.iterations if loop else 0,),
                 master_compute=task.spe_time, worker_start_delay=0.0,
                 join_idle=0.0, reduction_time=0.0, master_fraction=1.0,
+                schedule=self.config.schedule, chunk_counts=(1,),
             )
+        if self._schedule.name != "static":
+            return self._invoke_scheduled(task, k, cross_cell_workers)
         cfg = self.config
         p = self.params
 
@@ -263,4 +491,103 @@ class LoopParallelModel:
             join_idle=join_idle,
             reduction_time=reduction,
             master_fraction=f,
+            schedule="static",
+            chunk_counts=(1,) * k,
+        )
+
+    def _invoke_scheduled(
+        self,
+        task: TaskSpec,
+        k: int,
+        cross_cell_workers: int,
+    ) -> LLPInvocation:
+        """Invocation timing under a non-static :class:`LoopSchedule`.
+
+        The signalling protocol is the static split's: the master issues
+        ``k-1`` serialized signals and starts computing; worker ``j``
+        becomes available after its signal latency (+ inter-chip hop for
+        cross-cell workers).  Chunk-queue schedules then hand chunks to
+        whichever SPE frees up earliest; each grab costs one
+        ``signal_issue`` and workers DMA each chunk's input.
+        """
+        cfg = self.config
+        p = self.params
+        loop = task.loop
+        n = loop.iterations
+        serial = task.spe_time * (1.0 - loop.coverage)
+        t_iter = task.spe_time * loop.coverage / n
+
+        avail = [(k - 1) * cfg.signal_issue]
+        for j in range(k - 1):
+            sig = p.spe_spe_signal
+            if j >= (k - 1) - cross_cell_workers:
+                sig += 0.5 * US  # inter-chip hop
+            avail.append((j + 1) * cfg.signal_issue + sig)
+
+        per_spe, sequence = self._schedule.plan(self, task.function, n, k)
+        assignments: List[List[int]] = [[] for _ in range(k)]
+        ends = list(avail)
+        if per_spe is not None:
+            for i, c in enumerate(per_spe):
+                if c <= 0:
+                    continue
+                assignments[i].append(c)
+                fetch = 0.0 if i == 0 else self.mfc.transfer_time(
+                    max(16, c * loop.bytes_per_iteration), concurrent=k - 1
+                )
+                ends[i] += fetch + c * t_iter
+        else:
+            for c in sequence:
+                i = min(range(k), key=lambda idx: (ends[idx], idx))
+                assignments[i].append(c)
+                fetch = 0.0 if i == 0 else self.mfc.transfer_time(
+                    max(16, c * loop.bytes_per_iteration), concurrent=k - 1
+                )
+                ends[i] += cfg.signal_issue + fetch + c * t_iter
+        shares = [sum(a) for a in assignments]
+        assert sum(shares) == n, (self._schedule.name, shares, n)
+
+        # Workers: one Pass back each, plus the commit of their whole
+        # result set when the loop is not a reduction.
+        for i in range(1, k):
+            commit = 0.0
+            if shares[i] and not loop.reduction:
+                commit = self.mfc.transfer_time(
+                    max(16, shares[i] * max(16, loop.bytes_per_iteration // 2)),
+                    concurrent=k - 1,
+                )
+            ends[i] += p.spe_spe_signal + commit
+
+        master_end = ends[0]
+        join = max(ends)
+        join_idle = join - master_end
+        reduction = (k - 1) * cfg.pass_process
+        duration = cfg.setup + serial + join + reduction
+
+        self._schedule.feedback(
+            self, task.function, k, shares, [join - e for e in ends], t_iter
+        )
+
+        f = shares[0] / n
+        self.invocations += 1
+        self.total_join_idle += join_idle
+        self._m_invocations.inc()
+        self._m_degree.observe(k)
+        for per_spe_chunks in assignments:
+            for c in per_spe_chunks:
+                self._m_chunk.observe(c)
+        self._m_join_idle.observe(join_idle * 1e6)
+        self._m_fraction.set(f)
+        delays = avail[1:]
+        return LLPInvocation(
+            duration=duration,
+            k=k,
+            chunks=tuple(shares),
+            master_compute=shares[0] * t_iter,
+            worker_start_delay=sum(delays) / len(delays),
+            join_idle=join_idle,
+            reduction_time=reduction,
+            master_fraction=f,
+            schedule=self._schedule.name,
+            chunk_counts=tuple(len(a) for a in assignments),
         )

@@ -104,8 +104,11 @@ def run_experiment(
         faults=injector, tolerance=tolerance,
     )
 
+    # A *pinned* policy (the Linux baseline and lookalikes) owns no SPE
+    # pool: each process gets a per-CPU affinity and one pinned SPE.
+    pinned = bool(getattr(runtime.policy, "pinned", False))
     n_procs = spec.default_processes(machine.n_spes, workload.bootstraps)
-    if spec.kind == "linux" and n_procs > machine.n_spes:
+    if pinned and n_procs > machine.n_spes:
         raise ValueError(
             f"the Linux baseline pins one SPE per process: "
             f"{n_procs} processes > {machine.n_spes} SPEs"
@@ -117,7 +120,7 @@ def run_experiment(
         cell_id = rank % len(machine.cores)
         core = machine.core_for(rank)
         local_index = rank // len(machine.cores)  # position among this cell's procs
-        if spec.kind == "linux":
+        if pinned:
             # Linux 2.6 keeps per-CPU run queues: processes effectively
             # stick to one SMT context, producing Table 1's stair pattern.
             affinity = local_index % core.n_contexts
@@ -128,7 +131,7 @@ def run_experiment(
             cell_id=cell_id,
             thread=core.thread(f"mpi{rank}", affinity=affinity),
         )
-        if spec.kind == "linux":
+        if pinned:
             # Pin one SPE of the process's own Cell.
             own = [s for s in machine.spes if s.cell_id == cell_id]
             ctx.pinned_spe = own[local_index % len(own)]
@@ -221,7 +224,8 @@ def run_bsp_experiment(
         env, machine, tracer=tracer, metrics=metrics,
         faults=injector, tolerance=tolerance,
     )
-    if spec.kind == "linux" and workload.n_processes > machine.n_spes:
+    pinned = bool(getattr(runtime.policy, "pinned", False))
+    if pinned and workload.n_processes > machine.n_spes:
         raise ValueError("the Linux baseline pins one SPE per process")
 
     barrier = Barrier(env, workload.n_processes)
@@ -231,14 +235,14 @@ def run_bsp_experiment(
         core = machine.core_for(rank)
         local_index = rank // len(machine.cores)
         affinity = (
-            local_index % core.n_contexts if spec.kind == "linux" else None
+            local_index % core.n_contexts if pinned else None
         )
         ctx = ProcContext(
             rank=rank,
             cell_id=cell_id,
             thread=core.thread(f"bsp{rank}", affinity=affinity),
         )
-        if spec.kind == "linux":
+        if pinned:
             own = [s for s in machine.spes if s.cell_id == cell_id]
             ctx.pinned_spe = own[local_index % len(own)]
         procs.append(

@@ -1,0 +1,138 @@
+"""The legacy runtime classes, as facades over the layered engine.
+
+Before the engine/policy split the runtimes formed an inheritance tower
+(``OffloadRuntime -> LinuxRuntime/EDTLPRuntime -> StaticHybridRuntime/
+MGPSRuntime``) and custom schedulers subclassed ``EDTLPRuntime`` to
+override the policy hooks.  That API keeps working: each facade here is
+an :class:`~repro.core.runtime.engine.OffloadEngine` acting as its *own*
+policy, so overriding ``llp_degree`` / ``on_dispatch`` /
+``on_departure`` / ``_on_capacity_change`` on a subclass still steers
+the engine.  New code should implement a
+:class:`~repro.core.runtime.policy.SchedulingPolicy` and register it
+instead (see ``examples/custom_policy.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .context import ProcContext
+from .engine import OffloadEngine
+from .policies import MGPSPolicy
+
+__all__ = [
+    "OffloadRuntime",
+    "LinuxRuntime",
+    "EDTLPRuntime",
+    "StaticHybridRuntime",
+    "MGPSRuntime",
+]
+
+
+class OffloadRuntime(OffloadEngine):
+    """Legacy base: one object playing both engine and policy."""
+
+    name = "base"
+
+    # Pre-split subclasses override ``_on_capacity_change``; route the
+    # protocol hook through the old name so they keep firing.
+    def on_capacity_change(self) -> None:
+        self._on_capacity_change()
+
+    def _on_capacity_change(self) -> None:
+        """Called after every SPE kill or blacklist (live set shrank)."""
+
+
+class LinuxRuntime(OffloadRuntime):
+    """Naive MPI mapping: pinned SPEs, spin-wait, OS time slicing."""
+
+    name = "linux"
+    pinned = True
+    spin = True
+
+
+class EDTLPRuntime(OffloadRuntime):
+    """Event-driven task-level parallelism (Section 5.2)."""
+
+    name = "edtlp"
+
+
+class StaticHybridRuntime(EDTLPRuntime):
+    """EDTLP with always-on loop parallelism of fixed degree (EDTLP-LLP)."""
+
+    name = "edtlp-llp"
+
+    def __init__(self, *args, degree: int = 2, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        if degree < 1:
+            raise ValueError("degree must be >= 1")
+        self.degree = degree
+        self.name = f"edtlp-llp{degree}"
+
+    def llp_degree(self, ctx: ProcContext) -> int:
+        return self.degree
+
+
+class MGPSRuntime(EDTLPRuntime):
+    """Multigrain parallelism scheduling: adaptive EDTLP + LLP.
+
+    The adaptive state lives in a composed
+    :class:`~repro.core.runtime.policies.MGPSPolicy`; this facade only
+    forwards the attributes the pre-split API exposed (``llp_active``,
+    ``current_degree``, ``history``, ``max_degree``).
+    """
+
+    name = "mgps"
+
+    def __init__(
+        self,
+        *args,
+        window: Optional[int] = None,
+        staleness: float = 20e-3,
+        max_degree: Optional[int] = None,
+        llp_u_threshold: Optional[int] = None,
+        **kwargs,
+    ) -> None:
+        super().__init__(
+            *args,
+            policy=MGPSPolicy(
+                window=window, staleness=staleness, max_degree=max_degree,
+                llp_u_threshold=llp_u_threshold,
+            ),
+            **kwargs,
+        )
+
+    def llp_degree(self, ctx: ProcContext) -> int:
+        return self.policy.llp_degree(ctx)
+
+    @property
+    def history(self):
+        return self.policy.history
+
+    @property
+    def staleness(self) -> float:
+        return self.policy.staleness
+
+    @property
+    def llp_active(self) -> bool:
+        return self.policy.llp_active
+
+    @llp_active.setter
+    def llp_active(self, value: bool) -> None:
+        self.policy.llp_active = value
+
+    @property
+    def current_degree(self) -> int:
+        return self.policy.current_degree
+
+    @current_degree.setter
+    def current_degree(self, value: int) -> None:
+        self.policy.current_degree = value
+
+    @property
+    def max_degree(self) -> int:
+        return self.policy.max_degree
+
+    @max_degree.setter
+    def max_degree(self, value: int) -> None:
+        self.policy.max_degree = value

@@ -1,0 +1,46 @@
+"""Process identity and run counters shared by every runtime layer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ...cell.smt import CoreThread
+from ...cell.spe import SPE
+
+__all__ = ["ProcContext", "RuntimeStats"]
+
+
+@dataclass
+class ProcContext:
+    """Identity of one MPI process on the machine."""
+
+    rank: int
+    cell_id: int
+    thread: CoreThread
+    pinned_spe: Optional[SPE] = None
+
+
+@dataclass
+class RuntimeStats:
+    """Counters accumulated by a runtime over one run."""
+
+    offloads: int = 0
+    ppe_fallbacks: int = 0
+    offload_waits: int = 0
+    llp_invocations: int = 0
+    llp_mode_switches: int = 0
+    code_loads: int = 0
+    llp_worker_seconds: float = 0.0
+    bootstraps_done: int = 0
+    data_hits: int = 0
+    data_misses: int = 0
+    data_bytes_transferred: int = 0
+    # Fault tolerance (all zero on a fault-free run):
+    offload_retries: int = 0      # failed SPE attempts that were retried
+    retry_fallbacks: int = 0      # tasks that fell back to the PPE after
+                                  # exhausting SPE attempts (or losing all SPEs)
+    watchdog_timeouts: int = 0    # attempts abandoned by the watchdog
+    dma_errors: int = 0           # DMA errors absorbed by MFC re-issues
+    llp_recoveries: int = 0       # LLP chunks reclaimed from dead workers
+    spe_blacklists: int = 0       # SPEs retired after consecutive failures

@@ -1,97 +1,63 @@
-"""Off-load runtimes: the mechanisms beneath every scheduling policy.
+"""The off-load engine: shared mechanics beneath every scheduling policy.
 
-Four runtimes share one substrate (the :class:`~repro.cell.CellMachine`)
-and differ only in policy, so measured differences are attributable to
-scheduling alone:
+One :class:`OffloadEngine` drives the :class:`~repro.cell.CellMachine`
+for all schedulers.  It owns everything the paper's runtimes have in
+common — SPE acquisition against the pool, code-image residency, working
+set staging (DMA timing), the granularity test, cross-task memory
+contention, the result ledger, and the *single* fault-tolerant off-load
+path (retry/backoff/watchdog/PPE-fallback/blacklist) — and delegates
+every decision to a bound
+:class:`~repro.core.runtime.policy.SchedulingPolicy`.
 
-* :class:`LinuxRuntime` — the baseline: each MPI process owns one pinned
-  SPE and **spins** on off-load completion.  Because the spin (~96 us) is
-  far shorter than the OS quantum (10 ms), the OS never switches at
-  off-load points and at most two off-loads are in flight (Section 5.2,
-  Figure 2b, Table 1 right column).
-* :class:`EDTLPRuntime` — event-driven task-level parallelism: processes
-  *block* at off-load points (a voluntary context switch), so the PPE
-  dispatches for every runnable MPI process and all SPEs stay fed.
-* :class:`StaticHybridRuntime` — EDTLP plus always-on loop-level
-  parallelism with a fixed degree (the EDTLP-LLP scheme of Figure 7).
-* :class:`MGPSRuntime` — the paper's contribution: EDTLP extended with
-  the feedback-guided LLP trigger/throttle of Section 5.4.
+Two policy attributes select the wait discipline without duplicating the
+off-load path per scheduler:
+
+* ``policy.pinned`` — off-load to ``ctx.pinned_spe`` (no pool, no
+  workers, the dispatcher keeps ownership);
+* ``policy.spin`` — busy-wait on the PPE for completion instead of
+  blocking (a spinning process observes the attempt's fate directly, so
+  the tolerant path needs no watchdog for it).
+
+The Linux baseline is ``pinned + spin``; EDTLP and everything built on
+it is ``pooled + blocking``.  Constructed without a policy, the engine
+is its own (inert) policy — the legacy ``OffloadRuntime`` subclass API
+in :mod:`repro.core.runtime.compat` builds on exactly that.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, Generator, List, Optional, Set
 
-from ..cell.machine import CellMachine
-from ..cell.smt import CoreThread
-from ..cell.spe import SPE
-from ..faults.tolerance import TolerancePolicy
-from ..obs.metrics import NULL_REGISTRY
-from ..obs.spans import SpanRecorder
-from ..sim.engine import Environment
-from ..sim.events import Event
-from ..sim.trace import Tracer
-from ..workloads.taskspec import BootstrapTrace, TaskSpec
-from .granularity import GranularityGovernor
-from .history import UtilizationHistory
-from .llp import LLPConfig, LoopParallelModel
-from .results import ResultLedger
+from ...cell.machine import CellMachine
+from ...cell.spe import SPE
+from ...faults.tolerance import TolerancePolicy
+from ...obs.metrics import NULL_REGISTRY
+from ...obs.spans import SpanRecorder
+from ...sim.engine import Environment
+from ...sim.events import Event
+from ...sim.trace import Tracer
+from ...workloads.taskspec import BootstrapTrace, TaskSpec
+from ..granularity import GranularityGovernor
+from ..llp import LLPConfig, LoopParallelModel
+from ..results import ResultLedger
+from .context import ProcContext, RuntimeStats
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from ..faults.injector import FaultInjector
+    from ...faults.injector import FaultInjector
+    from .policy import SchedulingPolicy
 
-__all__ = [
-    "ProcContext",
-    "RuntimeStats",
-    "OffloadRuntime",
-    "LinuxRuntime",
-    "EDTLPRuntime",
-    "StaticHybridRuntime",
-    "MGPSRuntime",
-]
+__all__ = ["OffloadEngine"]
 
 
-@dataclass
-class ProcContext:
-    """Identity of one MPI process on the machine."""
+class OffloadEngine:
+    """Policy-agnostic off-load mechanics (dispatch, code, execute, signal)."""
 
-    rank: int
-    cell_id: int
-    thread: CoreThread
-    pinned_spe: Optional[SPE] = None
-
-
-@dataclass
-class RuntimeStats:
-    """Counters accumulated by a runtime over one run."""
-
-    offloads: int = 0
-    ppe_fallbacks: int = 0
-    offload_waits: int = 0
-    llp_invocations: int = 0
-    llp_mode_switches: int = 0
-    code_loads: int = 0
-    llp_worker_seconds: float = 0.0
-    bootstraps_done: int = 0
-    data_hits: int = 0
-    data_misses: int = 0
-    data_bytes_transferred: int = 0
-    # Fault tolerance (all zero on a fault-free run):
-    offload_retries: int = 0      # failed SPE attempts that were retried
-    retry_fallbacks: int = 0      # tasks that fell back to the PPE after
-                                  # exhausting SPE attempts (or losing all SPEs)
-    watchdog_timeouts: int = 0    # attempts abandoned by the watchdog
-    dma_errors: int = 0           # DMA errors absorbed by MFC re-issues
-    llp_recoveries: int = 0       # LLP chunks reclaimed from dead workers
-    spe_blacklists: int = 0       # SPEs retired after consecutive failures
-
-
-class OffloadRuntime:
-    """Base: shared off-load mechanics (dispatch, code, execute, signal)."""
-
-    name = "base"
+    name = "engine"
+    # Self-policy defaults (used when no policy object is bound; the
+    # legacy subclass API overrides these and the hook methods below).
+    pinned = False
+    spin = False
 
     def __init__(
         self,
@@ -106,6 +72,7 @@ class OffloadRuntime:
         metrics: Optional[object] = None,
         faults: Optional["FaultInjector"] = None,
         tolerance: Optional[TolerancePolicy] = None,
+        policy: Optional["SchedulingPolicy"] = None,
     ) -> None:
         self.env = env
         self.machine = machine
@@ -137,7 +104,7 @@ class OffloadRuntime:
         self.tolerance = tolerance or TolerancePolicy()
         self._consec_failures: Dict[str, int] = {}
         if faults is not None:
-            faults.add_listener(self._on_capacity_change)
+            faults.add_listener(self._notify_capacity_change)
         # Application-result ledger: one chained digest per bootstrap,
         # recorded by the worker processes via note_task_complete.  The
         # run digest is the bit-identity witness of the fault-tolerance
@@ -177,6 +144,15 @@ class OffloadRuntime:
         self._m_blacklists = m.counter(
             "runtime.spe_blacklists", "SPEs retired after consecutive failures"
         )
+        # Bind the decision layer last: a real policy may size windows
+        # off the machine/metrics created above.  Without one, the
+        # engine's own (inert) hook methods serve as the policy.
+        if policy is None:
+            self.policy: "SchedulingPolicy" = self  # type: ignore[assignment]
+        else:
+            self.policy = policy
+            policy.bind(self)
+            self.name = policy.name
 
     # -- bookkeeping hooks ----------------------------------------------------
     def note_bootstrap_start(self, ctx: ProcContext, index: int) -> None:
@@ -239,7 +215,7 @@ class OffloadRuntime:
             t = min(max(t, 1), len(self._active_sources))
         return max(1, t)
 
-    # -- policy hooks -----------------------------------------------------------
+    # -- self-policy defaults (overridden by the legacy subclass API) --------
     def llp_degree(self, ctx: ProcContext) -> int:
         """Desired SPEs per off-loaded task (1 = no loop parallelism)."""
         return 1
@@ -250,8 +226,50 @@ class OffloadRuntime:
     def on_departure(self, start: float, end: float) -> None:
         """Called at every off-load completion."""
 
-    def _on_capacity_change(self) -> None:
+    def on_capacity_change(self) -> None:
         """Called after every SPE kill or blacklist (live set shrank)."""
+
+    def admit(self, ctx: ProcContext, task: TaskSpec, decision) -> bool:
+        """Last-look veto over an off-load the granularity test approved."""
+        return True
+
+    def _notify_capacity_change(self) -> None:
+        """Fault-listener shim: route capacity changes to the policy."""
+        self.policy.on_capacity_change()
+
+    # -- SPE acquisition ------------------------------------------------------
+    def _acquire_spe(
+        self, ctx: ProcContext, task: TaskSpec
+    ) -> Generator[Event, None, SPE]:
+        spe = None
+        if self.locality_aware and task.data_key is not None:
+            # Prefer an idle SPE that already holds this task's data set;
+            # on a miss, place the set on the store with the most free
+            # space so working sets spread across SPEs.
+            spe = self.machine.pool.try_acquire_where(
+                lambda s: s.data_resident(task.data_key)
+            )
+            if spe is None and task.working_set > 0:
+                spe = self.machine.pool.try_acquire_best(
+                    lambda s: s.local_store.free
+                )
+        if spe is None:
+            spe = self.machine.pool.try_acquire(prefer_cell=ctx.cell_id)
+        if spe is None:
+            # All SPEs busy: the scheduler parks this process (its PPE
+            # context is free for siblings) until a departure.
+            self.stats.offload_waits += 1
+            self._m_waits.inc()
+            spe = yield self.machine.pool.acquire(prefer_cell=ctx.cell_id)
+        return spe
+
+    def _acquire_workers(
+        self, ctx: ProcContext, spe: SPE, task: TaskSpec
+    ) -> List[SPE]:
+        k = self.policy.llp_degree(ctx)
+        if k <= 1 or not task.parallelizable:
+            return []
+        return self.machine.pool.try_acquire_many(k - 1, prefer_cell=spe.cell_id)
 
     # -- mechanics ------------------------------------------------------------
     def _exec_time(self, task: TaskSpec) -> float:
@@ -311,6 +329,8 @@ class OffloadRuntime:
                     join_idle_us=inv.join_idle * 1e6,
                     master_fraction=inv.master_fraction,
                     chunks=inv.chunks,
+                    schedule=inv.schedule,
+                    chunk_counts=inv.chunk_counts,
                 )
         else:
             duration = self._exec_time(task)
@@ -382,10 +402,67 @@ class OffloadRuntime:
         yield ctx.thread.run(task.ppe_time)
         self.granularity.record_ppe(task.function, task.ppe_time)
 
+    # -- the off-load path ----------------------------------------------------
     def offload(
         self, ctx: ProcContext, task: TaskSpec, trace: BootstrapTrace
     ) -> Generator[Event, None, None]:
-        raise NotImplementedError
+        """Off-load ``task``, honoring the bound policy's discipline.
+
+        One path for every scheduler: pinned policies use the process's
+        own SPE and skip the pool; spinning policies busy-wait on the
+        PPE; everyone else blocks.  With a fault plan attached the
+        tolerant twin below takes over.
+        """
+        pinned = self.policy.pinned
+        if pinned and ctx.pinned_spe is None:
+            raise RuntimeError(f"process {ctx.rank} has no pinned SPE")
+        decision = self.granularity.decide(task)
+        if (
+            not self.offload_enabled
+            or not decision.offload
+            or not self.policy.admit(ctx, task, decision)
+        ):
+            yield from self._ppe_fallback(ctx, task)
+            return
+        if self.faults is not None:
+            yield from self._offload_tolerant(ctx, task, trace, decision)
+            return
+        with self.spans.span("proc", f"mpi{ctx.rank}", "offload") as sp:
+            if self.tracer.enabled:
+                sp.set(function=task.function, reason=decision.reason)
+            # The process writes the task descriptor / finds an SPE and
+            # ships the descriptor — user-level scheduler work either way.
+            yield ctx.thread.run(self.cell.dispatch_overhead)
+            if pinned:
+                spe, workers, release = ctx.pinned_spe, [], False
+            else:
+                spe = yield from self._acquire_spe(ctx, task)
+                workers = self._acquire_workers(ctx, spe, task)
+                if self.tracer.enabled:
+                    sp.set(spe=spe.name, llp_degree=1 + len(workers))
+                release = True
+            self.stats.offloads += 1
+            self._m_offloads.inc()
+            start = self.env.now
+            self.policy.on_dispatch(start)
+            done = self.env.process(
+                self._spe_exec(ctx, spe, workers, task, trace,
+                               release=release),
+                name=f"exec.p{ctx.rank}",
+            )
+            if self.policy.spin:
+                # Busy-wait: the MPI process holds its PPE context while
+                # the SPE computes (the baseline's whole pathology).
+                yield ctx.thread.spin_until(done)
+            else:
+                # Block (voluntary context switch): the PPE immediately
+                # serves the next runnable MPI process.
+                yield done
+            self.policy.on_departure(start, self.env.now)
+            self._m_offload_latency.observe((self.env.now - start) * 1e6)
+            # Completion handling on the PPE before the process continues
+            # (Section 5.2's t_comm bookkeeping on the PPE side).
+            yield ctx.thread.run(self.cell.completion_overhead)
 
     # -- fault-tolerant mechanics ---------------------------------------------
     def _note_spe_failure(self, spe: SPE) -> None:
@@ -408,7 +485,7 @@ class OffloadRuntime:
                     consecutive_failures=n,
                     live_spes=self.machine.pool.n_live,
                 )
-            self._on_capacity_change()
+            self._notify_capacity_change()
 
     def _note_spe_success(self, spe: SPE) -> None:
         self._consec_failures.pop(spe.name, None)
@@ -528,6 +605,8 @@ class OffloadRuntime:
                     join_idle_us=inv.join_idle * 1e6,
                     master_fraction=inv.master_fraction,
                     chunks=inv.chunks,
+                    schedule=inv.schedule,
+                    chunk_counts=inv.chunk_counts,
                 )
             # Mid-loop recovery: a worker that dies inside the busy
             # window forfeits the unexecuted tail of its chunk; the
@@ -623,227 +702,80 @@ class OffloadRuntime:
         yield env.timeout(self.machine.signal_latency(ctx.cell_id, spe))
         return "ok"
 
-
-class LinuxRuntime(OffloadRuntime):
-    """Naive MPI mapping: pinned SPEs, spin-wait, OS time slicing."""
-
-    name = "linux"
-
-    def offload(
-        self, ctx: ProcContext, task: TaskSpec, trace: BootstrapTrace
-    ) -> Generator[Event, None, None]:
-        if ctx.pinned_spe is None:
-            raise RuntimeError(f"process {ctx.rank} has no pinned SPE")
-        decision = self.granularity.decide(task)
-        if not self.offload_enabled or not decision.offload:
-            yield from self._ppe_fallback(ctx, task)
-            return
-        if self.faults is not None:
-            yield from self._offload_tolerant(ctx, task, trace, decision)
-            return
-        with self.spans.span("proc", f"mpi{ctx.rank}", "offload") as sp:
-            if self.tracer.enabled:
-                sp.set(function=task.function, reason=decision.reason)
-            # The process itself writes the task descriptor to the SPE mailbox.
-            yield ctx.thread.run(self.cell.dispatch_overhead)
-            self.stats.offloads += 1
-            self._m_offloads.inc()
-            start = self.env.now
-            self.on_dispatch(start)
-            done = self.env.process(
-                self._spe_exec(ctx, ctx.pinned_spe, [], task, trace,
-                               release=False),
-                name=f"exec.p{ctx.rank}",
-            )
-            # Busy-wait: the MPI process holds its PPE context while the SPE
-            # computes.  This is the whole pathology of the baseline.
-            yield ctx.thread.spin_until(done)
-            self.on_departure(start, self.env.now)
-            self._m_offload_latency.observe((self.env.now - start) * 1e6)
-            # Completion handling (reading the mailbox, resuming the code
-            # path).
-            yield ctx.thread.run(self.cell.completion_overhead)
-
     def _offload_tolerant(
         self, ctx: ProcContext, task: TaskSpec, trace: BootstrapTrace, decision
     ) -> Generator[Event, None, None]:
-        """Fault-tolerant off-load to the *pinned* SPE.
+        """THE fault-tolerant off-load path — the only one in the tree.
 
-        The baseline has no pool to fail over to: retries go to the same
-        SPE, and a dead or blacklisted pinned SPE means every remaining
-        task of this process runs on the PPE.  No watchdog either — the
-        process spins, so it observes the attempt's fate directly.
-        """
-        env = self.env
-        spe = ctx.pinned_spe
-        policy = self.tolerance
-        with self.spans.span("proc", f"mpi{ctx.rank}", "offload") as sp:
-            if self.tracer.enabled:
-                sp.set(function=task.function, reason=decision.reason)
-            for attempt in range(policy.max_attempts):
-                if not spe.in_service:
-                    break
-                yield ctx.thread.run(self.cell.dispatch_overhead)
-                self.stats.offloads += 1
-                self._m_offloads.inc()
-                start = env.now
-                self.on_dispatch(start)
-                done = env.process(
-                    self._spe_exec_faulty(
-                        ctx, spe, [], task, trace, release=False
-                    ),
-                    name=f"exec.p{ctx.rank}",
-                )
-                yield ctx.thread.spin_until(done)
-                status = done.value
-                if status == "ok":
-                    self._note_spe_success(spe)
-                    self.on_departure(start, env.now)
-                    self._m_offload_latency.observe((env.now - start) * 1e6)
-                    yield ctx.thread.run(self.cell.completion_overhead)
-                    return
-                self.stats.offload_retries += 1
-                self._m_retries.inc()
-                self._note_spe_failure(spe)
-                if self.tracer.enabled:
-                    self.tracer.emit(
-                        env.now, "fault", f"mpi{ctx.rank}", "offload_retry",
-                        function=task.function, status=status,
-                        attempt=attempt, spe=spe.name,
-                    )
-                yield env.timeout(policy.backoff(attempt))
-            self.stats.retry_fallbacks += 1
-            self._m_retry_fallbacks.inc()
-            if self.tracer.enabled:
-                self.tracer.emit(
-                    env.now, "fault", f"mpi{ctx.rank}", "retry_fallback",
-                    function=task.function,
-                )
-        yield from self._ppe_fallback(ctx, task)
+        Each attempt dispatches and observes the outcome under the
+        policy's discipline:
 
+        * *pinned* policies retry against the same SPE (the baseline has
+          no pool to fail over to; a dead or blacklisted pinned SPE means
+          every remaining task of this process runs on the PPE), and a
+          *spinning* process observes the attempt's fate directly, so no
+          watchdog is armed;
+        * *pooled* policies acquire a (possibly different) SPE per
+          attempt and race the execution against a watchdog deadline; a
+          watchdog-abandoned attempt becomes a harmless zombie that
+          releases its SPE when it eventually finishes.
 
-class EDTLPRuntime(OffloadRuntime):
-    """Event-driven task-level parallelism (Section 5.2)."""
-
-    name = "edtlp"
-
-    def _acquire_spe(
-        self, ctx: ProcContext, task: TaskSpec
-    ) -> Generator[Event, None, SPE]:
-        spe = None
-        if self.locality_aware and task.data_key is not None:
-            # Prefer an idle SPE that already holds this task's data set;
-            # on a miss, place the set on the store with the most free
-            # space so working sets spread across SPEs.
-            spe = self.machine.pool.try_acquire_where(
-                lambda s: s.data_resident(task.data_key)
-            )
-            if spe is None and task.working_set > 0:
-                spe = self.machine.pool.try_acquire_best(
-                    lambda s: s.local_store.free
-                )
-        if spe is None:
-            spe = self.machine.pool.try_acquire(prefer_cell=ctx.cell_id)
-        if spe is None:
-            # All SPEs busy: the scheduler parks this process (its PPE
-            # context is free for siblings) until a departure.
-            self.stats.offload_waits += 1
-            self._m_waits.inc()
-            spe = yield self.machine.pool.acquire(prefer_cell=ctx.cell_id)
-        return spe
-
-    def _acquire_workers(self, ctx: ProcContext, spe: SPE, task: TaskSpec) -> List[SPE]:
-        k = self.llp_degree(ctx)
-        if k <= 1 or not task.parallelizable:
-            return []
-        return self.machine.pool.try_acquire_many(k - 1, prefer_cell=spe.cell_id)
-
-    def offload(
-        self, ctx: ProcContext, task: TaskSpec, trace: BootstrapTrace
-    ) -> Generator[Event, None, None]:
-        decision = self.granularity.decide(task)
-        if not self.offload_enabled or not decision.offload:
-            yield from self._ppe_fallback(ctx, task)
-            return
-        if self.faults is not None:
-            yield from self._offload_tolerant(ctx, task, trace, decision)
-            return
-        with self.spans.span("proc", f"mpi{ctx.rank}", "offload") as sp:
-            if self.tracer.enabled:
-                sp.set(function=task.function, reason=decision.reason)
-            # User-level scheduler work: find an SPE, ship the descriptor.
-            yield ctx.thread.run(self.cell.dispatch_overhead)
-            spe = yield from self._acquire_spe(ctx, task)
-            workers = self._acquire_workers(ctx, spe, task)
-            if self.tracer.enabled:
-                sp.set(spe=spe.name, llp_degree=1 + len(workers))
-            self.stats.offloads += 1
-            self._m_offloads.inc()
-            start = self.env.now
-            self.on_dispatch(start)
-            # Block (voluntary context switch): the PPE immediately serves
-            # the next runnable MPI process while the SPE computes.
-            yield self.env.process(
-                self._spe_exec(ctx, spe, workers, task, trace, release=True),
-                name=f"exec.p{ctx.rank}",
-            )
-            self.on_departure(start, self.env.now)
-            self._m_offload_latency.observe((self.env.now - start) * 1e6)
-            # Scheduler completion handling on the PPE before the process
-            # continues (Section 5.2's t_comm bookkeeping on the PPE side).
-            yield ctx.thread.run(self.cell.completion_overhead)
-
-    def _offload_tolerant(
-        self, ctx: ProcContext, task: TaskSpec, trace: BootstrapTrace, decision
-    ) -> Generator[Event, None, None]:
-        """Fault-tolerant off-load against the shared pool.
-
-        Each attempt acquires a (possibly different) SPE, dispatches,
-        and races the execution against a watchdog deadline.  Failed
-        attempts back off exponentially in simulated time; after
+        Failed attempts back off exponentially in simulated time; after
         ``max_attempts`` failures — or when no live SPE remains — the
-        task executes its PPE version.  A watchdog-abandoned attempt
-        becomes a harmless zombie: the SPE finishes in the background
-        and releases itself back to the pool.
+        task executes its PPE version, which cannot fail.
         """
         env = self.env
-        policy = self.tolerance
+        tol = self.tolerance
+        pinned = self.policy.pinned
+        spe = ctx.pinned_spe if pinned else None
         with self.spans.span("proc", f"mpi{ctx.rank}", "offload") as sp:
             if self.tracer.enabled:
                 sp.set(function=task.function, reason=decision.reason)
-            for attempt in range(policy.max_attempts):
-                yield ctx.thread.run(self.cell.dispatch_overhead)
-                spe = yield from self._acquire_spe(ctx, task)
-                if spe is None:
-                    # Capacity exhausted: every SPE dead or blacklisted.
-                    break
-                workers = self._acquire_workers(ctx, spe, task)
-                if self.tracer.enabled:
-                    sp.set(spe=spe.name, llp_degree=1 + len(workers))
+            for attempt in range(tol.max_attempts):
+                if pinned:
+                    if not spe.in_service:
+                        break
+                    yield ctx.thread.run(self.cell.dispatch_overhead)
+                    workers: List[SPE] = []
+                    release = False
+                else:
+                    yield ctx.thread.run(self.cell.dispatch_overhead)
+                    spe = yield from self._acquire_spe(ctx, task)
+                    if spe is None:
+                        # Capacity exhausted: every SPE dead or blacklisted.
+                        break
+                    workers = self._acquire_workers(ctx, spe, task)
+                    if self.tracer.enabled:
+                        sp.set(spe=spe.name, llp_degree=1 + len(workers))
+                    release = True
                 self.stats.offloads += 1
                 self._m_offloads.inc()
                 start = env.now
-                self.on_dispatch(start)
+                self.policy.on_dispatch(start)
                 done = env.process(
                     self._spe_exec_faulty(
-                        ctx, spe, workers, task, trace, release=True
+                        ctx, spe, workers, task, trace, release=release
                     ),
                     name=f"exec.p{ctx.rank}",
                 )
-                deadline = policy.attempt_deadline(
-                    self._expected_attempt_time(task)
-                )
-                winner = yield env.any_of([done, env.timeout(deadline)])
-                if winner is done and done.value == "ok":
+                if self.policy.spin:
+                    yield ctx.thread.spin_until(done)
+                    winner, status = done, done.value
+                else:
+                    deadline = tol.attempt_deadline(
+                        self._expected_attempt_time(task)
+                    )
+                    winner = yield env.any_of([done, env.timeout(deadline)])
+                    status = (
+                        done.value if winner is done else "watchdog-timeout"
+                    )
+                if winner is done and status == "ok":
                     self._note_spe_success(spe)
-                    self.on_departure(start, env.now)
+                    self.policy.on_departure(start, env.now)
                     self._m_offload_latency.observe((env.now - start) * 1e6)
                     yield ctx.thread.run(self.cell.completion_overhead)
                     return
-                if winner is done:
-                    status = done.value
-                else:
-                    status = "watchdog-timeout"
+                if status == "watchdog-timeout":
                     self.stats.watchdog_timeouts += 1
                     self._m_watchdog.inc()
                 self.stats.offload_retries += 1
@@ -855,7 +787,7 @@ class EDTLPRuntime(OffloadRuntime):
                         function=task.function, status=status,
                         attempt=attempt, spe=spe.name,
                     )
-                yield env.timeout(policy.backoff(attempt))
+                yield env.timeout(tol.backoff(attempt))
             self.stats.retry_fallbacks += 1
             self._m_retry_fallbacks.inc()
             if self.tracer.enabled:
@@ -864,148 +796,3 @@ class EDTLPRuntime(OffloadRuntime):
                     function=task.function,
                 )
         yield from self._ppe_fallback(ctx, task)
-
-
-class StaticHybridRuntime(EDTLPRuntime):
-    """EDTLP with always-on loop parallelism of fixed degree (EDTLP-LLP)."""
-
-    name = "edtlp-llp"
-
-    def __init__(self, *args, degree: int = 2, **kwargs) -> None:
-        super().__init__(*args, **kwargs)
-        if degree < 1:
-            raise ValueError("degree must be >= 1")
-        self.degree = degree
-        self.name = f"edtlp-llp{degree}"
-
-    def llp_degree(self, ctx: ProcContext) -> int:
-        return self.degree
-
-
-class MGPSRuntime(EDTLPRuntime):
-    """Multigrain parallelism scheduling: adaptive EDTLP + LLP.
-
-    Keeps the Section 5.4 utilization-history window; every ``window``-th
-    off-load it re-evaluates the exposed TLP degree ``U`` and toggles
-    loop-level parallelism with degree ``floor(n_spes / T)``.  A staleness
-    guard resets the window after long off-load droughts (the role the
-    paper assigns to timer interrupts).
-    """
-
-    name = "mgps"
-
-    def __init__(
-        self,
-        *args,
-        window: Optional[int] = None,
-        staleness: float = 20e-3,
-        max_degree: Optional[int] = None,
-        llp_u_threshold: Optional[int] = None,
-        **kwargs,
-    ) -> None:
-        super().__init__(*args, **kwargs)
-        n = self.machine.n_spes
-        self.history = UtilizationHistory(
-            n, window, metrics=self.metrics, llp_threshold=llp_u_threshold
-        )
-        self.staleness = staleness
-        self._m_decisions = self.metrics.counter(
-            "mgps.decisions", "window-boundary LLP policy evaluations"
-        )
-        self._m_mode_switches = self.metrics.counter(
-            "mgps.mode_switches", "LLP activation/degree changes"
-        )
-        self._m_window_resets = self.metrics.counter(
-            "mgps.window_resets", "history resets after off-load droughts"
-        )
-        self._m_degree = self.metrics.gauge(
-            "mgps.degree", "current LLP degree (1 = serial tasks)"
-        )
-        self._m_llp_active = self.metrics.gauge(
-            "mgps.llp_active", "1 while loop-level parallelism is on"
-        )
-        # Beyond ~half the SPEs per loop, per-worker overheads dominate
-        # (Table 2: "using five or more SPE threads decreases
-        # efficiency"), so MGPS caps the LLP degree there.  The cap
-        # follows the *live* SPE count when not pinned explicitly.
-        self._auto_max_degree = max_degree is None
-        self.max_degree = max_degree if max_degree is not None else max(2, n // 2)
-        self.llp_active = False
-        self.current_degree = 1
-        self._last_dispatch = 0.0
-        from collections import deque
-        self._source_samples = deque(maxlen=self.history.window)
-
-    def llp_degree(self, ctx: ProcContext) -> int:
-        return self.current_degree if self.llp_active else 1
-
-    def on_dispatch(self, time: float) -> None:
-        if self._last_dispatch and time - self._last_dispatch > self.staleness:
-            # Off-load drought: old U samples say nothing about the
-            # present.  (Paper: timer-interrupt-driven adaptation.)
-            self.history.reset()
-            self._source_samples.clear()
-            self._m_window_resets.inc()
-        self._last_dispatch = time
-        self._source_samples.append(
-            self.current_sources(include_dispatcher=True)
-        )
-        if self.history.note_dispatch(time):
-            self._decide()
-
-    def on_departure(self, start: float, end: float) -> None:
-        self.history.note_departure(start, end)
-
-    def _on_capacity_change(self) -> None:
-        """Re-baseline MGPS on the surviving SPE set.
-
-        Called after every kill or blacklist: the utilization-history
-        window, the LLP activation threshold and the degree formula
-        ``floor(n_live / T)`` all shrink to the live capacity, so the
-        scheduler degrades gracefully instead of over-committing loop
-        workers it can no longer acquire.
-        """
-        n_live = max(1, self.machine.pool.n_live)
-        self.history.resize(n_live)
-        if self._auto_max_degree:
-            self.max_degree = min(n_live, max(2, n_live // 2))
-        if self.current_degree > self.max_degree:
-            self.current_degree = self.max_degree
-            if self.current_degree <= 1:
-                self.llp_active = False
-                self.current_degree = 1
-            self.stats.llp_mode_switches += 1
-            self._m_mode_switches.inc()
-            self._m_degree.set(self.current_degree)
-            self._m_llp_active.set(1 if self.llp_active else 0)
-        if self.tracer.enabled:
-            self.tracer.emit(
-                self.env.now, "sched", "mgps", "capacity_change",
-                live_spes=self.machine.pool.n_live,
-                window=self.history.window,
-                max_degree=self.max_degree,
-                degree=self.current_degree,
-            )
-
-    def _decide(self) -> None:
-        # T: the most task sources seen at any recent dispatch -- the
-        # conservative estimate (momentary dips must not inflate the
-        # loop degree and strand acquisitions).
-        t = max(self._source_samples) if self._source_samples else 1
-        active, degree = self.history.llp_decision(t)
-        degree = min(degree, self.max_degree)
-        active = active and degree > 1
-        if active != self.llp_active or (active and degree != self.current_degree):
-            self.stats.llp_mode_switches += 1
-            self._m_mode_switches.inc()
-        self.llp_active = active
-        self.current_degree = degree if active else 1
-        self._m_decisions.inc()
-        self._m_degree.set(self.current_degree)
-        self._m_llp_active.set(1 if active else 0)
-        if self.tracer.enabled:
-            self.tracer.emit(
-                self._last_dispatch, "sched", "mgps", "decision",
-                u=self.history.u_estimate, t=t, active=active,
-                degree=self.current_degree,
-            )

@@ -1,8 +1,11 @@
 """Scheduler specifications: the policies an experiment can select.
 
 A :class:`SchedulerSpec` is a declarative description; the runner turns it
-into a concrete runtime bound to a machine.  Convenience constructors
-mirror the paper's nomenclature:
+into a concrete runtime bound to a machine.  ``kind`` is a key into the
+scheduling-policy registry (see
+:func:`~repro.core.runtime.register_policy`), so third-party policies are
+selectable by name without touching this module.  Convenience
+constructors mirror the paper's nomenclature:
 
 * :func:`linux` — the Linux 2.6 baseline (Table 1, right column);
 * :func:`edtlp` — event-driven task-level parallelism;
@@ -18,17 +21,13 @@ from typing import Optional
 from ..cell.machine import CellMachine
 from ..sim.engine import Environment
 from .llp import LLPConfig
-from .runtime import (
-    EDTLPRuntime,
-    LinuxRuntime,
-    MGPSRuntime,
-    OffloadRuntime,
-    StaticHybridRuntime,
-)
+from .runtime import OffloadEngine, resolve_policy
 
 __all__ = ["SchedulerSpec", "linux", "edtlp", "static_hybrid", "mgps"]
 
-_KINDS = ("linux", "edtlp", "static", "mgps")
+# Historical spelling of the registry key: the spec predates the policy
+# registry and called the fixed-degree hybrid "static".
+_ALIASES = {"static": "static_hybrid"}
 
 
 @dataclass(frozen=True)
@@ -54,8 +53,7 @@ class SchedulerSpec:
     label: Optional[str] = None
 
     def __post_init__(self) -> None:
-        if self.kind not in _KINDS:
-            raise ValueError(f"unknown scheduler kind {self.kind!r}")
+        resolve_policy(_ALIASES.get(self.kind, self.kind))  # unknown -> ValueError
         if self.llp_degree < 1:
             raise ValueError("llp_degree must be >= 1")
         if self.n_processes is not None and self.n_processes < 1:
@@ -80,8 +78,12 @@ class SchedulerSpec:
 
     def build(self, env: Environment, machine: CellMachine,
               tracer=None, metrics=None, faults=None,
-              tolerance=None) -> OffloadRuntime:
+              tolerance=None) -> OffloadEngine:
         """Instantiate the runtime for this spec on ``machine``.
+
+        The registered policy factory receives this spec (so it can read
+        ``llp_degree``, ``history_window``, ...) and the resulting policy
+        steers one shared :class:`~repro.core.runtime.OffloadEngine`.
 
         ``tracer``/``metrics`` fall back to the sinks attached to ``env``
         (see :class:`~repro.sim.engine.Environment`), so observability can
@@ -94,7 +96,9 @@ class SchedulerSpec:
             tracer = getattr(env, "tracer", None)
         if metrics is None:
             metrics = getattr(env, "metrics", None)
-        common = dict(
+        info = resolve_policy(_ALIASES.get(self.kind, self.kind))
+        return OffloadEngine(
+            env, machine,
             granularity_enabled=self.granularity_enabled,
             optimized=self.optimized,
             llp_config=self.llp_config,
@@ -104,16 +108,7 @@ class SchedulerSpec:
             metrics=metrics,
             faults=faults,
             tolerance=tolerance,
-        )
-        if self.kind == "linux":
-            return LinuxRuntime(env, machine, **common)
-        if self.kind == "edtlp":
-            return EDTLPRuntime(env, machine, **common)
-        if self.kind == "static":
-            return StaticHybridRuntime(env, machine, degree=self.llp_degree, **common)
-        return MGPSRuntime(
-            env, machine, window=self.history_window,
-            llp_u_threshold=self.llp_u_threshold, **common,
+            policy=info.factory(self),
         )
 
     def with_(self, **kwargs) -> "SchedulerSpec":

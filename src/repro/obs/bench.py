@@ -60,7 +60,9 @@ BOOTSTRAPS = 3
 TASKS = 200
 SEED = 0
 
-REQUIRED_CORE_KEYS = ("workload", "schedulers", "speedup_over_serial")
+REQUIRED_CORE_KEYS = (
+    "workload", "schedulers", "speedup_over_serial", "llp_schedules"
+)
 REQUIRED_FAULTS_KEYS = (
     "workload",
     "fault_free",
@@ -145,6 +147,31 @@ def measure_core(
             "seconds_wall": wall,
         }
     serial = rows["serial"]["makespan_s"]
+
+    # One row per registered loop schedule on the always-LLP hybrid
+    # (EDTLP-LLP4), the scheduler whose makespan is most sensitive to
+    # iteration distribution.  The ``static`` row must reproduce the
+    # ladder's edtlp-llp4 row exactly — same spec, default schedule.
+    from dataclasses import replace
+
+    from ..core.llp import LLPConfig, available_loop_schedules
+    from ..core.schedulers import static_hybrid
+
+    schedule_rows: Dict[str, Dict[str, Any]] = {}
+    for sched in available_loop_schedules():
+        wl = Workload(bootstraps=bootstraps, tasks_per_bootstrap=tasks, seed=seed)
+        spec = static_hybrid(
+            4, llp_config=replace(LLPConfig(), schedule=sched.name)
+        )
+        t0 = time_source()
+        result = run_experiment(spec, wl, seed=seed)
+        wall = time_source() - t0
+        schedule_rows[sched.name] = {
+            "makespan_s": result.makespan,
+            "llp_invocations": result.llp_invocations,
+            "seconds_wall": wall,
+        }
+
     return {
         "workload": {
             "bootstraps": bootstraps,
@@ -155,6 +182,7 @@ def measure_core(
         "speedup_over_serial": {
             name: serial / rows[name]["makespan_s"] for name in rows
         },
+        "llp_schedules": schedule_rows,
     }
 
 

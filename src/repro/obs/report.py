@@ -97,12 +97,19 @@ def _u_series(tracer: Optional[Tracer]) -> List[Tuple[float, float, bool]]:
 def _adaptation_series(
     tracer: Optional[Tracer],
 ) -> Dict[str, List[Tuple[int, float, float]]]:
-    """Per loop: [(invocation index, master_fraction, join_idle_us)]."""
+    """Per loop: [(invocation index, master_fraction, join_idle_us)].
+
+    The series key names the active :class:`~repro.core.llp.LoopSchedule`
+    whenever it is not the default single split, so self-scheduling runs
+    are distinguishable in the chart legend.
+    """
     series: Dict[str, List[Tuple[int, float, float]]] = {}
     if tracer is None:
         return series
     for r in tracer.filter(event="llp_invoke"):
-        key = f"{r.get('function')} (k={r.get('k')})"
+        schedule = r.get("schedule", "static")
+        suffix = "" if schedule == "static" else f", {schedule}"
+        key = f"{r.get('function')} (k={r.get('k')}{suffix})"
         seq = series.setdefault(key, [])
         seq.append((
             len(seq),
@@ -110,6 +117,25 @@ def _adaptation_series(
             float(r.get("join_idle_us", 0.0)),
         ))
     return series
+
+
+def _llp_schedule_note(tracer: Optional[Tracer]) -> str:
+    """Chart note: active loop schedule(s) with chunk-assignment counts."""
+    if tracer is None:
+        return ""
+    per_schedule: Dict[str, Tuple[int, int]] = {}
+    for r in tracer.filter(event="llp_invoke"):
+        name = str(r.get("schedule", "static"))
+        chunks = sum(r.get("chunk_counts", ()) or ())
+        invocations, total_chunks = per_schedule.get(name, (0, 0))
+        per_schedule[name] = (invocations + 1, total_chunks + chunks)
+    if not per_schedule:
+        return ""
+    parts = ", ".join(
+        f"{name}: {inv} invocations, {chunks} chunks assigned"
+        for name, (inv, chunks) in sorted(per_schedule.items())
+    )
+    return f'<p class="chart-note">Loop schedule &#8212; {_esc(parts)}</p>'
 
 
 # -- svg primitives -----------------------------------------------------------
@@ -616,7 +642,8 @@ def render_report(
         ("latency", "Off-load latency", _latency_svg(registry)),
         ("llp-adaptation",
          "LLP adaptive unbalancing",
-         _adaptation_svg(_adaptation_series(tracer))),
+         _llp_schedule_note(tracer)
+         + _adaptation_svg(_adaptation_series(tracer))),
         ("faults", "Faults and recovery", _faults_html(tracer, registry)),
     ]
     body = "".join(

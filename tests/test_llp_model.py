@@ -51,12 +51,23 @@ class TestSplitIterations:
             split_iterations(3, 4, 0.25)
 
     def test_single_spe(self):
+        # k == 1 takes the whole loop regardless of the fraction, so the
+        # fraction is not validated on that path.
         assert split_iterations(228, 1, 1.0) == [228]
+
+    def test_fraction_out_of_range_rejected(self):
+        for bad in (-0.1, 1.0, 1.5):
+            with pytest.raises(ValueError, match=r"master_fraction"):
+                split_iterations(100, 4, bad)
+
+    def test_k_exceeding_n_message_names_empty_chunks(self):
+        with pytest.raises(ValueError, match=r"empty chunks"):
+            split_iterations(3, 4, 0.25)
 
     @given(
         n=st.integers(min_value=1, max_value=5000),
         k=st.integers(min_value=1, max_value=16),
-        f=st.floats(min_value=0.0, max_value=1.0),
+        f=st.floats(min_value=0.0, max_value=1.0, exclude_max=True),
     )
     @settings(max_examples=300, deadline=None)
     def test_split_properties(self, n, k, f):

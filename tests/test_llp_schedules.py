@@ -1,0 +1,158 @@
+"""Pluggable loop schedules: coverage, equivalence, trace visibility."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cell.params import CellParams
+from repro.core.llp import (
+    LLPConfig,
+    LoopParallelModel,
+    available_loop_schedules,
+    resolve_loop_schedule,
+)
+from repro.core.runner import run_experiment
+from repro.core.schedulers import edtlp, linux, mgps, static_hybrid
+from repro.sim.trace import Tracer
+from repro.workloads import Workload
+from repro.workloads.taskspec import LoopSpec, TaskSpec
+
+US = 1e-6
+
+SCHEDULE_NAMES = [s.name for s in available_loop_schedules()]
+
+
+def make_task(iterations=228, coverage=0.7, reduction=True):
+    return TaskSpec(
+        function="newview",
+        spe_time=96.0 * US,
+        ppe_time=13.0 * 96.0 * US,
+        naive_spe_time=1.85 * 96.0 * US,
+        loop=LoopSpec(
+            iterations=iterations,
+            coverage=coverage,
+            reduction=reduction,
+            bytes_per_iteration=144,
+        ),
+    )
+
+
+class TestScheduleRegistry:
+    def test_all_four_registered(self):
+        assert {"static", "dynamic", "guided", "adaptive"} <= set(SCHEDULE_NAMES)
+        assert SCHEDULE_NAMES == sorted(SCHEDULE_NAMES)
+
+    def test_unknown_schedule_lists_known(self):
+        with pytest.raises(ValueError) as err:
+            resolve_loop_schedule("round-robin")
+        message = str(err.value)
+        assert "round-robin" in message and "known schedules" in message
+        for name in SCHEDULE_NAMES:
+            assert name in message
+
+    def test_config_validates_schedule(self):
+        with pytest.raises(ValueError, match=r"known schedules"):
+            LLPConfig(schedule="bogus")
+        with pytest.raises(ValueError, match=r"chunk_size"):
+            LLPConfig(chunk_size=-1)
+
+
+class TestIterationCoverage:
+    """Every schedule must cover each iteration exactly once."""
+
+    @given(
+        n=st.integers(min_value=1, max_value=3000),
+        k=st.integers(min_value=2, max_value=16),
+        schedule=st.sampled_from(["static", "dynamic", "guided", "adaptive"]),
+        chunk=st.integers(min_value=0, max_value=64),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_plan_covers_all_iterations(self, n, k, schedule, chunk):
+        if k > n:
+            return  # the runtime clamps k to the iteration count
+        model = LoopParallelModel(
+            CellParams(), LLPConfig(schedule=schedule, chunk_size=chunk)
+        )
+        per_spe, sequence = resolve_loop_schedule(schedule).plan(
+            model, "loop", n, k
+        )
+        assert (per_spe is None) != (sequence is None)
+        chunks = per_spe if per_spe is not None else sequence
+        assert sum(chunks) == n
+        assert all(c >= 1 for c in chunks)
+        if per_spe is not None:
+            assert len(per_spe) == k
+
+    @given(
+        n=st.integers(min_value=1, max_value=2000),
+        k=st.integers(min_value=1, max_value=8),
+        schedule=st.sampled_from(["static", "dynamic", "guided", "adaptive"]),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_invoke_accounts_every_iteration(self, n, k, schedule):
+        model = LoopParallelModel(CellParams(), LLPConfig(schedule=schedule))
+        task = make_task(iterations=n)
+        inv = model.invoke(task, k)
+        assert sum(inv.chunks) == n
+        assert inv.duration > 0.0
+        if inv.k > 1:
+            assert inv.schedule == schedule
+            assert len(inv.chunk_counts) == inv.k
+            assert sum(inv.chunk_counts) >= inv.k  # >= one chunk per SPE
+
+    def test_adaptive_feedback_reduces_join_idle(self):
+        model = LoopParallelModel(CellParams(), LLPConfig(schedule="adaptive"))
+        task = make_task()
+        first = model.invoke(task, 4).join_idle
+        last = first
+        for _ in range(60):
+            last = model.invoke(task, 4).join_idle
+        assert last <= first
+
+
+class TestStaticEquivalence:
+    """schedule='static' must be bit-identical to the default config."""
+
+    @pytest.mark.parametrize(
+        "factory",
+        [linux, edtlp, lambda **kw: static_hybrid(4, **kw), mgps],
+        ids=["linux", "edtlp", "static_hybrid", "mgps"],
+    )
+    def test_explicit_static_matches_default(self, factory):
+        wl = Workload(bootstraps=3, tasks_per_bootstrap=150, seed=0)
+        default = run_experiment(factory(), wl)
+        explicit = run_experiment(
+            factory(llp_config=LLPConfig(schedule="static")), wl
+        )
+        assert explicit.result_digest == default.result_digest
+        assert explicit.makespan == default.makespan
+        assert explicit.offloads == default.offloads
+
+
+class TestScheduleVisibility:
+    @pytest.mark.parametrize("schedule", ["dynamic", "guided", "adaptive"])
+    def test_schedule_recorded_in_trace(self, schedule):
+        tracer = Tracer(enabled=True)
+        wl = Workload(bootstraps=3, tasks_per_bootstrap=120, seed=0)
+        result = run_experiment(
+            static_hybrid(4, llp_config=LLPConfig(schedule=schedule)),
+            wl, tracer=tracer,
+        )
+        assert result.llp_invocations > 0
+        invokes = [r for r in tracer.records if r.event == "llp_invoke"]
+        assert invokes, "no llp_invoke events traced"
+        for r in invokes:
+            assert r.get("schedule") == schedule
+            counts = r.get("chunk_counts")
+            assert counts and sum(counts) >= len(counts)
+
+    def test_runs_complete_under_every_schedule(self):
+        wl = Workload(bootstraps=3, tasks_per_bootstrap=100, seed=0)
+        makespans = {}
+        for schedule in SCHEDULE_NAMES:
+            r = run_experiment(
+                mgps(llp_config=LLPConfig(schedule=schedule)), wl
+            )
+            makespans[schedule] = r.makespan
+            assert r.bootstraps_completed == 3
+        assert all(m > 0 for m in makespans.values())

@@ -92,6 +92,15 @@ def run(runtime_cls, wl, n_procs, **kw):
     return env, machine, rt
 
 
+def best_case(task, n_spes):
+    """Physical lower bound on one task's completion time."""
+    spe_best = task.spe_time
+    if task.loop is not None and task.loop.iterations > 1:
+        cov = task.loop.coverage
+        spe_best = task.spe_time * (1.0 - cov + cov / n_spes)
+    return min(spe_best, task.ppe_time)
+
+
 RUNTIMES = [
     (EDTLPRuntime, {}),
     (EDTLPRuntime, {"locality_aware": True}),
@@ -128,13 +137,40 @@ def test_runtime_invariants(runtime_cls, kw, wl, n_procs):
         assert s.busy_seconds <= makespan + 1e-12
     total_gap = sum(wl.trace(i).total_ppe_time for i in range(wl.bootstraps))
     assert makespan >= total_gap / machine.cores[0].n_contexts - 1e-9
-    # No task can finish faster than its best-case duration.
+    # No task can finish faster than its best-case duration.  A task
+    # with a parallel loop can legitimately beat *both* serial times:
+    # its covered fraction may be split across every SPE in the machine.
     longest = max(
-        min(i.task.spe_time, i.task.ppe_time)
+        best_case(i.task, machine.n_spes)
         for b in range(wl.bootstraps)
         for i in wl.trace(b).items
     )
     assert makespan >= longest - 1e-12
+
+
+def test_llp_split_may_beat_both_serial_times():
+    """Regression (hypothesis-discovered): a high-coverage loop split
+    across 3 SPEs finishes faster than min(spe_time, ppe_time); the
+    makespan bound must account for loop-level parallelism."""
+    task = TaskSpec(
+        function="alpha",
+        spe_time=0.0003102383503029622,
+        ppe_time=0.00016238799099557702,
+        naive_spe_time=0.0008834229215917751,
+        loop=LoopSpec(iterations=3, coverage=0.875, reduction=False,
+                      bytes_per_iteration=0),
+    )
+    wl = FixedTraceWorkload([BootstrapTrace(
+        index=0,
+        items=(OffloadItem(ppe_gap=0.0, task=task),),
+        tail_ppe=0.0,
+        scale=1.0,
+        code_image=CodeImage("stress", "serial", 64 * KB),
+        llp_image=CodeImage("stress", "llp", 70 * KB),
+    )])
+    env, machine, rt = run(StaticHybridRuntime, wl, 1, degree=3)
+    assert env.now < min(task.spe_time, task.ppe_time)
+    assert env.now >= best_case(task, machine.n_spes) - 1e-12
 
 
 @given(wl=workload_st())
