@@ -2,9 +2,11 @@
 """Benchmark regression gate: current measurement vs committed baselines.
 
 Thin executable wrapper over :func:`repro.obs.bench.check_baselines` —
-re-measures the tracked scheduler ladder and diffs every deterministic
-(non-``_wall``) metric against the committed repo-root ``BENCH_core.json``
-and ``BENCH_obs.json`` with per-metric tolerances.  Exits 1 on drift.
+re-measures the tracked scheduler ladder, the fault-tolerance scenarios
+and the serving-layer SLO grid, then diffs every deterministic
+(non-``_wall``) metric against the committed repo-root
+``BENCH_core.json``, ``BENCH_obs.json``, ``BENCH_faults.json`` and
+``BENCH_serve.json`` with per-metric tolerances.  Exits 1 on drift.
 
 Equivalent to ``python -m repro bench --check``.  Run it after any
 scheduler change; if the drift is intended, refresh the baselines with

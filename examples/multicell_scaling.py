@@ -5,20 +5,64 @@ The paper argues that even though 100+ bootstrap analyses are task-rich,
 multigrain scheduling matters at scale because *spreading* bootstraps
 across blades leaves each Cell with low task-level parallelism — exactly
 the regime where MGPS switches on loop-level parallelism.
+
+Parameterized: ``--bootstraps``, ``--tasks`` and ``--dispatch`` change
+the sweep; the defaults reproduce the original two-Cell story.  The
+fleet shape declared here (``FLEET_*``) is also the configuration the
+online serving demo (``serving_demo.py``) runs against, so the offline
+scaling argument and the serving simulation describe the same hardware.
 """
 
-from repro import BladeParams, Workload, edtlp, mgps, run_experiment
+import argparse
+
+from repro import (
+    BladeParams,
+    Workload,
+    edtlp,
+    mgps,
+    run_cluster_experiment,
+    run_experiment,
+)
 from repro.analysis import format_table
+from repro.serve.dispatch import available_dispatch_policies
+
+# The blade fleet both this example and serving_demo.py simulate:
+# dual-Cell blades (16 SPEs each), elastic between 2 and 4 blades.
+FLEET_BLADE = BladeParams(n_cells=2)
+FLEET_MIN_BLADES = 2
+FLEET_MAX_BLADES = 4
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--bootstraps", type=int, nargs="+", default=[4, 8, 16, 32],
+        metavar="N", help="bootstrap counts to sweep (default: 4 8 16 32)",
+    )
+    parser.add_argument(
+        "--tasks", type=int, default=250, metavar="N",
+        help="tasks per bootstrap (default: 250)",
+    )
+    parser.add_argument(
+        "--dispatch", default="static-block",
+        choices=[i.name for i in available_dispatch_policies()],
+        help="bootstrap-partition policy for the cluster section "
+             "(default: static-block, the paper's contiguous blocks)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    return parser
 
 
 def main() -> None:
+    args = build_parser().parse_args()
     rows = []
-    for n_cells in (1, 2):
+    for n_cells in (1, FLEET_BLADE.n_cells):
         blade = BladeParams(n_cells=n_cells)
-        for b in (4, 8, 16, 32):
-            wl = Workload(bootstraps=b, tasks_per_bootstrap=250)
-            e = run_experiment(edtlp(), wl, blade=blade)
-            m = run_experiment(mgps(), wl, blade=blade)
+        for b in args.bootstraps:
+            wl = Workload(bootstraps=b, tasks_per_bootstrap=args.tasks,
+                          seed=args.seed)
+            e = run_experiment(edtlp(), wl, blade=blade, seed=args.seed)
+            m = run_experiment(mgps(), wl, blade=blade, seed=args.seed)
             rows.append(
                 [n_cells, b, e.makespan, m.makespan,
                  f"{e.makespan / m.makespan:.2f}x",
@@ -36,17 +80,43 @@ def main() -> None:
     # The Section 5.5 punchline: spreading a fixed job across Cells
     # lowers per-Cell task parallelism, which is exactly where adaptive
     # loop-level parallelism pays off.
-    wl = Workload(bootstraps=8, tasks_per_bootstrap=250)
-    blade2 = BladeParams(n_cells=2)
-    one = run_experiment(mgps(), wl)
-    two_e = run_experiment(edtlp(), wl, blade=blade2)
-    two_m = run_experiment(mgps(), wl, blade=blade2)
+    wl = Workload(bootstraps=8, tasks_per_bootstrap=args.tasks,
+                  seed=args.seed)
+    one = run_experiment(mgps(), wl, seed=args.seed)
+    two_e = run_experiment(edtlp(), wl, blade=FLEET_BLADE, seed=args.seed)
+    two_m = run_experiment(mgps(), wl, blade=FLEET_BLADE, seed=args.seed)
     print(
         f"\n8 bootstraps: one Cell {one.makespan:.1f} s -> two Cells "
         f"{two_m.makespan:.1f} s ({one.makespan / two_m.makespan:.2f}x).\n"
         f"On the blade, 8 bootstraps leave 8 SPEs idle under plain EDTLP "
         f"({two_e.makespan:.1f} s); MGPS detects it and work-shares loops "
         f"({two_m.llp_invocations} LLP invocations -> {two_m.makespan:.1f} s)."
+    )
+
+    # Scale-out across the serving fleet's blade range, partitioned by
+    # the selected dispatch policy (the same registry the online serving
+    # layer uses).
+    total = max(args.bootstraps) if args.bootstraps else 32
+    rows = []
+    for n_blades in range(FLEET_MIN_BLADES, FLEET_MAX_BLADES + 1):
+        if n_blades > total:
+            break
+        c = run_cluster_experiment(
+            mgps(), total, n_blades, blade=FLEET_BLADE,
+            tasks_per_bootstrap=min(args.tasks, 100), seed=args.seed,
+            dispatch=args.dispatch,
+        )
+        rows.append([n_blades, c.makespan,
+                     f"{c.mean_spe_utilization:.0%}",
+                     c.total_llp_invocations])
+    print()
+    print(
+        format_table(
+            ["blades", "makespan [s]", "mean SPE util", "LLP invocations"],
+            rows,
+            title=f"{total} bootstraps across the fleet "
+                  f"({args.dispatch} dispatch)",
+        )
     )
 
 

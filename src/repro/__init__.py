@@ -38,6 +38,15 @@ from .obs import (
     write_metrics_snapshot,
     write_trace_jsonl,
 )
+from .serve import (
+    FleetFaultPlan,
+    JobTemplate,
+    ServeConfig,
+    ServeResult,
+    TenantSpec,
+    default_tenants,
+    run_service,
+)
 from .sim import Tracer
 from .workloads import BSPWorkload, FixedTraceWorkload, RAXML_42SC, RaxmlProfile, Workload
 
@@ -67,6 +76,13 @@ __all__ = [
     "OracleSelector",
     "BSPWorkload",
     "FixedTraceWorkload",
+    "FleetFaultPlan",
+    "JobTemplate",
+    "ServeConfig",
+    "ServeResult",
+    "TenantSpec",
+    "default_tenants",
+    "run_service",
     "Tracer",
     "MetricsRegistry",
     "SpanRecorder",

@@ -19,6 +19,8 @@ Examples::
     python -m repro report fig8 --out report.html # self-contained HTML report
     python -m repro bench --check                 # baseline regression gate
     python -m repro faults mgps --spe-kill 2:2e-4 --dma-error-rate 0.02
+    python -m repro serve --autoscale --json      # multi-tenant serving run
+    python -m repro serve --dispatch work-stealing --kill-blade 1:600
 
 Every scenario subcommand also accepts ``--trace PATH`` to write a
 Chrome/Perfetto trace alongside its normal output.
@@ -73,7 +75,9 @@ _SCENARIO_SPECS: Dict[str, Tuple[object, int]] = {
     "timeline": (mgps, 1),
     "bsp": (mgps, 1),
 }
-_OBSERVABLE = sorted(set(_SCENARIO_SPECS) | set(_SCHEDULERS))
+# "serve" is observable too, but runs through the serving layer rather
+# than one run_experiment call — see _run_observed.
+_OBSERVABLE = sorted(set(_SCENARIO_SPECS) | set(_SCHEDULERS) | {"serve"})
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -271,7 +275,9 @@ def build_parser() -> argparse.ArgumentParser:
             "digests diverge."
         ),
     )
-    p.add_argument("scenario", choices=_OBSERVABLE)
+    # Node-level serving faults have their own flag: repro serve --kill-blade.
+    p.add_argument("scenario",
+                   choices=[s for s in _OBSERVABLE if s != "serve"])
     p.add_argument("--bootstraps", type=int, default=3)
     p.add_argument("--tasks", type=int, default=200)
     p.add_argument("--seed", type=int, default=0)
@@ -298,22 +304,79 @@ def build_parser() -> argparse.ArgumentParser:
     add_trace_flag(p)
 
     p = sub.add_parser(
+        "serve",
+        help="run the multi-tenant online serving simulation",
+        description=(
+            "Stream jobs from a mixed tenant population (open-loop "
+            "Poisson, closed-loop think-time, bursty) at a fleet of "
+            "simulated Cell blades through admission control, a dispatch "
+            "policy and (optionally) the MGPS-style fleet autoscaler, "
+            "then print the SLO ledger: per-tenant tail latency, "
+            "goodput, rejection and deadline-miss accounting.  "
+            "Deterministic: the same seed reproduces the run byte for "
+            "byte, including --json output."
+        ),
+    )
+    from .serve.dispatch import available_dispatch_policies
+    from .serve.fleet import available_blade_schedulers
+
+    p.add_argument("--duration", type=float, default=3600.0, metavar="S",
+                   help="arrival horizon in simulated seconds; the run "
+                        "drains after (default 3600)")
+    p.add_argument("--arrival-rate", type=float, default=0.02, metavar="R",
+                   help="open-loop tenant arrival rate [jobs/s] "
+                        "(default 0.02)")
+    p.add_argument("--tenants", type=int, default=3, choices=(1, 2, 3),
+                   help="tenant mix size: 1 = open-loop only, 2 = + "
+                        "closed-loop, 3 = + bursty (default 3)")
+    p.add_argument("--dispatch", default="static-block",
+                   choices=[i.name for i in available_dispatch_policies()],
+                   help="blade-selection policy (default static-block)")
+    p.add_argument("--scheduler", default="mgps",
+                   choices=available_blade_schedulers(),
+                   help="blade-level scheduler for each job bag "
+                        "(default mgps)")
+    p.add_argument("--autoscale", action="store_true",
+                   help="enable the utilization-feedback fleet autoscaler "
+                        "(start at --min-blades instead of --max-blades)")
+    p.add_argument("--min-blades", type=int, default=2)
+    p.add_argument("--max-blades", type=int, default=4)
+    p.add_argument("--queue-capacity", type=int, default=64, metavar="N",
+                   help="admission bound on jobs in the system "
+                        "(default 64)")
+    p.add_argument("--batch-max", type=int, default=1, metavar="N",
+                   help="max same-template jobs fused per dispatch "
+                        "(default 1 = no batching)")
+    p.add_argument("--kill-blade", action="append", default=[],
+                   metavar="BLADE:TIME",
+                   help="kill blade index at simulated time (seconds); "
+                        "queued and running jobs fail over, repeatable")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--json", action="store_true",
+                   help="emit the full deterministic run record as JSON")
+    p.add_argument("--report", metavar="PATH", default=None,
+                   help="also write the self-contained HTML report "
+                        "(includes the serving lane)")
+    add_trace_flag(p)
+
+    p = sub.add_parser(
         "bench",
         help="run the tracked scheduler benchmark ladder",
         description=(
             "Measure the four headline schedulers on the tracked "
             "Figure-8-style workload, plus the fault-handling overhead "
-            "scenarios.  --check diffs the measurement against the "
-            "committed BENCH_*.json baselines (the regression gate); "
-            "--write refreshes BENCH_core.json and BENCH_faults.json."
+            "scenarios and the serving-layer SLO grid.  --check diffs "
+            "the measurement against the committed BENCH_*.json "
+            "baselines (the regression gate); --write refreshes "
+            "BENCH_core.json, BENCH_faults.json and BENCH_serve.json."
         ),
     )
     p.add_argument("--check", action="store_true",
                    help="diff against committed baselines; exit non-zero "
                         "on drift")
     p.add_argument("--write", action="store_true",
-                   help="rewrite BENCH_core.json and BENCH_faults.json "
-                        "at the repo root")
+                   help="rewrite BENCH_core.json, BENCH_faults.json and "
+                        "BENCH_serve.json at the repo root")
 
     return parser
 
@@ -354,6 +417,29 @@ def _run_observed(
 ):
     """One representative run of ``scenario`` with tracer + metrics on."""
     from .cell.params import BladeParams
+
+    if scenario == "serve":
+        # The serving layer has its own workload model; bootstraps/tasks
+        # and --llp-schedule don't apply to the representative run.
+        from types import SimpleNamespace
+
+        from .serve import ServeConfig, default_tenants, run_service
+
+        tracer = Tracer(enabled=True)
+        metrics = MetricsRegistry()
+        cfg = ServeConfig(tenants=default_tenants(), seed=seed)
+        res = run_service(cfg, tracer=tracer, metrics=metrics)
+        util = (sum(b["utilization"] for b in res.per_blade)
+                / max(1, len(res.per_blade)))
+        shim = SimpleNamespace(
+            scheduler=f"{cfg.scheduler} (serving, {cfg.dispatch})",
+            makespan=res.makespan,
+            spe_utilization=util,
+            offloads=res.summary["completed"],
+            ppe_fallbacks=0,
+            llp_invocations=0,
+        )
+        return tracer, metrics, shim
 
     spec, n_cells = _scenario_spec(scenario)
     spec = _apply_llp_schedule(spec, llp_schedule)
@@ -685,6 +771,70 @@ def main(argv: Optional[List[str]] = None) -> int:
                   f"(digest {faulty.result_digest[:16]}...)")
         if not digests_match:
             return 1
+    elif args.command == "serve":
+        from .serve import (
+            BladeKill,
+            FleetFaultPlan,
+            ServeConfig,
+            default_tenants,
+            run_service,
+        )
+
+        kills = []
+        for text in args.kill_blade:
+            try:
+                left, right = text.split(":", 1)
+                kills.append(BladeKill(blade=int(left), at=float(right)))
+            except ValueError:
+                print(f"repro serve: error: --kill-blade expects "
+                      f"BLADE:TIME, got {text!r}", file=sys.stderr)
+                return 2
+        tracer = Tracer(enabled=True)
+        metrics = MetricsRegistry()
+        try:
+            cfg = ServeConfig(
+                tenants=default_tenants(arrival_rate=args.arrival_rate,
+                                        n_tenants=args.tenants),
+                duration_s=args.duration,
+                seed=args.seed,
+                dispatch=args.dispatch,
+                scheduler=args.scheduler,
+                min_blades=args.min_blades,
+                max_blades=args.max_blades,
+                autoscale=args.autoscale,
+                queue_capacity=args.queue_capacity,
+                batch_max=args.batch_max,
+                faults=FleetFaultPlan(kills=tuple(kills)) if kills else None,
+            )
+        except ValueError as exc:
+            print(f"repro serve: error: {exc}", file=sys.stderr)
+            return 2
+        result = run_service(cfg, tracer=tracer, metrics=metrics)
+        own_traces["serve"] = tracer
+        if args.json:
+            print(result.to_json())
+        else:
+            print(result.summary_text())
+        if args.report:
+            import pathlib
+
+            from .obs import analyze_run, write_report
+
+            if not pathlib.Path(args.report).parent.is_dir():
+                print(f"repro serve: error: directory of {args.report!r} "
+                      f"does not exist", file=sys.stderr)
+                return 2
+            findings = analyze_run(tracer, metrics)
+            write_report(
+                args.report, tracer, metrics, findings,
+                title=f"serve: {cfg.dispatch} dispatch, "
+                      f"{cfg.scheduler} blades",
+                subtitle=f"{len(cfg.tenants)} tenants, horizon "
+                         f"{cfg.duration_s:g} s, seed {cfg.seed} — "
+                         f"drained at {result.makespan:.2f} s",
+            )
+            print(f"wrote report to {args.report} ({len(findings)} "
+                  f"finding(s); self-contained, open in any browser)")
     elif args.command == "run":
         from collections import Counter
 
@@ -742,17 +892,28 @@ def main(argv: Optional[List[str]] = None) -> int:
               f"faulty slowdown {fa['slowdown_ratio']:.2f}x "
               f"({fa['offload_retries']:.0f} retries, "
               f"{fa['live_spes']:.0f} live SPEs)")
+        current_serve = obs_bench.measure_serve()
+        for pol, cells in current_serve["policies"].items():
+            fixed = cells["fixed"]
+            print(f"{'serve/' + pol:>24}: p99 {fixed['latency_p99_s']:6.1f} s, "
+                  f"goodput {fixed['goodput_jps'] * 3600:5.1f} jobs/h, "
+                  f"{fixed['completed']:3d} jobs "
+                  f"(autoscale p99 {cells['autoscale']['latency_p99_s']:.1f} s)")
+        print(f"      serve: cross-policy digests "
+              f"{'identical' if current_serve['digests_identical'] else 'DIVERGED'}")
         if args.write:
             root = obs_bench.find_repo_root()
             for fname, payload in (
                 (obs_bench.CORE_BASELINE, current),
                 (obs_bench.FAULTS_BASELINE, current_faults),
+                (obs_bench.SERVE_BASELINE, current_serve),
             ):
                 path = obs_bench.write_baseline(root, fname, payload)
                 print(f"wrote {path}")
         if args.check:
             ok, report = obs_bench.check_baselines(
-                current_core=current, current_faults=current_faults
+                current_core=current, current_faults=current_faults,
+                current_serve=current_serve,
             )
             print(report)
             if not ok:

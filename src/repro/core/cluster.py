@@ -7,14 +7,19 @@ bootstraps in as few Cells as possible.  With 100 bootstraps, MGPS with
 multigrain (EDTLP-LLP) parallelism will outperform plain EDTLP if the
 bootstraps are distributed between four or more dual-Cell blades."
 
-A cluster here is N independent blades fed by a static block
-distribution of the bootstrap bag (standard MPI practice across nodes);
-each blade is simulated exactly as in :func:`run_experiment` and the
-cluster makespan is the slowest blade's.
+A cluster here is N independent blades fed by an offline partition of
+the bootstrap bag; each blade is simulated exactly as in
+:func:`run_experiment` and the cluster makespan is the slowest blade's.
+The partition comes from the fleet dispatch-policy registry
+(:mod:`repro.serve.dispatch`) so the offline driver and the online
+serving layer agree on what "static-block", "work-stealing" etc. mean;
+the default ``static-block`` reproduces the historical contiguous block
+distribution bit for bit.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import List, Tuple
 
@@ -30,14 +35,21 @@ __all__ = ["ClusterResult", "distribute_bootstraps", "run_cluster_experiment"]
 def distribute_bootstraps(total: int, n_blades: int) -> List[int]:
     """Block-distribute ``total`` bootstraps over ``n_blades`` blades.
 
-    Earlier blades take the remainder (sizes differ by at most one).
+    .. deprecated::
+        Thin wrapper kept for callers of the original API; the layout
+        now lives in the dispatch registry as the ``static-block``
+        policy's partition (:func:`repro.serve.dispatch.block_partition`).
+        Earlier blades take the remainder (sizes differ by at most one).
     """
-    if total < 1 or n_blades < 1:
-        raise ValueError("need positive totals")
-    if n_blades > total:
-        raise ValueError("more blades than bootstraps")
-    base, extra = divmod(total, n_blades)
-    return [base + (1 if i < extra else 0) for i in range(n_blades)]
+    from ..serve.dispatch import block_partition
+
+    warnings.warn(
+        "distribute_bootstraps is deprecated; resolve the 'static-block' "
+        "dispatch policy and use its partition() instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return [len(block) for block in block_partition(total, n_blades)]
 
 
 @dataclass(frozen=True)
@@ -49,6 +61,7 @@ class ClusterResult:
     n_blades: int
     makespan: float                      # slowest blade, paper-scale seconds
     per_blade: Tuple[ScheduleResult, ...]
+    dispatch: str = "static-block"
 
     @property
     def mean_spe_utilization(self) -> float:
@@ -68,6 +81,7 @@ def run_cluster_experiment(
     blade: BladeParams = BladeParams(n_cells=2),
     tasks_per_bootstrap: int = 200,
     seed: int = 0,
+    dispatch: str = "static-block",
 ) -> ClusterResult:
     """Simulate ``total_bootstraps`` spread over ``n_blades`` blades.
 
@@ -75,12 +89,21 @@ def run_cluster_experiment(
     bootstrap blocks up front), so the cluster makespan is the maximum
     blade makespan.  Per-blade workloads draw distinct trace seeds so no
     two blades see identical jitter.
+
+    ``dispatch`` selects the partition from the fleet dispatch registry
+    (see :func:`repro.serve.dispatch.available_dispatch_policies`); the
+    default ``static-block`` is the historical contiguous layout.
     """
-    counts = distribute_bootstraps(total_bootstraps, n_blades)
+    # Imported lazily: repro.core loads before repro.serve during package
+    # initialization, and serve's fleet module imports back into core.
+    from ..serve.dispatch import resolve_dispatch
+
+    policy = resolve_dispatch(dispatch).factory()
+    blocks = policy.partition(total_bootstraps, n_blades)
     results: List[ScheduleResult] = []
-    for blade_id, b in enumerate(counts):
+    for blade_id, block in enumerate(blocks):
         wl = Workload(
-            bootstraps=b,
+            bootstraps=len(block),
             tasks_per_bootstrap=tasks_per_bootstrap,
             seed=seed + 104729 * blade_id,
         )
@@ -91,4 +114,5 @@ def run_cluster_experiment(
         n_blades=n_blades,
         makespan=max(r.makespan for r in results),
         per_blade=tuple(results),
+        dispatch=dispatch,
     )

@@ -21,14 +21,18 @@ __all__ = ["ResultLedger", "ScheduleResult"]
 class ResultLedger:
     """Chained per-bootstrap digest of executed application work.
 
-    Each bootstrap (keyed by the owning process rank and bootstrap id)
-    accumulates a running SHA-256 over the content of every task it
-    completes, in the order the owning process completes them — which is
-    deterministic per bootstrap because one process drives one bootstrap
-    sequentially.  The run digest hashes the *sorted* per-bootstrap
-    digests, so interleaving between processes (which faults do change)
-    cannot affect it, while any lost, duplicated, or corrupted task
-    does.
+    Each bootstrap (keyed by its identity — the trace index — plus the
+    owning process rank while open) accumulates a running SHA-256 over
+    the content of every task it completes, in the order the owning
+    process completes them — which is deterministic per bootstrap
+    because one process drives one bootstrap sequentially.  The run
+    digest hashes the *sorted* per-bootstrap digests keyed by bootstrap
+    identity only: which rank, blade, or arrival order executed a
+    bootstrap cannot affect it, while any lost, duplicated, or
+    corrupted task does.  This rank-independence is what lets a serving
+    fleet compare digests across dispatch policies (a job executed on
+    any blade, in any order, under any process count yields the same
+    digest).
     """
 
     def __init__(self) -> None:
@@ -70,11 +74,23 @@ class ResultLedger:
     def open_bootstraps(self) -> int:
         return len(self._open)
 
+    def bootstrap_digests(self) -> Tuple[Tuple[int, str], ...]:
+        """``(bootstrap, digest)`` pairs sorted by bootstrap identity.
+
+        The executing rank is deliberately absent: the per-bootstrap
+        digest is a pure function of the bootstrap's trace, so the same
+        bootstrap bag produces the same pairs under any scheduler,
+        process count, blade, or arrival order.
+        """
+        return tuple(sorted(
+            (key[1], digest) for key, digest in self._done.items()
+        ))
+
     def run_digest(self) -> str:
-        """Order-insensitive digest over all completed bootstraps."""
+        """Order- and rank-insensitive digest over completed bootstraps."""
         h = hashlib.sha256()
-        for key in sorted(self._done):
-            h.update(f"{key[0]}:{key[1]}:{self._done[key]}".encode())
+        for bootstrap, digest in self.bootstrap_digests():
+            h.update(f"{bootstrap}:{digest}".encode())
         return h.hexdigest()
 
 
@@ -111,6 +127,10 @@ class ScheduleResult:
     # bootstraps.
     result_digest: str = ""
     bootstraps_completed: int = 0
+    # Per-bootstrap ``(identity, digest)`` pairs from the ledger, sorted
+    # by identity.  The serving layer uses these to attribute digests to
+    # individual jobs independently of which blade/rank executed them.
+    bootstrap_digests: Tuple[Tuple[int, str], ...] = ()
 
     @property
     def throughput(self) -> float:

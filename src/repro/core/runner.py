@@ -195,6 +195,7 @@ def run_experiment(
         extras=extras,
         result_digest=runtime.ledger.run_digest(),
         bootstraps_completed=runtime.ledger.completed,
+        bootstrap_digests=runtime.ledger.bootstrap_digests(),
     )
 
 
@@ -287,6 +288,7 @@ def run_bsp_experiment(
         },
         result_digest=runtime.ledger.run_digest(),
         bootstraps_completed=runtime.ledger.completed,
+        bootstrap_digests=runtime.ledger.bootstrap_digests(),
     )
 
 

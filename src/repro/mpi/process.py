@@ -36,8 +36,13 @@ def mpi_worker(
         index = yield dispenser.get()
         if index is None:
             return completed
-        runtime.note_bootstrap_start(ctx, index)
         trace = workload.trace(index)
+        # The ledger keys on the trace's own identity (``trace.index``),
+        # not the dispenser's positional index, so a trace carried into
+        # a different bag (serving batches, failover re-execution) keeps
+        # its digest.  For a plain Workload the two coincide.
+        identity = trace.index
+        runtime.note_bootstrap_start(ctx, identity)
         for item in trace.items:
             if item.ppe_gap > 0:
                 yield ctx.thread.run(item.ppe_gap)
@@ -48,7 +53,7 @@ def mpi_worker(
             runtime.note_task_complete(ctx, item.task)
         if trace.tail_ppe > 0:
             yield ctx.thread.run(trace.tail_ppe)
-        runtime.note_bootstrap_end(ctx, index)
+        runtime.note_bootstrap_end(ctx, identity)
         completed += 1
 
 

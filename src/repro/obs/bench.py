@@ -6,7 +6,12 @@ The repo keeps two committed baseline files at its root:
   schedulers (serial, EDTLP, static EDTLP-LLP, MGPS) on a Figure-8-style
   workload, written by ``benchmarks/bench_schedulers.py``;
 * ``BENCH_obs.json`` — the observability-overhead summary, written by
-  ``benchmarks/bench_obs_overhead.py``.
+  ``benchmarks/bench_obs_overhead.py``;
+* ``BENCH_faults.json`` — the fault-tolerance ladder, written by
+  ``benchmarks/bench_faults.py``;
+* ``BENCH_serve.json`` — serving-layer SLOs (tail latency, goodput,
+  rejection rate) per dispatch policy with and without autoscaling,
+  written by ``benchmarks/bench_serve.py``.
 
 Simulated quantities are deterministic (same seed, same arithmetic), so
 a drift in any non-``_wall`` field is a real behavior change — that is
@@ -35,14 +40,17 @@ __all__ = [
     "CORE_BASELINE",
     "OBS_BASELINE",
     "FAULTS_BASELINE",
+    "SERVE_BASELINE",
     "REQUIRED_CORE_KEYS",
     "REQUIRED_OBS_KEYS",
     "REQUIRED_FAULTS_KEYS",
+    "REQUIRED_SERVE_KEYS",
     "DEFAULT_TOLERANCES",
     "find_repo_root",
     "core_schedulers",
     "measure_core",
     "measure_faults",
+    "measure_serve",
     "stable_payload",
     "write_baseline",
     "flatten",
@@ -53,6 +61,7 @@ __all__ = [
 CORE_BASELINE = "BENCH_core.json"
 OBS_BASELINE = "BENCH_obs.json"
 FAULTS_BASELINE = "BENCH_faults.json"
+SERVE_BASELINE = "BENCH_serve.json"
 
 # The workload every tracked benchmark shares (Figure-8-style: few
 # bootstraps, many tasks -> MGPS must fall back on loop parallelism).
@@ -76,6 +85,16 @@ REQUIRED_OBS_KEYS = (
     "on_over_off_ratio_wall",
     "metrics_over_off_ratio_wall",
 )
+REQUIRED_SERVE_KEYS = (
+    "workload",
+    "policies",
+    "digests_identical",
+)
+
+# The serving grid: every tracked dispatch policy, elastic and fixed.
+SERVE_POLICIES = ("static-block", "least-loaded", "work-stealing")
+SERVE_DURATION_S = 1800.0
+SERVE_ARRIVAL_RATE = 0.05
 
 # Relative tolerance per flattened metric path suffix.  Simulated values
 # are bit-deterministic, but rounding through ``stable_round`` and JSON
@@ -269,6 +288,89 @@ def measure_faults(
     }
 
 
+def measure_serve(
+    seed: int = SEED,
+    duration_s: float = SERVE_DURATION_S,
+    arrival_rate: float = SERVE_ARRIVAL_RATE,
+    time_source=time.perf_counter,
+) -> Dict[str, Any]:
+    """Run the serving grid; returns the ``BENCH_serve`` payload.
+
+    One run per (dispatch policy, elasticity) cell on the default tenant
+    mix, recording tail latency, goodput and rejection accounting, plus
+    one digest-invariance sweep: with open-loop tenants (identical
+    submission sets per policy), every dispatch policy must produce
+    bit-identical per-job digest maps — ``digests_identical`` is that
+    invariant.  All fields are deterministic except ``seconds_wall``.
+    """
+    from ..serve import ServeConfig, default_tenants, run_service
+
+    tenants = default_tenants(arrival_rate=arrival_rate)
+    policies: Dict[str, Dict[str, Any]] = {}
+    for dispatch in SERVE_POLICIES:
+        cells: Dict[str, Any] = {}
+        for label, autoscale in (("fixed", False), ("autoscale", True)):
+            cfg = ServeConfig(
+                tenants=tenants,
+                duration_s=duration_s,
+                seed=seed,
+                dispatch=dispatch,
+                autoscale=autoscale,
+            )
+            t0 = time_source()
+            result = run_service(cfg)
+            wall = time_source() - t0
+            s = result.summary
+            ups = sum(1 for _t, d, _n in result.autoscaler_events if d == "up")
+            downs = sum(
+                1 for _t, d, _n in result.autoscaler_events if d == "down"
+            )
+            cells[label] = {
+                "completed": s["completed"],
+                "rejected": s["rejected"],
+                "deadline_misses": s["deadline_misses"],
+                "latency_p50_s": s["latency_p50_s"],
+                "latency_p95_s": s["latency_p95_s"],
+                "latency_p99_s": s["latency_p99_s"],
+                "goodput_jps": s["goodput_jps"],
+                "rejection_rate": s["rejection_rate"],
+                "makespan_s": result.makespan,
+                "scale_ups": ups,
+                "scale_downs": downs,
+                "seconds_wall": wall,
+            }
+        policies[dispatch] = cells
+
+    # Digest invariance: open-loop tenants only, so the submission sets
+    # (and hence the digest-map key sets) are identical across policies
+    # and the full maps must match key for key.  Closed-loop tenants
+    # would only shrink/grow the key set, never change a shared key's
+    # digest — the stricter full-map equality is the better gate.
+    open_loop = tuple(t for t in tenants if t.arrival != "closed")
+    digest_maps = []
+    for dispatch in SERVE_POLICIES:
+        cfg = ServeConfig(
+            tenants=open_loop,
+            duration_s=duration_s,
+            seed=seed,
+            dispatch=dispatch,
+            autoscale=False,
+        )
+        digest_maps.append(run_service(cfg).digest_map())
+    digests_identical = all(m == digest_maps[0] for m in digest_maps[1:])
+
+    return {
+        "workload": {
+            "seed": seed,
+            "duration_s": duration_s,
+            "arrival_rate": arrival_rate,
+            "tenants": [t.name for t in tenants],
+        },
+        "policies": policies,
+        "digests_identical": digests_identical,
+    }
+
+
 def stable_payload(payload: Any) -> Any:
     """Diff-stable form: sorted keys, rounded floats, ``_wall`` verbatim.
 
@@ -401,6 +503,7 @@ def check_baselines(
     root: Optional[pathlib.Path] = None,
     current_core: Optional[Dict[str, Any]] = None,
     current_faults: Optional[Dict[str, Any]] = None,
+    current_serve: Optional[Dict[str, Any]] = None,
 ) -> Tuple[bool, str]:
     """The regression gate: committed baselines vs a fresh measurement.
 
@@ -408,8 +511,10 @@ def check_baselines(
     existing measurement), diffs it against ``BENCH_core.json``,
     cross-checks ``BENCH_obs.json``'s deterministic fields against the
     same run — both files describe the identical workload, so their
-    MGPS makespans must agree — and diffs a fresh
-    :func:`measure_faults` against ``BENCH_faults.json``.  Returns
+    MGPS makespans must agree — and diffs fresh
+    :func:`measure_faults` / :func:`measure_serve` runs against
+    ``BENCH_faults.json`` / ``BENCH_serve.json`` (the latter also
+    re-asserts cross-policy digest identity).  Returns
     ``(ok, report_text)``.
     """
     root = pathlib.Path(root) if root is not None else find_repo_root()
@@ -506,4 +611,43 @@ def check_baselines(
                         f"results diverged from the fault-free run"
                     )
                     ok = False
+
+    serve_path = root / SERVE_BASELINE
+    if not serve_path.exists():
+        lines.append(f"bench: missing baseline {serve_path}")
+        ok = False
+    else:
+        serve_base = _load(serve_path)
+        missing = [k for k in REQUIRED_SERVE_KEYS if k not in serve_base]
+        if missing:
+            lines.append(
+                f"bench: {SERVE_BASELINE} lacks required keys {missing}"
+            )
+            ok = False
+        else:
+            scur = current_serve or measure_serve(
+                seed=serve_base["workload"].get("seed", SEED),
+                duration_s=serve_base["workload"].get(
+                    "duration_s", SERVE_DURATION_S
+                ),
+                arrival_rate=serve_base["workload"].get(
+                    "arrival_rate", SERVE_ARRIVAL_RATE
+                ),
+            )
+            sviol = compare(scur, serve_base)
+            if sviol:
+                lines.append(f"bench: {SERVE_BASELINE} drifted")
+                lines.append(render_violations(sviol))
+                ok = False
+            else:
+                lines.append(
+                    f"bench: {SERVE_BASELINE} OK (serving SLO grid within "
+                    f"tolerance)"
+                )
+            if not scur.get("digests_identical", False):
+                lines.append(
+                    f"bench: {SERVE_BASELINE}: per-job digests diverged "
+                    f"across dispatch policies"
+                )
+                ok = False
     return bool(ok), "\n".join(lines)

@@ -24,6 +24,10 @@ fault-storm       injected faults forced a high ratio of retried off-load
                   attempts (the tolerance machinery is saturating)
 degraded-capacity SPEs were lost to kills or blacklisting; critical when
                   no SPE survived and everything ran on the PPE
+queue-saturation  the serving front-end shed a high fraction of offered
+                  jobs, or its queues ran near the admission bound for
+                  much of the run (inert unless a serving run recorded
+                  arrivals)
 ================  ===========================================================
 
 Findings are structured (:class:`HealthFinding`) so CI can assert on them
@@ -194,6 +198,14 @@ class MonitorConfig:
     # tolerance machinery is absorbing a storm rather than stray faults.
     storm_retry_ratio: float = 0.25
     storm_min_events: int = 8
+    # queue-saturation: fires when rejected/arrivals exceeds
+    # queue_rejection_ratio, or the p90 of the serving queue-depth
+    # histogram reaches queue_depth_ratio x the admission bound.  Needs
+    # at least queue_min_arrivals offered jobs; a run with no serving
+    # metrics never fires it.
+    queue_rejection_ratio: float = 0.1
+    queue_depth_ratio: float = 0.8
+    queue_min_arrivals: int = 20
 
     def with_(self, **kwargs: Any) -> "MonitorConfig":
         return replace(self, **kwargs)
@@ -499,6 +511,52 @@ class HealthMonitor:
             },
         ))
 
+    def _detect_queue_saturation(
+        self, tracer, registry, findings: List[HealthFinding]
+    ) -> None:
+        cfg = self.config
+        arrivals = _registry_value(registry, "serve.arrivals")
+        if arrivals < cfg.queue_min_arrivals:
+            return  # not a serving run (or too few jobs to judge)
+        rejected = _registry_value(registry, "serve.rejected")
+        ratio = rejected / arrivals
+        capacity = _registry_value(registry, "serve.queue_capacity")
+        depth = registry.get("serve.queue_depth") if registry is not None else None
+        depth_p90 = (
+            float(depth.percentile(90))
+            if depth is not None and getattr(depth, "count", 0) else 0.0
+        )
+        depth_hot = (
+            capacity > 0 and depth_p90 >= cfg.queue_depth_ratio * capacity
+        )
+        shedding = ratio > cfg.queue_rejection_ratio
+        if not shedding and not depth_hot:
+            return
+        findings.append(HealthFinding(
+            detector="queue-saturation",
+            severity="critical" if shedding else "warning",
+            summary=(
+                f"the serving front-end shed {rejected:.0f} of "
+                f"{arrivals:.0f} offered jobs ({ratio:.0%}) "
+                + (
+                    f"and queue depth p90 {depth_p90:.0f} ran at "
+                    f">= {cfg.queue_depth_ratio:.0%} of the admission "
+                    f"bound {capacity:.0f}"
+                    if depth_hot
+                    else f"(rejection threshold "
+                    f"{cfg.queue_rejection_ratio:.0%})"
+                )
+            ),
+            evidence={
+                "arrivals": arrivals,
+                "rejected": rejected,
+                "rejection_ratio": round(ratio, 4),
+                "queue_depth_p90": round(depth_p90, 2),
+                "queue_capacity": capacity,
+                "threshold": cfg.queue_rejection_ratio,
+            },
+        ))
+
     # -- entry point ------------------------------------------------------
     def analyze(self, tracer: Optional[Tracer], registry) -> List[HealthFinding]:
         """All findings for one run, in detector-catalogue order."""
@@ -510,6 +568,7 @@ class HealthMonitor:
         self._detect_granularity_churn(tracer, registry, findings)
         self._detect_fault_storm(tracer, registry, findings)
         self._detect_degraded_capacity(tracer, registry, findings)
+        self._detect_queue_saturation(tracer, registry, findings)
         return findings
 
 

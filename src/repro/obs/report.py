@@ -15,6 +15,10 @@ decade later.  Sections (each with a stable anchor, asserted by tests):
 * ``#latency`` — off-load dispatch-to-completion latency histogram;
 * ``#llp-adaptation`` — the master chunk fraction per loop invocation
   (the adaptive-unbalancing trajectory);
+* ``#serving`` — the serving lane: per-tenant SLO table (tail latency,
+  goodput, rejection and deadline-miss rates), job sojourn histogram
+  and fleet lifecycle events; present only when the run carried
+  ``serve.*`` metrics (``repro serve``);
 * ``#faults`` — injected faults and the runtime's recovery actions as a
   time-ordered event table (empty state when the run was fault-free).
 
@@ -30,6 +34,7 @@ from __future__ import annotations
 
 import html
 import math
+import re
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..sim.trace import Tracer
@@ -501,6 +506,142 @@ def _faults_html(tracer: Optional[Tracer], registry) -> str:
     )
 
 
+_SERVE_TENANT_RE = re.compile(
+    r'^serve\.(?P<key>latency_p50_s|latency_p95_s|latency_p99_s|'
+    r'rejection_rate|deadline_miss_rate|goodput_jps)'
+    r'\{tenant="(?P<tenant>[^"]+)"\}$'
+)
+
+_SERVE_OPS_EVENTS = {
+    "scale-up": "autoscaler activated one more blade",
+    "scale-down": "autoscaler drained and parked one blade",
+    "blade-kill": "node fault: blade died",
+    "failover": "orphaned jobs re-dispatched to surviving blades",
+    "lost": "job lost to total fleet failure",
+}
+
+
+def _serve_latency_svg(registry) -> str:
+    hist = registry.get("serve.latency_s") if registry else None
+    if hist is None or getattr(hist, "count", 0) == 0:
+        return '<p class="empty">No completed jobs recorded.</p>'
+    snap = hist.snapshot()
+    buckets = snap["buckets"]
+    if not buckets:
+        return '<p class="empty">No completed jobs recorded.</p>'
+    plot_h = 180
+    n = len(buckets)
+    max_count = max(c for _b, c in buckets)
+    grid, _sx, sy = _grid_and_axes(
+        plot_h, 0, n, 0, max_count,
+        "sojourn bucket [s, upper bound]", "jobs",
+        x_ticks=False,
+    )
+    plot_w = _W - _PAD_L - _PAD_R
+    slot = plot_w / n
+    bar_w = min(24.0, slot - 2.0)  # 2px surface gap between bars
+    parts = [grid]
+    for i, (bound, count) in enumerate(buckets):
+        x = _PAD_L + i * slot + (slot - bar_w) / 2
+        y = sy(count)
+        h = _PAD_T + plot_h - y
+        r = min(4.0, h / 2, bar_w / 2)
+        label = "+inf" if bound == "+inf" else _fmt(float(bound))
+        parts.append(
+            f'<path class="s2" d="M{x:.1f},{_PAD_T + plot_h:.1f} '
+            f'V{y + r:.1f} Q{x:.1f},{y:.1f} {x + r:.1f},{y:.1f} '
+            f'H{x + bar_w - r:.1f} Q{x + bar_w:.1f},{y:.1f} '
+            f'{x + bar_w:.1f},{y + r:.1f} V{_PAD_T + plot_h:.1f} Z">'
+            f'<title>&#8804; {_esc(label)} s: {count} jobs</title>'
+            f'</path>'
+        )
+        parts.append(
+            f'<text class="tick" x="{x + bar_w / 2:.1f}" '
+            f'y="{_PAD_T + plot_h + 14}" text-anchor="middle">'
+            f'{_esc(label)}</text>'
+        )
+    height = _PAD_T + plot_h + _PAD_B
+    return (f'<svg viewBox="0 0 {_W} {height}" role="img" '
+            f'aria-label="Job sojourn time histogram">{"".join(parts)}</svg>')
+
+
+def _serving_html(tracer: Optional[Tracer], registry) -> Optional[str]:
+    """The serving lane, or None when the run had no serving metrics."""
+    arrivals = _value(registry, "serve.arrivals")
+    if arrivals <= 0:
+        return None
+    headline = [
+        ("offered", _fmt(arrivals)),
+        ("admitted", _fmt(_value(registry, "serve.admitted"))),
+        ("rejected", _fmt(_value(registry, "serve.rejected"))),
+        ("completed", _fmt(_value(registry, "serve.completed"))),
+        ("p50", f"{_value(registry, 'serve.latency_p50_s'):.1f} s"),
+        ("p95", f"{_value(registry, 'serve.latency_p95_s'):.1f} s"),
+        ("p99", f"{_value(registry, 'serve.latency_p99_s'):.1f} s"),
+        ("goodput", f"{_value(registry, 'serve.goodput_jps') * 3600:.1f} jobs/h"),
+        ("rejection rate", f"{_value(registry, 'serve.rejection_rate'):.1%}"),
+        ("deadline misses", _fmt(_value(registry, "serve.deadline_misses"))),
+        ("failovers", _fmt(_value(registry, "serve.failovers"))),
+        ("active blades", _fmt(_value(registry, "serve.active_blades"))),
+    ]
+    note = " &#183; ".join(f"{_esc(k)} {_esc(v)}" for k, v in headline)
+    parts = [f'<p class="chart-note">{note}</p>',
+             _serve_latency_svg(registry)]
+    # Per-tenant SLO table from the labeled summary gauges.
+    tenants: Dict[str, Dict[str, float]] = {}
+    if registry is not None:
+        for name in registry.names():
+            m = _SERVE_TENANT_RE.match(name)
+            if m:
+                tenants.setdefault(m.group("tenant"), {})[m.group("key")] = (
+                    float(registry.get(name).value)
+                )
+    if tenants:
+        rows = []
+        for tenant in sorted(tenants):
+            t = tenants[tenant]
+            rows.append(
+                f'<tr><td class="mono">{_esc(tenant)}</td>'
+                f'<td class="mono">{t.get("latency_p50_s", 0):.1f}</td>'
+                f'<td class="mono">{t.get("latency_p95_s", 0):.1f}</td>'
+                f'<td class="mono">{t.get("latency_p99_s", 0):.1f}</td>'
+                f'<td class="mono">{t.get("goodput_jps", 0) * 3600:.1f}</td>'
+                f'<td class="mono">{t.get("rejection_rate", 0):.1%}</td>'
+                f'<td class="mono">{t.get("deadline_miss_rate", 0):.1%}</td>'
+                f'</tr>'
+            )
+        parts.append(
+            '<table><thead><tr><th>tenant</th><th>p50 [s]</th>'
+            '<th>p95 [s]</th><th>p99 [s]</th><th>goodput [jobs/h]</th>'
+            '<th>rejected</th><th>deadline misses</th></tr></thead>'
+            f'<tbody>{"".join(rows)}</tbody></table>'
+        )
+    # Fleet lifecycle events (scaling, node deaths, failover).
+    ops = [
+        r for r in (tracer.records if tracer is not None else ())
+        if r.category == "serve" and r.event in _SERVE_OPS_EVENTS
+    ]
+    if ops:
+        rows = []
+        for r in ops[:200]:
+            detail = "; ".join(f"{k}={v}" for k, v in sorted(r.data))
+            chip = ("critical" if r.event in ("blade-kill", "lost")
+                    else "warning")
+            rows.append(
+                f'<tr><td class="mono">{r.time:.1f} s</td>'
+                f'<td><span class="chip {chip}">{_esc(r.event)}</span></td>'
+                f'<td class="mono">{_esc(r.actor)}</td>'
+                f'<td>{_esc(_SERVE_OPS_EVENTS[r.event])}'
+                f'<div class="evidence">{_esc(detail)}</div></td></tr>'
+            )
+        parts.append(
+            '<table><thead><tr><th>time</th><th>event</th><th>actor</th>'
+            '<th>detail</th></tr></thead>'
+            f'<tbody>{"".join(rows)}</tbody></table>'
+        )
+    return "".join(parts)
+
+
 def _findings_table(findings: Sequence[HealthFinding]) -> str:
     if not findings:
         return ('<p class="ok"><span class="chip good">&#10003; OK</span> '
@@ -644,8 +785,13 @@ def render_report(
          "LLP adaptive unbalancing",
          _llp_schedule_note(tracer)
          + _adaptation_svg(_adaptation_series(tracer))),
-        ("faults", "Faults and recovery", _faults_html(tracer, registry)),
     ]
+    serving = _serving_html(tracer, registry)
+    if serving is not None:
+        sections.append(("serving", "Serving layer", serving))
+    sections.append(
+        ("faults", "Faults and recovery", _faults_html(tracer, registry))
+    )
     body = "".join(
         f'<section id="{sid}"><h2>{_esc(heading)}</h2>{content}</section>'
         for sid, heading, content in sections

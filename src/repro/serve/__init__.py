@@ -1,0 +1,85 @@
+"""Online serving layer: a multi-tenant job service over a blade fleet.
+
+The offline experiments answer "how fast does one bag of bootstraps
+finish?".  This package asks the production question on top of the same
+simulator: many tenants *stream* phylogenetic jobs at a fleet of Cell
+blades, and the operator cares about admission, tail latency, deadlines,
+elasticity and node failure — not just makespan.
+
+Layers (client to metal):
+
+* :mod:`~repro.serve.generators` — open-loop Poisson, closed-loop
+  think-time and bursty tenants (:class:`TenantSpec`,
+  :class:`JobTemplate`);
+* :mod:`~repro.serve.admission` — token buckets, the bounded system
+  queue and priority/deadline ordering (:class:`FrontEnd`);
+* :mod:`~repro.serve.dispatch` — the blade-selection policy registry
+  (static-block, least-loaded, join-shortest-queue, work-stealing);
+* :mod:`~repro.serve.fleet` — per-blade state, memoized job compilation
+  through :func:`~repro.core.runner.run_experiment`, and node-level
+  fault plans (:class:`FleetFaultPlan`);
+* :mod:`~repro.serve.autoscaler` — the MGPS-style utilization feedback
+  loop resizing the active blade set;
+* :mod:`~repro.serve.slo` — per-tenant latency percentiles, goodput,
+  rejection and deadline-miss accounting;
+* :mod:`~repro.serve.service` — :func:`run_service`, tying it together.
+"""
+
+from .admission import DispatchUnit, FrontEnd, TokenBucket
+from .autoscaler import Autoscaler, AutoscalerConfig
+from .dispatch import (
+    DispatchInfo,
+    DispatchPolicy,
+    available_dispatch_policies,
+    block_partition,
+    register_dispatch,
+    resolve_dispatch,
+)
+from .fleet import (
+    BladeKill,
+    BladeState,
+    CompiledJob,
+    FleetFaultPlan,
+    JobCompiler,
+    scheduler_by_name,
+)
+from .jobs import Job, JobTemplate, TenantSpec, job_seed
+from .service import (
+    ServeConfig,
+    ServeResult,
+    Service,
+    default_tenants,
+    run_service,
+)
+from .slo import ServeStats, exact_percentile
+
+__all__ = [
+    "Autoscaler",
+    "AutoscalerConfig",
+    "BladeKill",
+    "BladeState",
+    "CompiledJob",
+    "DispatchInfo",
+    "DispatchPolicy",
+    "DispatchUnit",
+    "FleetFaultPlan",
+    "FrontEnd",
+    "Job",
+    "JobCompiler",
+    "JobTemplate",
+    "ServeConfig",
+    "ServeResult",
+    "ServeStats",
+    "Service",
+    "TenantSpec",
+    "TokenBucket",
+    "available_dispatch_policies",
+    "block_partition",
+    "default_tenants",
+    "exact_percentile",
+    "job_seed",
+    "register_dispatch",
+    "resolve_dispatch",
+    "run_service",
+    "scheduler_by_name",
+]

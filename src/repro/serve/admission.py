@@ -1,0 +1,185 @@
+"""Front-end admission control: token buckets, bounded queue, batching.
+
+Every submitted job passes through two gates before it may wait for a
+blade:
+
+1. a **per-tenant token bucket** (``rate_limit`` tokens/second refill,
+   ``burst`` depth, lazily refilled from simulated time) that sheds
+   tenants exceeding their contracted rate, and
+2. a **bounded system queue**: when the number of admitted-but-unfinished
+   jobs reaches ``queue_capacity`` the front-end sheds load instead of
+   letting latency grow without bound.
+
+Both sheds are *explicit*: each is recorded with a reason
+(``rate-limit`` / ``queue-full``) in the :class:`~repro.serve.slo
+.ServeStats` ledger, never silently dropped.
+
+Admitted jobs wait in a priority heap ordered by
+:meth:`~repro.serve.jobs.Job.order_key` (priority desc, deadline asc,
+FIFO).  When the dispatcher pulls, the front-end may *batch* up to
+``batch_max`` queued jobs sharing one ``(template, variant)`` bag into a
+single :class:`DispatchUnit`, amortizing per-dispatch overhead for small
+jobs.  Batch composition happens here — upstream of dispatch policy and
+faults — so a job's digest never depends on which blade ran it.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from ..sim.engine import Environment
+from .jobs import Job, TenantSpec
+from .slo import ServeStats
+
+__all__ = ["TokenBucket", "DispatchUnit", "FrontEnd"]
+
+
+class TokenBucket:
+    """Lazily refilled token bucket; one token per job."""
+
+    def __init__(self, rate: float, burst: int) -> None:
+        self.rate = rate
+        self.burst = float(burst)
+        self.tokens = float(burst)
+        self._last = 0.0
+
+    def try_take(self, now: float) -> bool:
+        if self.rate == float("inf"):
+            return True
+        self.tokens = min(self.burst, self.tokens + (now - self._last) * self.rate)
+        self._last = now
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return True
+        return False
+
+
+@dataclass
+class DispatchUnit:
+    """What actually travels to a blade: one job or a same-bag batch.
+
+    ``seq`` is the dispatch sequence number (round-robin key); members
+    share a single ``(template, variant)`` bag so the blade executes
+    them back-to-back under one dispatch overhead charge.
+    """
+
+    seq: int
+    jobs: List[Job]
+    blade: Optional[int] = None
+    attempts: int = 0
+
+    @property
+    def template(self):
+        return self.jobs[0].template
+
+    @property
+    def variant(self) -> int:
+        return self.jobs[0].variant
+
+    @property
+    def service_time(self) -> float:
+        return sum(j.service_time for j in self.jobs)
+
+    def __len__(self) -> int:
+        return len(self.jobs)
+
+
+class FrontEnd:
+    """Admission control + the central priority queue the dispatcher drains."""
+
+    def __init__(
+        self,
+        env: Environment,
+        stats: ServeStats,
+        make_job: Callable[[TenantSpec, int, str], Job],
+        queue_capacity: int = 64,
+        batch_max: int = 1,
+        tracer=None,
+    ) -> None:
+        if queue_capacity < 1:
+            raise ValueError("queue_capacity must be >= 1")
+        if batch_max < 1:
+            raise ValueError("batch_max must be >= 1")
+        self.env = env
+        self.stats = stats
+        self.make_job = make_job
+        self.queue_capacity = queue_capacity
+        self.batch_max = batch_max
+        self.tracer = tracer
+        self.in_system = 0       # admitted, not yet finished
+        self._heap: List[Tuple[Tuple[float, float, int], Job]] = []
+        self._seq = 0            # FIFO tie-breaker
+        self._unit_seq = 0       # dispatch units formed so far
+        self._buckets = {}
+        self.wake = env.event()  # re-armed by the dispatcher loop
+
+    # -- intake ------------------------------------------------------------
+    def submit(
+        self, tenant: TenantSpec, variant: int, source: str = ""
+    ) -> Optional[Job]:
+        """Admit or shed one request; returns the Job when admitted."""
+        now = self.env.now
+        self.stats.note_arrival(tenant.name)
+        bucket = self._buckets.get(tenant.name)
+        if bucket is None:
+            bucket = self._buckets[tenant.name] = TokenBucket(
+                tenant.rate_limit, tenant.burst
+            )
+        if not bucket.try_take(now):
+            self._reject(now, tenant, "rate-limit")
+            return None
+        if self.in_system >= self.queue_capacity:
+            self._reject(now, tenant, "queue-full")
+            return None
+        job = self.make_job(tenant, variant, source)
+        self.in_system += 1
+        self._seq += 1
+        heapq.heappush(self._heap, (job.order_key(self._seq), job))
+        self.stats.note_admitted(job)
+        if self.tracer is not None:
+            self.tracer.emit(now, "serve", "frontend", "admit",
+                             job=job.job_id, tenant=tenant.name,
+                             variant=variant)
+        if not self.wake.triggered:
+            self.wake.succeed()
+        return job
+
+    def _reject(self, now: float, tenant: TenantSpec, reason: str) -> None:
+        self.stats.note_rejected(now, tenant.name, reason)
+        if self.tracer is not None:
+            self.tracer.emit(now, "serve", "frontend", "reject",
+                             tenant=tenant.name, reason=reason)
+
+    def job_finished(self) -> None:
+        """Release one unit of system capacity."""
+        self.in_system -= 1
+
+    # -- outflow -----------------------------------------------------------
+    @property
+    def pending(self) -> int:
+        return len(self._heap)
+
+    def pop_unit(self) -> Optional[DispatchUnit]:
+        """Form the next dispatch unit, batching same-bag jobs if allowed."""
+        if not self._heap:
+            return None
+        _, head = heapq.heappop(self._heap)
+        jobs = [head]
+        if self.batch_max > 1:
+            keep = []
+            for entry in sorted(self._heap):
+                job = entry[1]
+                if (len(jobs) < self.batch_max
+                        and job.template is head.template
+                        and job.variant == head.variant):
+                    jobs.append(job)
+                else:
+                    keep.append(entry)
+            if len(jobs) > 1:
+                self._heap = keep
+                heapq.heapify(self._heap)
+        self._unit_seq += 1
+        self.stats.note_batch(len(jobs))
+        return DispatchUnit(seq=self._unit_seq - 1, jobs=jobs)

@@ -1,0 +1,259 @@
+"""The blade fleet: compiled jobs, per-blade state, node-level faults.
+
+A serving fleet multiplexes many small jobs over blades that each behave
+exactly like the single-blade simulator: a job's service demand and its
+result digest come from an actual :func:`~repro.core.runner
+.run_experiment` run of its bootstrap bag under the configured
+scheduler.  Because jobs are drawn from a small template × variant
+space, the :class:`JobCompiler` memoizes one blade-level run per
+distinct bag and every request referencing that bag reuses the makespan
+and digest — the serving simulation stays cheap no matter how many
+thousands of requests stream through.
+
+:class:`BladeState` is the passive per-node record (queue, liveness,
+activation, busy accounting); the serving loops in
+:mod:`repro.serve.service` drive it.  :class:`FleetFaultPlan` declares
+node-level kills (whole blades dying mid-stream), the fleet analogue of
+the SPE-level :class:`~repro.faults.FaultPlan`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..cell.params import BladeParams
+from ..core.runner import run_experiment
+from ..core.schedulers import SchedulerSpec, edtlp, linux, mgps
+from ..sim.engine import Environment
+from ..sim.events import Event
+from ..workloads.traces import Workload
+from .admission import DispatchUnit
+from .jobs import JobTemplate, job_seed
+
+__all__ = [
+    "CompiledJob",
+    "JobCompiler",
+    "BladeState",
+    "BladeKill",
+    "FleetFaultPlan",
+    "scheduler_by_name",
+    "available_blade_schedulers",
+]
+
+_SCHEDULERS = {"linux": linux, "edtlp": edtlp, "mgps": mgps}
+
+
+def scheduler_by_name(name: str) -> SchedulerSpec:
+    """Resolve a blade-level scheduler spec by registry name."""
+    try:
+        return _SCHEDULERS[name]()
+    except KeyError:
+        known = ", ".join(sorted(_SCHEDULERS))
+        raise ValueError(
+            f"unknown blade scheduler {name!r}; known schedulers: {known}"
+        ) from None
+
+
+def available_blade_schedulers() -> List[str]:
+    """Every blade-level scheduler name accepted by ServeConfig."""
+    return sorted(_SCHEDULERS)
+
+
+@dataclass(frozen=True)
+class CompiledJob:
+    """One (template, variant) bag, executed once and memoized."""
+
+    template: str
+    variant: int
+    service_time: float   # paper-scale makespan of the bag on one blade
+    digest: str           # ResultLedger run digest — the job's "answer"
+    bootstraps: int
+
+
+class JobCompiler:
+    """Memoizing bridge from job templates to blade-level runs.
+
+    The digest attached to a compiled job is rank/blade/order
+    independent (see :class:`~repro.core.results.ResultLedger`), which
+    is what makes "same digest under any dispatch policy or fault plan"
+    a checkable invariant rather than a hope.
+    """
+
+    def __init__(
+        self,
+        spec: SchedulerSpec,
+        blade: BladeParams,
+        root_seed: int,
+    ) -> None:
+        self.spec = spec
+        self.blade = blade
+        self.root_seed = root_seed
+        self._cache: Dict[Tuple[str, int], CompiledJob] = {}
+        self.compilations = 0
+
+    def compile(self, template: JobTemplate, variant: int) -> CompiledJob:
+        key = (template.name, variant)
+        hit = self._cache.get(key)
+        if hit is not None:
+            return hit
+        wl = Workload(
+            bootstraps=template.bootstraps,
+            tasks_per_bootstrap=template.tasks_per_bootstrap,
+            seed=job_seed(self.root_seed, template.name, variant),
+        )
+        result = run_experiment(self.spec, wl, blade=self.blade,
+                                seed=self.root_seed)
+        compiled = CompiledJob(
+            template=template.name,
+            variant=variant,
+            service_time=result.makespan,
+            digest=result.result_digest,
+            bootstraps=result.bootstraps_completed,
+        )
+        self._cache[key] = compiled
+        self.compilations += 1
+        return compiled
+
+
+class BladeState:
+    """Passive state of one fleet node.
+
+    ``alive`` goes false forever when a :class:`BladeKill` fires;
+    ``active`` toggles with the autoscaler.  ``busy_s(now)`` includes
+    the currently open service segment so utilization sampling never
+    misses in-progress work.
+    """
+
+    def __init__(self, env: Environment, index: int, active: bool = True) -> None:
+        self.env = env
+        self.index = index
+        self.alive = True
+        self.active = active
+        self.queue: List[DispatchUnit] = []
+        self.running: Optional[DispatchUnit] = None
+        self.busy_until = 0.0     # absolute time the running unit finishes
+        self.units_run = 0
+        self.jobs_run = 0
+        self.wake: Event = env.event()
+        self.death: Event = env.event()
+        self._busy_acc = 0.0
+        self._seg_start: Optional[float] = None
+
+    @property
+    def name(self) -> str:
+        return f"blade{self.index}"
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self.queue)
+
+    @property
+    def backlog_s(self) -> float:
+        """Residual running time plus queued service seconds."""
+        residual = max(0.0, self.busy_until - self.env.now)
+        return residual + sum(u.service_time for u in self.queue)
+
+    # -- busy accounting ---------------------------------------------------
+    def mark_busy(self) -> None:
+        if self._seg_start is None:
+            self._seg_start = self.env.now
+
+    def mark_idle(self) -> None:
+        if self._seg_start is not None:
+            self._busy_acc += self.env.now - self._seg_start
+            self._seg_start = None
+
+    def busy_s(self, now: Optional[float] = None) -> float:
+        total = self._busy_acc
+        if self._seg_start is not None:
+            total += (self.env.now if now is None else now) - self._seg_start
+        return total
+
+    # -- queue ops ---------------------------------------------------------
+    def push(self, unit: DispatchUnit) -> None:
+        unit.blade = self.index
+        self.queue.append(unit)
+        if not self.wake.triggered:
+            self.wake.succeed()
+
+    def pop_next(self) -> Optional[DispatchUnit]:
+        return self.queue.pop(0) if self.queue else None
+
+    def steal_newest(self) -> Optional[DispatchUnit]:
+        return self.queue.pop() if self.queue else None
+
+    def drain(self) -> List[DispatchUnit]:
+        """Take every queued unit (for failover / deactivation)."""
+        units, self.queue = self.queue, []
+        return units
+
+    def kill(self) -> None:
+        self.alive = False
+        self.active = False
+        if not self.death.triggered:
+            self.death.succeed()
+
+
+@dataclass(frozen=True)
+class BladeKill:
+    """One node-level fault: blade ``blade`` dies at time ``at``."""
+
+    blade: int
+    at: float
+
+    def __post_init__(self) -> None:
+        if self.blade < 0:
+            raise ValueError("blade index must be >= 0")
+        if self.at < 0:
+            raise ValueError("kill time must be >= 0")
+
+
+@dataclass(frozen=True)
+class FleetFaultPlan:
+    """Declarative node-fault schedule for a serving run.
+
+    The fleet analogue of :class:`~repro.faults.FaultPlan`: a blade that
+    dies takes its running and queued work with it, and the serving
+    layer must fail all of it over to surviving blades with digests
+    unchanged.
+    """
+
+    kills: Tuple[BladeKill, ...] = ()
+
+    def __post_init__(self) -> None:
+        seen = set()
+        for k in self.kills:
+            if k.blade in seen:
+                raise ValueError(f"blade {k.blade} is killed twice")
+            seen.add(k.blade)
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {"kills": [{"blade": k.blade, "at": k.at} for k in self.kills]},
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "FleetFaultPlan":
+        data = json.loads(text)
+        unknown = set(data) - {"kills"}
+        if unknown:
+            raise ValueError(
+                f"unknown fleet fault plan keys: {sorted(unknown)}"
+            )
+        kills = []
+        for entry in data.get("kills", ()):
+            bad = set(entry) - {"blade", "at"}
+            if bad:
+                raise ValueError(f"unknown blade kill keys: {sorted(bad)}")
+            kills.append(BladeKill(blade=int(entry["blade"]),
+                                   at=float(entry["at"])))
+        return cls(kills=tuple(kills))
+
+    def describe(self) -> str:
+        if not self.kills:
+            return "no node faults"
+        parts = [f"blade{k.blade}@{k.at:g}s" for k in self.kills]
+        return "kill " + ", ".join(parts)

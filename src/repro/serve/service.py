@@ -1,0 +1,562 @@
+"""The serving loop: tenants -> admission -> dispatch -> blade fleet.
+
+:func:`run_service` is the subsystem's entry point — the serving-layer
+analogue of :func:`~repro.core.runner.run_experiment`::
+
+    from repro.serve import ServeConfig, default_tenants, run_service
+
+    cfg = ServeConfig(tenants=default_tenants(), duration_s=3600, seed=7)
+    result = run_service(cfg)
+    print(result.summary["latency_p99_s"])
+
+One discrete-event environment hosts every moving part: tenant arrival
+generators feed the :class:`~repro.serve.admission.FrontEnd`, a
+dispatcher drains its priority queue through the configured
+:class:`~repro.serve.dispatch.DispatchPolicy` onto
+:class:`~repro.serve.fleet.BladeState` queues, blade loops execute
+dispatch units (service demand and result digest both come from real
+:func:`run_experiment` runs, memoized per bag by the
+:class:`~repro.serve.fleet.JobCompiler`), the optional
+:class:`~repro.serve.autoscaler.Autoscaler` resizes the active blade
+set, and node-level :class:`~repro.serve.fleet.FleetFaultPlan` kills
+exercise queued-job failover.  Everything stochastic draws from named
+:class:`~repro.sim.rng.RngStreams` substreams of one root seed, so a
+run is bit-reproducible end to end: two runs of the same config produce
+identical event logs, identical percentiles, identical JSON.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..cell.params import BladeParams
+from ..obs.metrics import NULL_REGISTRY, stable_round
+from ..sim.engine import Environment
+from ..sim.rng import RngStreams
+from .admission import DispatchUnit, FrontEnd
+from .autoscaler import Autoscaler, AutoscalerConfig
+from .dispatch import resolve_dispatch
+from .fleet import (
+    BladeState,
+    FleetFaultPlan,
+    JobCompiler,
+    scheduler_by_name,
+)
+from .jobs import Job, JobTemplate, TenantSpec
+from .generators import tenant_generators
+from .slo import ServeStats
+
+__all__ = ["ServeConfig", "ServeResult", "Service", "run_service",
+           "default_tenants"]
+
+
+def default_tenants(arrival_rate: float = 0.02,
+                    n_tenants: int = 3) -> Tuple[TenantSpec, ...]:
+    """A standard mixed-tenant population for demos, benches and tests.
+
+    ``arrival_rate`` scales the open-loop tenant; ``n_tenants`` trims
+    the mix (1 = open-loop only, 2 = + closed-loop, 3 = + bursty).
+    """
+    small = JobTemplate("small-bag", bootstraps=2, tasks_per_bootstrap=60,
+                        variants=2)
+    medium = JobTemplate("medium-bag", bootstraps=3, tasks_per_bootstrap=100,
+                         variants=2)
+    mix = (
+        TenantSpec("genomics", small, arrival="poisson",
+                   arrival_rate=arrival_rate, priority=1,
+                   deadline_s=900.0),
+        TenantSpec("proteomics", medium, arrival="closed", clients=2,
+                   think_time_s=180.0),
+        TenantSpec("metagenomics", small, arrival="bursty", burst_size=3,
+                   burst_interval_s=600.0, rate_limit=0.05, burst=4),
+    )
+    if not (1 <= n_tenants <= len(mix)):
+        raise ValueError(f"n_tenants must be in 1..{len(mix)}")
+    return mix[:n_tenants]
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Everything one serving run depends on, in one frozen record."""
+
+    tenants: Tuple[TenantSpec, ...]
+    duration_s: float = 3600.0        # arrival horizon; the run drains after
+    seed: int = 0
+    dispatch: str = "static-block"
+    scheduler: str = "mgps"           # blade-level scheduler for job bags
+    blade: BladeParams = BladeParams(n_cells=2)
+    min_blades: int = 2
+    max_blades: int = 4
+    autoscale: bool = False
+    autoscaler: AutoscalerConfig = AutoscalerConfig()
+    queue_capacity: int = 64
+    batch_max: int = 1
+    dispatch_overhead_s: float = 0.5
+    faults: Optional[FleetFaultPlan] = None
+
+    def __post_init__(self) -> None:
+        if not self.tenants:
+            raise ValueError("a serving run needs at least one tenant")
+        names = [t.name for t in self.tenants]
+        if len(set(names)) != len(names):
+            raise ValueError("tenant names must be unique")
+        if self.duration_s <= 0:
+            raise ValueError("duration_s must be positive")
+        if not (1 <= self.min_blades <= self.max_blades):
+            raise ValueError("need 1 <= min_blades <= max_blades")
+        if self.dispatch_overhead_s < 0:
+            raise ValueError("dispatch_overhead_s must be >= 0")
+        if self.faults is not None:
+            for k in self.faults.kills:
+                if k.blade >= self.max_blades:
+                    raise ValueError(
+                        f"fault plan kills blade {k.blade} but the fleet "
+                        f"has only {self.max_blades} blades"
+                    )
+
+
+@dataclass(frozen=True)
+class ServeResult:
+    """Outcome of one serving run — deterministic and JSON-stable."""
+
+    dispatch: str
+    scheduler: str
+    seed: int
+    duration_s: float
+    makespan: float                  # simulated time at full drain
+    autoscale: bool
+    summary: Dict[str, Any]          # the ServeStats ledger
+    per_blade: Tuple[Dict[str, Any], ...]
+    job_records: Tuple[Dict[str, Any], ...]
+    autoscaler_events: Tuple[Tuple[float, str, int], ...]
+    compilations: int
+    lost_jobs: int
+
+    def digest_map(self) -> Dict[str, str]:
+        """``source -> result digest`` for every completed job.
+
+        Keyed by the job's stable source identity, not its admission
+        ordinal: the map is invariant to dispatch policy, blade
+        assignment, arrival interleaving and fault timing — two runs of
+        the same tenants and seed agree on every key they share.
+        """
+        return {r["source"]: r["digest"] for r in self.job_records}
+
+    def to_json(self) -> str:
+        payload = {
+            "dispatch": self.dispatch,
+            "scheduler": self.scheduler,
+            "seed": self.seed,
+            "duration_s": stable_round(self.duration_s),
+            "makespan": stable_round(self.makespan),
+            "autoscale": self.autoscale,
+            "summary": self.summary,
+            "per_blade": list(self.per_blade),
+            "jobs": list(self.job_records),
+            "autoscaler_events": [list(e) for e in self.autoscaler_events],
+            "compilations": self.compilations,
+            "lost_jobs": self.lost_jobs,
+        }
+        return json.dumps(payload, sort_keys=True, indent=2)
+
+    def summary_text(self) -> str:
+        s = self.summary
+        lines = [
+            f"serving run: dispatch={self.dispatch} scheduler={self.scheduler}"
+            f" seed={self.seed}"
+            f" autoscale={'on' if self.autoscale else 'off'}",
+            f"  horizon {self.duration_s:g} s, drained at "
+            f"{self.makespan:.2f} s",
+            f"  jobs: {s['arrivals']} offered, {s['admitted']} admitted, "
+            f"{s['rejected']} rejected, {s['completed']} completed, "
+            f"{self.lost_jobs} lost",
+            f"  latency p50/p95/p99: {s['latency_p50_s']:.2f} / "
+            f"{s['latency_p95_s']:.2f} / {s['latency_p99_s']:.2f} s",
+            f"  goodput {s['goodput_jps'] * 3600:.1f} jobs/h, "
+            f"rejection rate {s['rejection_rate']:.1%}, "
+            f"deadline misses {s['deadline_misses']}, "
+            f"failovers {s['failovers']}",
+        ]
+        for b in self.per_blade:
+            state = ("dead" if not b["alive"]
+                     else "active" if b["active"] else "idle")
+            lines.append(
+                f"  blade{b['blade']}: {b['jobs']} jobs, "
+                f"util {b['utilization']:.1%} ({state})"
+            )
+        if self.autoscaler_events:
+            moves = ", ".join(
+                f"{d} at {t:.0f}s -> {n}" for t, d, n in self.autoscaler_events
+            )
+            lines.append(f"  autoscaler: {moves}")
+        return "\n".join(lines)
+
+
+class Service:
+    """Wires one serving run together inside an existing environment."""
+
+    def __init__(
+        self,
+        env: Environment,
+        config: ServeConfig,
+        tracer=None,
+        metrics=None,
+    ) -> None:
+        self.env = env
+        self.config = config
+        self.tracer = tracer
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        self.stats = ServeStats(self.metrics)
+        self.streams = RngStreams(config.seed).spawn("serve")
+        self.compiler = JobCompiler(
+            scheduler_by_name(config.scheduler), config.blade, config.seed
+        )
+        self.policy = resolve_dispatch(config.dispatch).factory()
+        self.frontend = FrontEnd(
+            env, self.stats, self._make_job,
+            queue_capacity=config.queue_capacity,
+            batch_max=config.batch_max,
+            tracer=tracer,
+        )
+        n_start = config.min_blades if config.autoscale else config.max_blades
+        self.blades = [
+            BladeState(env, i, active=(i < n_start))
+            for i in range(config.max_blades)
+        ]
+        self.stop = env.event()
+        self.arrivals_done = False
+        self.lost_jobs = 0
+        self._job_seq = 0
+        self.autoscaler = (
+            Autoscaler(self, config.autoscaler,
+                       config.min_blades, config.max_blades)
+            if config.autoscale else None
+        )
+        self.metrics.gauge(
+            "serve.queue_capacity", help="admission bound on jobs in system"
+        ).set(config.queue_capacity)
+        self.metrics.gauge("serve.active_blades").set(n_start)
+        self._main = None
+
+    # -- construction helpers ---------------------------------------------
+    def _make_job(
+        self, tenant: TenantSpec, variant: int, source: str = ""
+    ) -> Job:
+        compiled = self.compiler.compile(tenant.template, variant)
+        job = Job(
+            job_id=self._job_seq,
+            tenant=tenant.name,
+            template=tenant.template,
+            variant=variant,
+            priority=tenant.priority,
+            submit_time=self.env.now,
+            source=source or f"{tenant.name}:adhoc:{self._job_seq}",
+            deadline=(self.env.now + tenant.deadline_s
+                      if tenant.deadline_s is not None else None),
+            service_time=compiled.service_time,
+            done=self.env.event(),
+        )
+        self._job_seq += 1
+        return job
+
+    def eligible(self) -> List[BladeState]:
+        """Alive+active blades; reactivates alive blades in an emergency."""
+        out = [b for b in self.blades if b.alive and b.active]
+        if not out:
+            alive = [b for b in self.blades if b.alive]
+            for b in alive:
+                b.active = True
+            out = alive
+        return out
+
+    # -- lifecycle ---------------------------------------------------------
+    def start(self) -> None:
+        env = self.env
+        arrival_procs = []
+        for tenant in self.config.tenants:
+            arrival_procs.extend(tenant_generators(
+                env, tenant, self.streams, self.frontend.submit,
+                self.config.duration_s,
+            ))
+        env.process(self._arrivals_watcher(arrival_procs),
+                    name="serve-arrivals")
+        for b in self.blades:
+            env.process(self._blade_loop(b), name=b.name)
+        env.process(self._dispatch_loop(), name="serve-dispatcher")
+        if self.autoscaler is not None:
+            env.process(self.autoscaler.loop(), name="serve-autoscaler")
+        if self.config.faults is not None:
+            for kill in self.config.faults.kills:
+                env.process(self._kill_proc(kill),
+                            name=f"kill-blade{kill.blade}")
+        self._main = env.process(self._wait_stop(), name="serve-main")
+
+    def _wait_stop(self):
+        yield self.stop
+
+    def _arrivals_watcher(self, procs):
+        yield self.env.all_of(procs)
+        self.arrivals_done = True
+        self._check_stop()
+
+    def _check_stop(self) -> None:
+        if (self.arrivals_done and self.frontend.in_system <= 0
+                and not self.stop.triggered):
+            self.stop.succeed()
+
+    # -- dispatch ----------------------------------------------------------
+    def _dispatch_loop(self):
+        env = self.env
+        while True:
+            while self.frontend.pending:
+                blades = self.eligible()
+                if not blades:
+                    # Total fleet loss: shed explicitly, never hang.
+                    unit = self.frontend.pop_unit()
+                    self._lose_unit(unit)
+                    continue
+                unit = self.frontend.pop_unit()
+                blade = self.policy.select(unit, blades)
+                self._place(unit, blade)
+            if self.stop.triggered:
+                return
+            wake = self.frontend.wake
+            if wake.triggered:
+                self.frontend.wake = env.event()
+                continue
+            yield env.any_of([wake, self.stop])
+            if self.stop.triggered:
+                return
+            self.frontend.wake = env.event()
+
+    def _place(self, unit: DispatchUnit, blade: BladeState) -> None:
+        now = self.env.now
+        for job in unit.jobs:
+            if job.dispatch_time is None:
+                job.dispatch_time = now
+        blade.push(unit)
+        queued = self.frontend.pending + sum(
+            b.queue_depth for b in self.blades
+        )
+        self.stats.note_dispatch(queued)
+        if self.tracer is not None:
+            self.tracer.emit(
+                now, "serve", "dispatcher", "dispatch",
+                unit=unit.seq, blade=blade.index,
+                jobs=tuple(j.job_id for j in unit.jobs),
+            )
+
+    def redispatch(self, units: List[DispatchUnit]) -> None:
+        """Re-place orphaned units; kick the dispatcher afterwards."""
+        for unit in units:
+            blades = self.eligible()
+            if not blades:
+                self._lose_unit(unit)
+                continue
+            blade = self.policy.select(unit, blades)
+            self._place(unit, blade)
+        if self.frontend.pending and not self.frontend.wake.triggered:
+            self.frontend.wake.succeed()
+
+    def _lose_unit(self, unit: DispatchUnit) -> None:
+        for job in unit.jobs:
+            self.lost_jobs += 1
+            self.metrics.counter(
+                "serve.lost", help="jobs lost to total fleet failure"
+            ).inc()
+            if self.tracer is not None:
+                self.tracer.emit(self.env.now, "serve", "fleet", "lost",
+                                 job=job.job_id, tenant=job.tenant)
+            self.frontend.job_finished()
+            if job.done is not None and not job.done.triggered:
+                job.done.succeed()
+        self._check_stop()
+
+    # -- blades ------------------------------------------------------------
+    def _segment(self, blade: BladeState, duration: float):
+        """Busy-wait ``duration`` unless the blade dies; True = died."""
+        if blade.death.triggered:
+            return True
+        timeout = self.env.timeout(duration)
+        fired = yield self.env.any_of([timeout, blade.death])
+        return fired is blade.death
+
+    def _blade_loop(self, b: BladeState):
+        env = self.env
+        cfg = self.config
+        while True:
+            if not b.alive:
+                return
+            unit = b.pop_next() if b.active else None
+            if unit is None and b.active:
+                unit = self.policy.steal(b, self.eligible())
+                if unit is not None and self.tracer is not None:
+                    self.tracer.emit(env.now, "serve", b.name, "steal",
+                                     unit=unit.seq, victim=unit.blade)
+            if unit is None:
+                if self.stop.triggered:
+                    return
+                if b.wake.triggered:
+                    b.wake = env.event()
+                yield env.any_of([b.wake, b.death, self.stop])
+                continue
+            unit.attempts += 1
+            unit.blade = b.index
+            b.running = unit
+            b.units_run += 1
+            b.mark_busy()
+            b.busy_until = env.now + cfg.dispatch_overhead_s + unit.service_time
+            died = yield from self._segment(b, cfg.dispatch_overhead_s)
+            idx = 0
+            while not died and idx < len(unit.jobs):
+                job = unit.jobs[idx]
+                job.start_time = env.now
+                job.blade = b.index
+                if self.tracer is not None:
+                    self.tracer.emit(env.now, "serve", b.name, "start",
+                                     job=job.job_id, tenant=job.tenant)
+                died = yield from self._segment(b, job.service_time)
+                if died:
+                    break
+                self._complete(job, b)
+                idx += 1
+            b.mark_idle()
+            b.running = None
+            b.busy_until = env.now
+            if died:
+                self._on_blade_death(b, unit, idx)
+                return
+
+    def _complete(self, job: Job, b: BladeState) -> None:
+        compiled = self.compiler.compile(job.template, job.variant)
+        job.finish_time = self.env.now
+        job.digest = compiled.digest
+        b.jobs_run += 1
+        self.stats.note_completed(job)
+        self.frontend.job_finished()
+        if self.tracer is not None:
+            self.tracer.emit(
+                self.env.now, "serve", b.name, "finish",
+                job=job.job_id, tenant=job.tenant,
+                latency=round(job.latency, 9),
+                missed=job.missed_deadline,
+            )
+        if job.done is not None and not job.done.triggered:
+            job.done.succeed()
+        self._check_stop()
+
+    def _on_blade_death(self, b: BladeState, unit: DispatchUnit,
+                        idx: int) -> None:
+        remaining = list(unit.jobs[idx:])
+        orphans: List[DispatchUnit] = []
+        if remaining:
+            for job in remaining:
+                job.failovers += 1
+                job.start_time = None
+                job.blade = None
+                self.stats.note_failover(job)
+            unit.jobs[:] = remaining
+            unit.blade = None
+            orphans.append(unit)
+        for queued in b.drain():
+            for job in queued.jobs:
+                job.failovers += 1
+                self.stats.note_failover(job)
+            queued.blade = None
+            orphans.append(queued)
+        if self.tracer is not None:
+            self.tracer.emit(
+                self.env.now, "serve", b.name, "failover",
+                jobs=tuple(j.job_id for u in orphans for j in u.jobs),
+            )
+        self.redispatch(orphans)
+
+    def _kill_proc(self, kill):
+        env = self.env
+        fired = yield env.any_of([env.timeout(kill.at), self.stop])
+        if self.stop.triggered:
+            return
+        b = self.blades[kill.blade]
+        if not b.alive:
+            return
+        self.metrics.counter(
+            "serve.blade_deaths", help="node-level kills delivered"
+        ).inc()
+        if self.tracer is not None:
+            self.tracer.emit(env.now, "serve", "fleet", "blade-kill",
+                             blade=b.index)
+        b.kill()
+        self.metrics.gauge("serve.active_blades").set(
+            len([x for x in self.blades if x.alive and x.active])
+        )
+
+    # -- reporting ---------------------------------------------------------
+    def result(self) -> ServeResult:
+        makespan = self.env.now
+        duration = makespan if makespan > 0 else 1.0
+        summary = self.stats.publish(duration)
+        summary["lost"] = self.lost_jobs
+        per_blade = tuple(
+            {
+                "blade": b.index,
+                "jobs": b.jobs_run,
+                "units": b.units_run,
+                "busy_s": stable_round(b.busy_s()),
+                "utilization": stable_round(
+                    b.busy_s() / duration if duration > 0 else 0.0
+                ),
+                "alive": b.alive,
+                "active": b.active,
+            }
+            for b in self.blades
+        )
+        job_records = tuple(
+            {
+                "job_id": j.job_id,
+                "source": j.source,
+                "tenant": j.tenant,
+                "template": j.template.name,
+                "variant": j.variant,
+                "submit": stable_round(j.submit_time),
+                "start": stable_round(j.start_time),
+                "finish": stable_round(j.finish_time),
+                "latency": stable_round(j.latency),
+                "blade": j.blade,
+                "failovers": j.failovers,
+                "missed_deadline": j.missed_deadline,
+                "digest": j.digest,
+            }
+            for j in sorted(self.stats.completed_jobs,
+                            key=lambda j: j.job_id)
+        )
+        return ServeResult(
+            dispatch=self.config.dispatch,
+            scheduler=self.config.scheduler,
+            seed=self.config.seed,
+            duration_s=self.config.duration_s,
+            makespan=makespan,
+            autoscale=self.config.autoscale,
+            summary=summary,
+            per_blade=per_blade,
+            job_records=job_records,
+            autoscaler_events=tuple(
+                self.autoscaler.events
+            ) if self.autoscaler is not None else (),
+            compilations=self.compiler.compilations,
+            lost_jobs=self.lost_jobs,
+        )
+
+
+def run_service(
+    config: ServeConfig,
+    tracer=None,
+    metrics=None,
+) -> ServeResult:
+    """Execute one serving run to full drain; deterministic per config."""
+    env = Environment(tracer=tracer, metrics=metrics)
+    service = Service(env, config, tracer=tracer, metrics=metrics)
+    service.start()
+    env.run_until_complete(service._main)
+    return service.result()

@@ -8,8 +8,12 @@ from repro.core.cluster import (
     run_cluster_experiment,
 )
 from repro.core.schedulers import edtlp, mgps
+from repro.serve.dispatch import block_partition
 
 
+# The shim's legacy behavior is still under test; the deprecation itself
+# is asserted once in test_deprecated_shim_warns.
+@pytest.mark.filterwarnings("ignore::DeprecationWarning")
 class TestDistribution:
     def test_even_split(self):
         assert distribute_bootstraps(100, 4) == [25, 25, 25, 25]
@@ -29,6 +33,43 @@ class TestDistribution:
             distribute_bootstraps(5, 0)
         with pytest.raises(ValueError):
             distribute_bootstraps(2, 3)
+
+    def test_deprecated_shim_warns(self):
+        with pytest.warns(DeprecationWarning, match="static-block"):
+            distribute_bootstraps(10, 3)
+
+    def test_shim_matches_registry_partition(self):
+        # The shim must stay bit-identical to the registry's
+        # static-block partition it now delegates to.
+        blocks = block_partition(10, 3)
+        assert distribute_bootstraps(10, 3) == [len(b) for b in blocks]
+
+
+class TestDispatchRouting:
+    def test_default_is_static_block(self):
+        r = run_cluster_experiment(edtlp(), 10, 3, tasks_per_bootstrap=80)
+        assert r.dispatch == "static-block"
+        assert [b.bootstraps for b in r.per_blade] == [4, 3, 3]
+
+    def test_explicit_policy_routes_through_registry(self):
+        r = run_cluster_experiment(edtlp(), 10, 3, tasks_per_bootstrap=80,
+                                   dispatch="least-loaded")
+        assert r.dispatch == "least-loaded"
+        assert sum(b.bootstraps for b in r.per_blade) == 10
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            run_cluster_experiment(edtlp(), 10, 3, dispatch="nope")
+
+    def test_offline_partitions_agree_across_policies(self):
+        # Offline (batch) driving: every registry policy that partitions
+        # up front must conserve the bootstrap count and makespan
+        # remains the max over blades.
+        for name in ("static-block", "least-loaded"):
+            r = run_cluster_experiment(mgps(), 16, 4, tasks_per_bootstrap=80,
+                                       dispatch=name)
+            assert sum(b.bootstraps for b in r.per_blade) == 16
+            assert r.makespan == max(b.makespan for b in r.per_blade)
 
 
 class TestClusterRuns:

@@ -380,3 +380,86 @@ class TestStatsFailOn:
         code = main(["stats", "fig8", "--fail-on", "not an expression"])
         assert code == 2
         assert "cannot parse threshold" in capsys.readouterr().err
+
+
+# -- serving-layer coverage ---------------------------------------------------
+
+def _serve_run(**overrides):
+    from repro.serve import ServeConfig, TenantSpec, JobTemplate, run_service
+
+    small = JobTemplate("small", bootstraps=2, tasks_per_bootstrap=60,
+                        variants=2)
+    cfg = ServeConfig(
+        tenants=(TenantSpec("hose", small, arrival="poisson",
+                            arrival_rate=overrides.pop("arrival_rate", 0.5)),),
+        duration_s=600.0, seed=3, **overrides,
+    )
+    tracer, metrics = Tracer(enabled=True), MetricsRegistry()
+    run_service(cfg, tracer=tracer, metrics=metrics)
+    return tracer, metrics
+
+
+class TestQueueSaturation:
+    def _registry(self, arrivals, rejected):
+        reg = MetricsRegistry()
+        reg.counter("serve.arrivals").inc(arrivals)
+        reg.counter("serve.rejected").inc(rejected)
+        reg.gauge("serve.queue_capacity").set(64)
+        return reg
+
+    def test_inert_below_min_arrivals(self):
+        # 10 of 19 shed is a 53% rejection ratio, but 19 offered jobs
+        # is below the evidence floor — too small a sample to judge.
+        assert analyze_run(None, self._registry(19, 10)) == []
+
+    def test_inert_on_non_serving_run(self, healthy_run):
+        tracer, metrics, _ = healthy_run
+        assert all(f.detector != "queue-saturation"
+                   for f in analyze_run(tracer, metrics))
+
+    def test_shedding_is_critical(self):
+        findings = analyze_run(None, self._registry(100, 20))
+        sat = [f for f in findings if f.detector == "queue-saturation"]
+        assert len(sat) == 1
+        assert sat[0].severity == "critical"
+        assert sat[0].evidence["rejection_ratio"] == 0.2
+
+    def test_quiet_below_rejection_threshold(self):
+        assert all(f.detector != "queue-saturation"
+                   for f in analyze_run(None, self._registry(100, 5)))
+
+    def test_fires_on_real_saturated_service(self):
+        # End to end: a one-blade fleet with a tight queue under an
+        # open-loop firehose must trip the detector with live metrics.
+        tracer, metrics = _serve_run(min_blades=1, max_blades=1,
+                                     queue_capacity=4)
+        sat = [f for f in analyze_run(tracer, metrics)
+               if f.detector == "queue-saturation"]
+        assert len(sat) == 1
+        assert sat[0].severity == "critical"
+        assert sat[0].evidence["arrivals"] > 0
+        assert sat[0].evidence["queue_capacity"] == 4
+
+
+class TestServingReportSection:
+    def test_serving_section_renders_for_serve_run(self):
+        tracer, metrics = _serve_run(min_blades=1, max_blades=1,
+                                     queue_capacity=4)
+        html = render_report(tracer, metrics, analyze_run(tracer, metrics))
+        assert 'id="serving"' in html
+        assert "Serving layer" in html
+        assert "queue-saturation" in html
+
+    def test_serving_section_absent_for_batch_run(self, healthy_run):
+        tracer, metrics, _ = healthy_run
+        html = render_report(tracer, metrics, analyze_run(tracer, metrics))
+        assert 'id="serving"' not in html
+
+    def test_serve_cli_report_is_self_contained(self, tmp_path):
+        path = tmp_path / "serve.html"
+        code = main(["serve", "--duration", "600", "--arrival-rate", "0.05",
+                     "--seed", "7", "--report", str(path)])
+        assert code == 0
+        html = path.read_text()
+        assert 'id="serving"' in html
+        assert re.search(r"https?://", html) is None
