@@ -6,17 +6,21 @@ contract is that the *disabled* path costs a single attribute check per
 emit site and no allocation, so leaving the instrumentation compiled-in
 does not tax normal experiment runs.
 
-This benchmark times the same Figure-8-style MGPS run three ways —
-observability off, tracer+metrics on, and metrics only — takes the
-minimum of several repetitions each, and records the summary to the
-*tracked* repo-root ``BENCH_obs.json`` baseline (raw per-repetition
-wall times go to gitignored ``benchmarks/out/BENCH_obs_raw.json``).
-``repro bench --check`` cross-checks the committed summary's
-deterministic fields against the core ladder.  The acceptance bar is that the
-disabled path stays within 2% of a fully stripped run; since the
-instrumentation cannot be stripped at runtime, we assert the off path
-against the on path (off must be meaningfully cheaper or equal) and
-record the absolute numbers for cross-PR comparison.
+This benchmark times the same Figure-8-style MGPS run four ways —
+observability off, tracer+metrics on, metrics only, and wall-clock
+profiler on — takes the minimum of several repetitions each, and
+records the summary to the *tracked* repo-root ``BENCH_obs.json``
+baseline (raw per-repetition wall times go to gitignored
+``benchmarks/out/BENCH_obs_raw.json``).  ``repro bench --check``
+cross-checks the committed summary's deterministic fields against the
+core ladder.  The acceptance bar is that the disabled path stays
+within 2% of a fully stripped run; since the instrumentation cannot be
+stripped at runtime, we assert the off path against the on path (off
+must be meaningfully cheaper or equal) and record the absolute numbers
+for cross-PR comparison.  The profiler leg additionally proves the
+``profiler=None`` gate: attaching a :class:`repro.obs.Profiler` must
+leave the schedule — makespan, off-load count and the per-bootstrap
+digest map — bit-identical.
 """
 
 import time
@@ -26,7 +30,7 @@ from conftest import run_once
 from repro.cell.params import BladeParams
 from repro.core.runner import run_experiment
 from repro.core.schedulers import mgps
-from repro.obs import MetricsRegistry
+from repro.obs import MetricsRegistry, Profiler
 from repro.sim.trace import Tracer
 from repro.workloads.traces import Workload
 
@@ -35,11 +39,11 @@ TASKS = 200
 REPS = 3
 
 
-def _run(tracer=None, metrics=None):
+def _run(tracer=None, metrics=None, profiler=None):
     wl = Workload(bootstraps=BOOTSTRAPS, tasks_per_bootstrap=TASKS, seed=0)
     return run_experiment(
         mgps(), wl, blade=BladeParams(), seed=0,
-        tracer=tracer, metrics=metrics,
+        tracer=tracer, metrics=metrics, profiler=profiler,
     )
 
 
@@ -65,10 +69,18 @@ def test_obs_overhead(benchmark, record_json):
         metrics_wall, metrics_raw, _ = _best_of(
             REPS, lambda: _run(metrics=MetricsRegistry())
         )
-        raw = {"off": off_raw, "on": on_raw, "metrics_only": metrics_raw}
-        return off_wall, on_wall, metrics_wall, off, on, raw
+        prof_wall, prof_raw, prof = _best_of(
+            REPS, lambda: _run(profiler=Profiler())
+        )
+        raw = {
+            "off": off_raw,
+            "on": on_raw,
+            "metrics_only": metrics_raw,
+            "profiler": prof_raw,
+        }
+        return off_wall, on_wall, metrics_wall, prof_wall, off, on, prof, raw
 
-    off_wall, on_wall, metrics_wall, off, on, raw = run_once(
+    off_wall, on_wall, metrics_wall, prof_wall, off, on, prof, raw = run_once(
         benchmark, measure
     )
 
@@ -79,6 +91,16 @@ def test_obs_overhead(benchmark, record_json):
     # ...and the disabled path must not cost more than the enabled one
     # (2% slack for timer noise on an already-fast run).
     assert off_wall <= on_wall * 1.02
+
+    # The profiler gate: timing the hot path must not change the
+    # schedule.  Digest maps are bit-identical, and the profiler-off run
+    # stays within 2% of the profiler-on run (off can never be slower).
+    assert off.makespan == prof.makespan
+    assert off.offloads == prof.offloads
+    assert off.result_digest == prof.result_digest
+    assert off.bootstrap_digests == prof.bootstrap_digests
+    assert off.events_processed == prof.events_processed
+    assert off_wall <= prof_wall * 1.02
 
     # Summary -> the tracked repo-root baseline; raw samples -> out/.
     record_json(
@@ -95,8 +117,10 @@ def test_obs_overhead(benchmark, record_json):
             "off_seconds_wall": off_wall,
             "on_seconds_wall": on_wall,
             "metrics_only_seconds_wall": metrics_wall,
+            "profiler_seconds_wall": prof_wall,
             "on_over_off_ratio_wall": on_wall / off_wall,
             "metrics_over_off_ratio_wall": metrics_wall / off_wall,
+            "profiler_over_off_ratio_wall": prof_wall / off_wall,
         },
         root=True,
     )

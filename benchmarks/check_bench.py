@@ -1,29 +1,71 @@
 #!/usr/bin/env python
 """Benchmark regression gate: current measurement vs committed baselines.
 
-Thin executable wrapper over :func:`repro.obs.bench.check_baselines` —
-re-measures the tracked scheduler ladder, the fault-tolerance scenarios
-and the serving-layer SLO grid, then diffs every deterministic
-(non-``_wall``) metric against the committed repo-root
-``BENCH_core.json``, ``BENCH_obs.json``, ``BENCH_faults.json`` and
-``BENCH_serve.json`` with per-metric tolerances.  Exits 1 on drift.
+Executable wrapper over :func:`repro.obs.bench.check_baselines` —
+re-measures the tracked scheduler ladder, the fault-tolerance
+scenarios, the serving-layer SLO grid and the kernel throughput grid,
+then diffs them against the committed repo-root ``BENCH_core.json``,
+``BENCH_obs.json``, ``BENCH_faults.json``, ``BENCH_serve.json`` and
+``BENCH_perf.json`` baselines.  Exits 1 on drift.
+
+Two classes of fields, two comparison rules:
+
+* **Deterministic fields** (everything not ending in ``_wall``) are
+  seeded-simulation outputs — makespans, off-load counts, SLO grids,
+  event/job counts.  They are diffed with per-metric tolerances and any
+  drift fails the gate.
+* **Wall-clock fields** (``_wall`` suffix — ``seconds_wall``,
+  ``*_ratio_wall``, raw timings) are informational only and are never
+  diffed: wall time varies run-to-run and machine-to-machine, so a
+  baseline that compared it would flake.  The one deliberate
+  exception: ``BENCH_perf.json``'s ``*_per_sec_wall`` throughput rates
+  are enforced as *one-sided floors* — the fresh measurement may be
+  faster without limit, but falling more than the regression tolerance
+  below the committed rate fails the gate.  The tolerance defaults to
+  :data:`repro.obs.bench.PERF_REGRESSION_TOLERANCE` (30%) and can be
+  loosened or tightened per invocation with ``--perf-tolerance`` or
+  the ``REPRO_PERF_TOLERANCE`` environment variable (useful on noisy
+  shared CI runners).
 
 Equivalent to ``python -m repro bench --check``.  Run it after any
 scheduler change; if the drift is intended, refresh the baselines with
 ``python -m repro bench --write`` and the benchmark suite, and commit
-the diff.
+the diff — for throughput floors that refresh *ratchets* the gate to
+the newly measured rate.
 """
 
+import argparse
 import pathlib
 import sys
 
 sys.path.insert(0, str(pathlib.Path(__file__).parent.parent / "src"))
 
-from repro.obs.bench import check_baselines, find_repo_root  # noqa: E402
+from repro.obs.bench import (  # noqa: E402
+    PERF_TOLERANCE_ENV,
+    check_baselines,
+    find_repo_root,
+)
 
 
-def main() -> int:
-    ok, report = check_baselines(root=find_repo_root(pathlib.Path(__file__)))
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--perf-tolerance",
+        type=float,
+        default=None,
+        metavar="FRACTION",
+        help=(
+            "allowed one-sided throughput regression for BENCH_perf.json "
+            "floors, as a fraction (e.g. 0.5 allows a 50%% slow-down); "
+            f"overrides ${PERF_TOLERANCE_ENV} and the built-in default"
+        ),
+    )
+    args = parser.parse_args(argv)
+
+    ok, report = check_baselines(
+        root=find_repo_root(pathlib.Path(__file__)),
+        perf_floor_tolerance=args.perf_tolerance,
+    )
     print(report)
     return 0 if ok else 1
 

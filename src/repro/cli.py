@@ -263,6 +263,36 @@ def build_parser() -> argparse.ArgumentParser:
     add_llp_schedule_flag(p)
 
     p = sub.add_parser(
+        "profile",
+        help="wall-clock profile of one scenario run",
+        description=(
+            "Run one representative simulation of the named scenario (or "
+            "scheduler) with the wall-clock profiler attached and print "
+            "per-section exclusive/inclusive times, call counts, per-call "
+            "p50/p95 and kernel events per wall-second.  The section "
+            "tree and all counts are deterministic; only wall times vary "
+            "between runs."
+        ),
+    )
+    p.add_argument("--scenario", choices=_OBSERVABLE, default="fig8")
+    p.add_argument("--bootstraps", type=int, default=3)
+    p.add_argument("--tasks", type=int, default=200)
+    p.add_argument("--seed", type=int, default=0)
+    add_llp_schedule_flag(p)
+    p.add_argument("--sort", choices=("self", "total", "calls"),
+                   default="self",
+                   help="section ordering in the text table (default: "
+                        "exclusive time)")
+    p.add_argument("--top", type=int, default=20,
+                   help="sections shown in the text table (default 20)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the full profile report as JSON instead of "
+                        "text")
+    p.add_argument("--perfetto", metavar="PATH", default=None,
+                   help="write a Chrome trace combining the run's "
+                        "sim-time records with wall-clock profile spans")
+
+    p = sub.add_parser(
         "faults",
         help="run one scenario under an injected fault plan",
         description=(
@@ -368,15 +398,24 @@ def build_parser() -> argparse.ArgumentParser:
             "scenarios and the serving-layer SLO grid.  --check diffs "
             "the measurement against the committed BENCH_*.json "
             "baselines (the regression gate); --write refreshes "
-            "BENCH_core.json, BENCH_faults.json and BENCH_serve.json."
+            "BENCH_core.json, BENCH_faults.json, BENCH_serve.json and "
+            "BENCH_perf.json.  Wall-clock fields are informational only, "
+            "except the BENCH_perf.json *_per_sec_wall rates which are "
+            "enforced as one-sided floors (see --perf-tolerance)."
         ),
     )
     p.add_argument("--check", action="store_true",
                    help="diff against committed baselines; exit non-zero "
                         "on drift")
     p.add_argument("--write", action="store_true",
-                   help="rewrite BENCH_core.json, BENCH_faults.json and "
-                        "BENCH_serve.json at the repo root")
+                   help="rewrite BENCH_core.json, BENCH_faults.json, "
+                        "BENCH_serve.json and BENCH_perf.json at the "
+                        "repo root (ratchets the throughput floor)")
+    p.add_argument("--perf-tolerance", type=float, default=None,
+                   metavar="FRAC",
+                   help="allowed fractional throughput regression before "
+                        "--check fails (default 0.30; also settable via "
+                        "REPRO_PERF_TOLERANCE)")
 
     return parser
 
@@ -413,7 +452,7 @@ def _apply_llp_schedule(
 
 def _run_observed(
     scenario: str, bootstraps: int, tasks: int, seed: int = 0,
-    llp_schedule: Optional[str] = None,
+    llp_schedule: Optional[str] = None, profiler=None,
 ):
     """One representative run of ``scenario`` with tracer + metrics on."""
     from .cell.params import BladeParams
@@ -428,7 +467,8 @@ def _run_observed(
         tracer = Tracer(enabled=True)
         metrics = MetricsRegistry()
         cfg = ServeConfig(tenants=default_tenants(), seed=seed)
-        res = run_service(cfg, tracer=tracer, metrics=metrics)
+        res = run_service(cfg, tracer=tracer, metrics=metrics,
+                          profiler=profiler)
         util = (sum(b["utilization"] for b in res.per_blade)
                 / max(1, len(res.per_blade)))
         shim = SimpleNamespace(
@@ -448,7 +488,7 @@ def _run_observed(
     wl = Workload(bootstraps=bootstraps, tasks_per_bootstrap=tasks, seed=seed)
     result = run_experiment(
         spec, wl, blade=BladeParams(n_cells=n_cells),
-        seed=seed, tracer=tracer, metrics=metrics,
+        seed=seed, tracer=tracer, metrics=metrics, profiler=profiler,
     )
     return tracer, metrics, result
 
@@ -634,15 +674,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     elif args.command == "report":
         import pathlib
 
-        from .obs import analyze_run, write_report
+        from .obs import Profiler, analyze_run, write_report
 
         if not pathlib.Path(args.out).parent.is_dir():
             print(f"repro report: error: directory of {args.out!r} does "
                   f"not exist", file=sys.stderr)
             return 2
+        profiler = Profiler()
         tracer, metrics, result = _run_observed(
             args.scenario, args.bootstraps, args.tasks, args.seed,
-            llp_schedule=args.llp_schedule,
+            llp_schedule=args.llp_schedule, profiler=profiler,
         )
         findings = analyze_run(tracer, metrics)
         write_report(
@@ -650,9 +691,36 @@ def main(argv: Optional[List[str]] = None) -> int:
             title=f"{args.scenario}: {result.scheduler} scheduler run",
             subtitle=f"{args.bootstraps} bootstraps x {args.tasks} tasks, "
                      f"seed {args.seed} — makespan {result.makespan:.2f} s",
+            profile=profiler.report(),
         )
         print(f"wrote report to {args.out} ({len(findings)} finding(s); "
               f"self-contained, open in any browser)")
+    elif args.command == "profile":
+        import json as _json
+
+        from .obs import Profiler
+        from .obs.profile import render_profile, write_profile_trace
+
+        profiler = Profiler(keep_spans=bool(args.perfetto))
+        tracer, metrics, result = _run_observed(
+            args.scenario, args.bootstraps, args.tasks, args.seed,
+            llp_schedule=args.llp_schedule, profiler=profiler,
+        )
+        # The registry's aggregate read-out cost, timed where it happens.
+        profiler.call("obs.metrics.snapshot", metrics.snapshot)
+        report = profiler.report()
+        if args.json:
+            print(_json.dumps(report, indent=2, sort_keys=True))
+        else:
+            print(render_profile(
+                report, sort=args.sort, top=args.top,
+                title=f"{args.scenario}: {result.scheduler} — "
+                      f"wall-clock profile",
+            ))
+        if args.perfetto:
+            write_profile_trace(tracer, profiler, args.perfetto)
+            print(f"wrote sim-time + wall-clock trace to {args.perfetto} "
+                  f"(open at https://ui.perfetto.dev)")
     elif args.command == "faults":
         import json as _json
         import pathlib
@@ -901,19 +969,28 @@ def main(argv: Optional[List[str]] = None) -> int:
                   f"(autoscale p99 {cells['autoscale']['latency_p99_s']:.1f} s)")
         print(f"      serve: cross-policy digests "
               f"{'identical' if current_serve['digests_identical'] else 'DIVERGED'}")
+        current_perf = obs_bench.measure_throughput()
+        for scen, row in current_perf["scenarios"].items():
+            jobs = (f", {row['jobs_per_sec_wall']:.1f} jobs/s"
+                    if "jobs_per_sec_wall" in row else "")
+            print(f"{'perf/' + scen:>11}: "
+                  f"{row['events_per_sec_wall']:>9,.0f} events/s{jobs} "
+                  f"({row['events']} events in {row['seconds_wall']:.2f} s)")
         if args.write:
             root = obs_bench.find_repo_root()
             for fname, payload in (
                 (obs_bench.CORE_BASELINE, current),
                 (obs_bench.FAULTS_BASELINE, current_faults),
                 (obs_bench.SERVE_BASELINE, current_serve),
+                (obs_bench.PERF_BASELINE, current_perf),
             ):
                 path = obs_bench.write_baseline(root, fname, payload)
                 print(f"wrote {path}")
         if args.check:
             ok, report = obs_bench.check_baselines(
                 current_core=current, current_faults=current_faults,
-                current_serve=current_serve,
+                current_serve=current_serve, current_perf=current_perf,
+                perf_floor_tolerance=args.perf_tolerance,
             )
             print(report)
             if not ok:

@@ -333,9 +333,11 @@ class LoopParallelModel:
         params: CellParams,
         config: Optional[LLPConfig] = None,
         metrics: Optional[object] = None,
+        profiler: Optional[object] = None,
     ) -> None:
         self.params = params
         self.config = config or LLPConfig()
+        self.profiler = profiler
         self.mfc = MFC(params)
         self._schedule = resolve_loop_schedule(self.config.schedule)
         self._fraction: Dict[Tuple[str, int], float] = {}
@@ -397,6 +399,23 @@ class LoopParallelModel:
         ``cross_cell_workers`` counts workers on the other Cell of a
         blade, whose signals pay the inter-chip penalty.
         """
+        prof = self.profiler
+        if prof is None:
+            return self._invoke(task, k, cross_cell_workers)
+        # The invocation model is a synchronous closed form (plus the
+        # chunk-queue loop for non-static schedules) — safe to wall-time.
+        with prof.section("llp.invoke"):
+            inv = self._invoke(task, k, cross_cell_workers)
+        prof.count("llp.invocations")
+        prof.count("llp.chunks", len(inv.chunks))
+        return inv
+
+    def _invoke(
+        self,
+        task: TaskSpec,
+        k: int,
+        cross_cell_workers: int = 0,
+    ) -> LLPInvocation:
         if k < 1:
             raise ValueError("k must be >= 1")
         loop = task.loop

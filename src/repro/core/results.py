@@ -131,6 +131,10 @@ class ScheduleResult:
     # by identity.  The serving layer uses these to attribute digests to
     # individual jobs independently of which blade/rank executed them.
     bootstrap_digests: Tuple[Tuple[int, str], ...] = ()
+    # Kernel events processed by the run's Environment — deterministic
+    # for a given (scheduler, workload, seed), so throughput benchmarks
+    # can compute events/wall-second without a metrics registry.
+    events_processed: int = 0
 
     @property
     def throughput(self) -> float:

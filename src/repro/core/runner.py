@@ -15,6 +15,7 @@ same result; different schedulers see byte-identical workload traces.
 
 from __future__ import annotations
 
+import time
 from typing import List, Optional, Sequence
 
 from ..cell.machine import CellMachine
@@ -31,7 +32,9 @@ from .schedulers import SchedulerSpec
 __all__ = ["run_experiment", "run_sweep", "run_bsp_experiment"]
 
 
-def _publish_run_metrics(metrics, env, machine, raw, scale, occupancy) -> None:
+def _publish_run_metrics(
+    metrics, env, machine, raw, scale, occupancy, sim_wall=0.0
+) -> None:
     """End-of-run gauges: the whole-run facts the registry should carry.
 
     These are the numbers :mod:`repro.analysis.metrics` reads back
@@ -49,6 +52,16 @@ def _publish_run_metrics(metrics, env, machine, raw, scale, occupancy) -> None:
         sum(c.switches for c in machine.cores)
     )
     g("sim.events_processed").set(env.events_processed)
+    # Throughput gauges for ``repro stats --fail-on``: events_processed
+    # is deterministic; events-per-wall-second is wall-clock (never
+    # compared across runs, gate with generous thresholds only).
+    g("run.events_processed", "kernel events processed over the run").set(
+        env.events_processed
+    )
+    g(
+        "run.events_per_wall_second",
+        "kernel events per wall-clock second (nondeterministic)",
+    ).set(env.events_processed / sim_wall if sim_wall > 0 else 0.0)
     # Per-SPE utilization gauges: idle SPEs never appear in the trace
     # (no task records), so the starvation detector needs the full
     # per-actor picture from the registry.
@@ -82,6 +95,7 @@ def run_experiment(
     metrics=None,
     faults=None,
     tolerance=None,
+    profiler=None,
 ) -> ScheduleResult:
     """Execute ``workload`` under ``spec`` on a fresh simulated blade.
 
@@ -90,13 +104,19 @@ def run_experiment(
     :class:`~repro.obs.metrics.MetricsRegistry` to collect scheduler
     decision metrics.  Neither affects scheduling decisions.
 
+    Pass a :class:`~repro.obs.profile.Profiler` to measure the run's
+    *wall-clock* hot path (event loop, off-load decisions, LLP model);
+    profiling never changes simulated results or digests.
+
     ``faults`` accepts a :class:`~repro.faults.FaultPlan` (or an
     un-installed :class:`~repro.faults.FaultInjector`) to perturb the run;
     ``tolerance`` overrides the default
     :class:`~repro.faults.TolerancePolicy`.  With ``faults=None`` the
     fault machinery is entirely bypassed.
     """
-    env = Environment(tracer=tracer, metrics=metrics)
+    env = Environment(tracer=tracer, metrics=metrics, profiler=profiler)
+    if profiler is not None and tracer is not None:
+        tracer.profiler = profiler
     machine = CellMachine(env, blade)
     injector = _build_injector(env, machine, faults, tracer, metrics)
     runtime = spec.build(
@@ -142,7 +162,14 @@ def run_experiment(
             )
         )
 
-    env.run_until_complete(env.all_of(procs))
+    wall_start = time.perf_counter()
+    if profiler is None:
+        env.run_until_complete(env.all_of(procs))
+    else:
+        with profiler.section("run.simulate"):
+            env.run_until_complete(env.all_of(procs))
+        profiler.set_count("sim.events_processed", env.events_processed)
+    sim_wall = time.perf_counter() - wall_start
     raw = env.now
     scale = workload.scale
 
@@ -155,7 +182,16 @@ def run_experiment(
     )
     st = runtime.stats
     if metrics is not None:
-        _publish_run_metrics(metrics, env, machine, raw, scale, occupancy)
+        if profiler is None:
+            _publish_run_metrics(
+                metrics, env, machine, raw, scale, occupancy, sim_wall
+            )
+        else:
+            # Registry emit cost, measured where it actually happens.
+            profiler.call(
+                "obs.metrics.publish", _publish_run_metrics,
+                metrics, env, machine, raw, scale, occupancy, sim_wall,
+            )
         metrics.gauge(
             "run.live_spes", "SPEs still in service at run end"
         ).set(machine.pool.n_live)
@@ -196,6 +232,7 @@ def run_experiment(
         result_digest=runtime.ledger.run_digest(),
         bootstraps_completed=runtime.ledger.completed,
         bootstrap_digests=runtime.ledger.bootstrap_digests(),
+        events_processed=env.events_processed,
     )
 
 
@@ -208,6 +245,7 @@ def run_bsp_experiment(
     metrics=None,
     faults=None,
     tolerance=None,
+    profiler=None,
 ) -> ScheduleResult:
     """Execute a :class:`~repro.workloads.coupled.BSPWorkload`.
 
@@ -218,7 +256,9 @@ def run_bsp_experiment(
     from ..mpi.process import bsp_worker
     from ..sim.resources import Barrier
 
-    env = Environment(tracer=tracer, metrics=metrics)
+    env = Environment(tracer=tracer, metrics=metrics, profiler=profiler)
+    if profiler is not None and tracer is not None:
+        tracer.profiler = profiler
     machine = CellMachine(env, blade)
     injector = _build_injector(env, machine, faults, tracer, metrics)
     runtime = spec.build(
@@ -253,7 +293,14 @@ def run_bsp_experiment(
             )
         )
 
-    env.run_until_complete(env.all_of(procs))
+    wall_start = time.perf_counter()
+    if profiler is None:
+        env.run_until_complete(env.all_of(procs))
+    else:
+        with profiler.section("run.simulate"):
+            env.run_until_complete(env.all_of(procs))
+        profiler.set_count("sim.events_processed", env.events_processed)
+    sim_wall = time.perf_counter() - wall_start
     raw = env.now
     scale = workload.scale
     st = runtime.stats
@@ -264,7 +311,9 @@ def run_bsp_experiment(
         else 0.0
     )
     if metrics is not None:
-        _publish_run_metrics(metrics, env, machine, raw, scale, occupancy)
+        _publish_run_metrics(
+            metrics, env, machine, raw, scale, occupancy, sim_wall
+        )
     return ScheduleResult(
         scheduler=spec.name,
         bootstraps=workload.iterations,
@@ -289,6 +338,7 @@ def run_bsp_experiment(
         result_digest=runtime.ledger.run_digest(),
         bootstraps_completed=runtime.ledger.completed,
         bootstrap_digests=runtime.ledger.bootstrap_digests(),
+        events_processed=env.events_processed,
     )
 
 

@@ -86,13 +86,18 @@ class OffloadEngine:
         if metrics is None:
             metrics = getattr(env, "metrics", None)
         self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        # Wall-clock profiler rides on the environment like the other
+        # sinks; None keeps the off-load hot path branch-free beyond one
+        # ``is None`` check per decision.
+        self.profiler = getattr(env, "profiler", None)
         self.spans = SpanRecorder(self.tracer, env)
         self.granularity = GranularityGovernor(
             t_comm=self.cell.ppe_spe_signal, enabled=granularity_enabled,
             metrics=self.metrics,
         )
         self.llp_model = LoopParallelModel(
-            self.cell, llp_config, metrics=self.metrics
+            self.cell, llp_config, metrics=self.metrics,
+            profiler=self.profiler,
         )
         self.stats = RuntimeStats()
         self._active_sources: Set[int] = set()
@@ -395,10 +400,13 @@ class OffloadEngine:
         """Execute the task's PPE version in place (throttled off-load)."""
         self.stats.ppe_fallbacks += 1
         self._m_fallbacks.inc()
-        self.tracer.emit(
-            self.env.now, "ppe", f"mpi{ctx.rank}", "ppe_fallback",
-            function=task.function, duration=task.ppe_time,
-        )
+        if self.profiler is not None:
+            self.profiler.count("runtime.ppe_fallbacks")
+        if self.tracer.enabled:
+            self.tracer.emit(
+                self.env.now, "ppe", f"mpi{ctx.rank}", "ppe_fallback",
+                function=task.function, duration=task.ppe_time,
+            )
         yield ctx.thread.run(task.ppe_time)
         self.granularity.record_ppe(task.function, task.ppe_time)
 
@@ -416,7 +424,14 @@ class OffloadEngine:
         pinned = self.policy.pinned
         if pinned and ctx.pinned_spe is None:
             raise RuntimeError(f"process {ctx.rank} has no pinned SPE")
-        decision = self.granularity.decide(task)
+        prof = self.profiler
+        if prof is None:
+            decision = self.granularity.decide(task)
+        else:
+            # Synchronous call — safe to wall-time (no simulation yield).
+            decision = prof.call(
+                "runtime.granularity.decide", self.granularity.decide, task
+            )
         if (
             not self.offload_enabled
             or not decision.offload
@@ -443,6 +458,8 @@ class OffloadEngine:
                 release = True
             self.stats.offloads += 1
             self._m_offloads.inc()
+            if prof is not None:
+                prof.count("runtime.offloads")
             start = self.env.now
             self.policy.on_dispatch(start)
             done = self.env.process(
@@ -750,6 +767,8 @@ class OffloadEngine:
                     release = True
                 self.stats.offloads += 1
                 self._m_offloads.inc()
+                if self.profiler is not None:
+                    self.profiler.count("runtime.offloads")
                 start = env.now
                 self.policy.on_dispatch(start)
                 done = env.process(

@@ -15,12 +15,22 @@ package makes those decisions observable without perturbing them:
 * :mod:`repro.obs.report` — one self-contained HTML performance report
   per run (inline SVG, no network);
 * :mod:`repro.obs.bench` — the tracked benchmark trajectory and its
-  regression gate over the committed ``BENCH_*.json`` baselines.
+  regression gate over the committed ``BENCH_*.json`` baselines;
+* :mod:`repro.obs.profile` — low-overhead wall-clock profiling of the
+  simulation hot path (scoped timers, heap tallies, events/sec).
 
 Everything is stdlib-only and hangs off per-run objects — no globals.
 """
 
-from .bench import check_baselines, compare, measure_core, measure_faults
+from .bench import (
+    check_baselines,
+    check_perf_floors,
+    compare,
+    measure_core,
+    measure_faults,
+    measure_serve,
+    measure_throughput,
+)
 from .export import (
     chrome_trace,
     chrome_trace_events,
@@ -47,6 +57,12 @@ from .monitor import (
     parse_threshold,
     render_findings,
     resolve_metric,
+)
+from .profile import (
+    Profiler,
+    profile_chrome_events,
+    render_profile,
+    write_profile_trace,
 )
 from .report import render_report, write_report
 from .spans import NULL_SPAN, Span, SpanRecorder
@@ -78,8 +94,15 @@ __all__ = [
     "resolve_metric",
     "render_report",
     "write_report",
+    "Profiler",
+    "profile_chrome_events",
+    "render_profile",
+    "write_profile_trace",
     "measure_core",
     "measure_faults",
+    "measure_serve",
+    "measure_throughput",
     "compare",
     "check_baselines",
+    "check_perf_floors",
 ]

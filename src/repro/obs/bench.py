@@ -11,22 +11,40 @@ The repo keeps two committed baseline files at its root:
   ``benchmarks/bench_faults.py``;
 * ``BENCH_serve.json`` — serving-layer SLOs (tail latency, goodput,
   rejection rate) per dispatch policy with and without autoscaling,
-  written by ``benchmarks/bench_serve.py``.
+  written by ``benchmarks/bench_serve.py``;
+* ``BENCH_perf.json`` — the wall-clock throughput grid (events/sec and
+  jobs per wall-second for the fig8 and serve scenarios), written by
+  ``benchmarks/bench_throughput.py`` or ``repro bench --write``.
 
 Simulated quantities are deterministic (same seed, same arithmetic), so
 a drift in any non-``_wall`` field is a real behavior change — that is
 the regression gate ``repro bench --check`` (and its thin wrapper
 ``benchmarks/check_bench.py``) enforces.  Wall-clock fields carry a
-``_wall`` suffix and are never compared.
+``_wall`` suffix (:func:`is_wall_field`) and are **informational only**
+in :func:`compare` — never diffed against the baseline.
+
+The one exception is deliberate and one-sided: the ``*_per_sec_wall``
+throughput rates in ``BENCH_perf.json`` are enforced as *floors* by
+:func:`check_perf_floors` — the current rate must stay above
+``baseline * (1 - tolerance)`` with a generous default tolerance
+(:data:`PERF_REGRESSION_TOLERANCE`, 30%) that absorbs machine noise but
+catches order-of-magnitude hot-path regressions.  The floor *ratchets*:
+``repro bench --write`` records the current machine's throughput, so
+every landed speedup raises the bar for the next change.  Tune the
+tolerance per invocation (``repro bench --check --perf-tolerance 0.5``)
+or via the ``REPRO_PERF_TOLERANCE`` environment variable (useful on
+noisy CI runners).
 
 :func:`measure_core` produces the current numbers, :func:`compare`
 diffs a payload against a committed baseline with per-metric
-tolerances, and :func:`check_baselines` runs the whole gate.
+tolerances, :func:`measure_throughput` times the throughput grid, and
+:func:`check_baselines` runs the whole gate.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import pathlib
 import time
 from typing import Any, Dict, List, Optional, Tuple
@@ -41,16 +59,24 @@ __all__ = [
     "OBS_BASELINE",
     "FAULTS_BASELINE",
     "SERVE_BASELINE",
+    "PERF_BASELINE",
     "REQUIRED_CORE_KEYS",
     "REQUIRED_OBS_KEYS",
     "REQUIRED_FAULTS_KEYS",
     "REQUIRED_SERVE_KEYS",
+    "REQUIRED_PERF_KEYS",
     "DEFAULT_TOLERANCES",
+    "PERF_REGRESSION_TOLERANCE",
+    "PERF_TOLERANCE_ENV",
+    "perf_tolerance",
+    "is_wall_field",
     "find_repo_root",
     "core_schedulers",
     "measure_core",
     "measure_faults",
     "measure_serve",
+    "measure_throughput",
+    "check_perf_floors",
     "stable_payload",
     "write_baseline",
     "flatten",
@@ -62,6 +88,7 @@ CORE_BASELINE = "BENCH_core.json"
 OBS_BASELINE = "BENCH_obs.json"
 FAULTS_BASELINE = "BENCH_faults.json"
 SERVE_BASELINE = "BENCH_serve.json"
+PERF_BASELINE = "BENCH_perf.json"
 
 # The workload every tracked benchmark shares (Figure-8-style: few
 # bootstraps, many tasks -> MGPS must fall back on loop parallelism).
@@ -84,11 +111,16 @@ REQUIRED_OBS_KEYS = (
     "offloads",
     "on_over_off_ratio_wall",
     "metrics_over_off_ratio_wall",
+    "profiler_over_off_ratio_wall",
 )
 REQUIRED_SERVE_KEYS = (
     "workload",
     "policies",
     "digests_identical",
+)
+REQUIRED_PERF_KEYS = (
+    "workload",
+    "scenarios",
 )
 
 # The serving grid: every tracked dispatch policy, elastic and fixed.
@@ -109,6 +141,33 @@ DEFAULT_TOLERANCES = {
     "speedup_over_serial": 1e-6,
 }
 _DEFAULT_TOL = _EXACT
+
+# Throughput floor: a ``*_per_sec_wall`` rate in BENCH_perf.json may not
+# fall below ``baseline * (1 - tolerance)``.  30% absorbs host noise
+# while catching real hot-path regressions; override per call
+# (``check_perf_floors(..., tolerance=...)``, ``repro bench --check
+# --perf-tolerance``) or via the environment for noisy CI runners.
+PERF_REGRESSION_TOLERANCE = 0.30
+PERF_TOLERANCE_ENV = "REPRO_PERF_TOLERANCE"
+
+
+def perf_tolerance(override: Optional[float] = None) -> float:
+    """Effective throughput-floor tolerance (override > env > default)."""
+    if override is not None:
+        return float(override)
+    env = os.environ.get(PERF_TOLERANCE_ENV)
+    if env:
+        return float(env)
+    return PERF_REGRESSION_TOLERANCE
+
+
+def is_wall_field(path: str) -> bool:
+    """True for wall-clock field names/paths (leaf ends with ``_wall``).
+
+    Wall-clock fields are informational only: :func:`compare` never
+    diffs them and :func:`stable_payload` serializes them verbatim.
+    """
+    return path.rsplit(".", 1)[-1].endswith("_wall")
 
 
 def find_repo_root(start: Optional[pathlib.Path] = None) -> pathlib.Path:
@@ -371,6 +430,133 @@ def measure_serve(
     }
 
 
+def measure_throughput(
+    bootstraps: int = BOOTSTRAPS,
+    tasks: int = TASKS,
+    seed: int = SEED,
+    duration_s: float = SERVE_DURATION_S,
+    arrival_rate: float = SERVE_ARRIVAL_RATE,
+    reps: int = 3,
+    time_source=time.perf_counter,
+) -> Dict[str, Any]:
+    """Time the throughput grid; returns the ``BENCH_perf`` payload.
+
+    Two tracked scenarios, each run ``reps`` times with the best (fastest)
+    wall time kept to damp host noise:
+
+    * ``fig8`` — the shared MGPS Figure-8-style workload, reporting
+      kernel events per wall-second;
+    * ``serve`` — the default serving run (static-block, fixed fleet),
+      reporting events per wall-second *and* completed jobs per
+      wall-second.
+
+    The ``events``/``jobs`` counts are deterministic and gate through
+    :func:`compare` like any other field; the ``*_per_sec_wall`` rates
+    are enforced only as one-sided floors by :func:`check_perf_floors`.
+    """
+    from ..core.runner import run_experiment
+    from ..core.schedulers import mgps
+    from ..serve import ServeConfig, default_tenants, run_service
+    from ..workloads.traces import Workload
+
+    def best_of(fn):
+        best, result = float("inf"), None
+        for _ in range(max(1, reps)):
+            t0 = time_source()
+            result = fn()
+            best = min(best, time_source() - t0)
+        return best, result
+
+    def fig8_run():
+        wl = Workload(
+            bootstraps=bootstraps, tasks_per_bootstrap=tasks, seed=seed
+        )
+        return run_experiment(mgps(), wl, seed=seed)
+
+    fig8_wall, fig8 = best_of(fig8_run)
+
+    def serve_run():
+        cfg = ServeConfig(
+            tenants=default_tenants(arrival_rate=arrival_rate),
+            duration_s=duration_s,
+            seed=seed,
+        )
+        return run_service(cfg)
+
+    serve_wall, serve = best_of(serve_run)
+    serve_jobs = serve.summary["completed"]
+
+    def rate(count, wall):
+        return count / wall if wall > 0 else 0.0
+
+    return {
+        "workload": {
+            "bootstraps": bootstraps,
+            "tasks_per_bootstrap": tasks,
+            "seed": seed,
+            "serve_duration_s": duration_s,
+            "serve_arrival_rate": arrival_rate,
+            "reps": reps,
+        },
+        "scenarios": {
+            "fig8": {
+                "events": fig8.events_processed,
+                "events_per_sec_wall": rate(fig8.events_processed, fig8_wall),
+                "seconds_wall": fig8_wall,
+            },
+            "serve": {
+                "events": serve.events_processed,
+                "jobs": serve_jobs,
+                "events_per_sec_wall": rate(
+                    serve.events_processed, serve_wall
+                ),
+                "jobs_per_sec_wall": rate(serve_jobs, serve_wall),
+                "seconds_wall": serve_wall,
+            },
+        },
+    }
+
+
+def check_perf_floors(
+    current: Dict[str, Any],
+    baseline: Dict[str, Any],
+    tolerance: Optional[float] = None,
+) -> List[Dict[str, Any]]:
+    """One-sided throughput floors over a ``BENCH_perf`` payload pair.
+
+    Every ``*_per_sec_wall`` rate in the baseline must be met by the
+    current measurement up to the tolerance: ``current >= baseline *
+    (1 - tolerance)``.  Being *faster* than the baseline never fails —
+    commit the improvement with ``repro bench --write`` to ratchet the
+    floor up.  Returns violation dicts shaped like :func:`compare`'s.
+    """
+    tol = perf_tolerance(tolerance)
+    violations: List[Dict[str, Any]] = []
+    base_scen = baseline.get("scenarios", {})
+    cur_scen = current.get("scenarios", {})
+    for scenario in sorted(base_scen):
+        for key in sorted(base_scen[scenario]):
+            if not key.endswith("_per_sec_wall"):
+                continue
+            base_rate = float(base_scen[scenario][key])
+            path = f"scenarios.{scenario}.{key}"
+            cur_rate = cur_scen.get(scenario, {}).get(key)
+            if cur_rate is None:
+                violations.append({
+                    "path": path, "kind": "missing",
+                    "baseline": base_rate, "current": None,
+                })
+                continue
+            floor = base_rate * (1.0 - tol)
+            if float(cur_rate) < floor:
+                violations.append({
+                    "path": path, "kind": "throughput",
+                    "baseline": base_rate, "current": float(cur_rate),
+                    "floor": floor, "tolerance": tol,
+                })
+    return violations
+
+
 def stable_payload(payload: Any) -> Any:
     """Diff-stable form: sorted keys, rounded floats, ``_wall`` verbatim.
 
@@ -380,7 +566,7 @@ def stable_payload(payload: Any) -> Any:
     """
     if isinstance(payload, dict):
         return {
-            k: (v if isinstance(k, str) and k.endswith("_wall")
+            k: (v if isinstance(k, str) and is_wall_field(k)
                 else stable_payload(v))
             for k, v in sorted(payload.items())
         }
@@ -444,11 +630,11 @@ def compare(
     # in-memory measurement compares cleanly against a committed file.
     cur = {
         k: v for k, v in flatten(stable_payload(current)).items()
-        if not k.rsplit(".", 1)[-1].endswith("_wall")
+        if not is_wall_field(k)
     }
     base = {
         k: v for k, v in flatten(stable_payload(baseline)).items()
-        if not k.rsplit(".", 1)[-1].endswith("_wall")
+        if not is_wall_field(k)
     }
     violations: List[Dict[str, Any]] = []
     for path in sorted(base.keys() | cur.keys()):
@@ -486,6 +672,12 @@ def render_violations(violations: List[Dict[str, Any]]) -> str:
                 f"  [drift]   {v['path']}: {v['baseline']} -> {v['current']}"
                 f" (tol {v['tolerance']:g})"
             )
+        elif v["kind"] == "throughput":
+            lines.append(
+                f"  [throughput] {v['path']}: {v['current']:.0f}/s fell "
+                f"below the floor {v['floor']:.0f}/s "
+                f"(baseline {v['baseline']:.0f}/s, tol {v['tolerance']:g})"
+            )
         else:
             lines.append(
                 f"  [{v['kind']}] {v['path']}: "
@@ -504,6 +696,8 @@ def check_baselines(
     current_core: Optional[Dict[str, Any]] = None,
     current_faults: Optional[Dict[str, Any]] = None,
     current_serve: Optional[Dict[str, Any]] = None,
+    current_perf: Optional[Dict[str, Any]] = None,
+    perf_floor_tolerance: Optional[float] = None,
 ) -> Tuple[bool, str]:
     """The regression gate: committed baselines vs a fresh measurement.
 
@@ -514,7 +708,11 @@ def check_baselines(
     MGPS makespans must agree — and diffs fresh
     :func:`measure_faults` / :func:`measure_serve` runs against
     ``BENCH_faults.json`` / ``BENCH_serve.json`` (the latter also
-    re-asserts cross-policy digest identity).  Returns
+    re-asserts cross-policy digest identity).  Finally it checks the
+    ``BENCH_perf.json`` throughput grid: deterministic counts diff like
+    any baseline, and the ``*_per_sec_wall`` rates must stay above their
+    :func:`check_perf_floors` floor (``perf_floor_tolerance`` overrides
+    the default; see :func:`perf_tolerance`).  Returns
     ``(ok, report_text)``.
     """
     root = pathlib.Path(root) if root is not None else find_repo_root()
@@ -650,4 +848,46 @@ def check_baselines(
                     f"across dispatch policies"
                 )
                 ok = False
+
+    perf_path = root / PERF_BASELINE
+    if not perf_path.exists():
+        lines.append(f"bench: missing baseline {perf_path}")
+        ok = False
+    else:
+        perf_base = _load(perf_path)
+        missing = [k for k in REQUIRED_PERF_KEYS if k not in perf_base]
+        if missing:
+            lines.append(
+                f"bench: {PERF_BASELINE} lacks required keys {missing}"
+            )
+            ok = False
+        else:
+            pwl = perf_base.get("workload", {})
+            pcur = current_perf or measure_throughput(
+                bootstraps=pwl.get("bootstraps", BOOTSTRAPS),
+                tasks=pwl.get("tasks_per_bootstrap", TASKS),
+                seed=pwl.get("seed", SEED),
+                duration_s=pwl.get("serve_duration_s", SERVE_DURATION_S),
+                arrival_rate=pwl.get(
+                    "serve_arrival_rate", SERVE_ARRIVAL_RATE
+                ),
+                reps=pwl.get("reps", 3),
+            )
+            # Deterministic counts gate like any baseline; wall rates
+            # are excluded automatically (``_wall`` suffix) and only
+            # their one-sided floors below can fail the gate.
+            pviol = compare(pcur, perf_base)
+            pviol += check_perf_floors(
+                pcur, perf_base, tolerance=perf_floor_tolerance
+            )
+            if pviol:
+                lines.append(f"bench: {PERF_BASELINE} drifted")
+                lines.append(render_violations(pviol))
+                ok = False
+            else:
+                tol = perf_tolerance(perf_floor_tolerance)
+                lines.append(
+                    f"bench: {PERF_BASELINE} OK (throughput above the "
+                    f"{tol:.0%}-regression floor)"
+                )
     return bool(ok), "\n".join(lines)

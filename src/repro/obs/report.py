@@ -19,6 +19,10 @@ decade later.  Sections (each with a stable anchor, asserted by tests):
   goodput, rejection and deadline-miss rates), job sojourn histogram
   and fleet lifecycle events; present only when the run carried
   ``serve.*`` metrics (``repro serve``);
+* ``#perf`` — the wall-clock profile lane: top sections by exclusive
+  time as self-vs-child bars, kernel events/sec and heap tallies
+  (empty state when no :class:`~repro.obs.profile.Profiler` was
+  attached to the run);
 * ``#faults`` — injected faults and the runtime's recovery actions as a
   time-ordered event table (empty state when the run was fault-free).
 
@@ -642,6 +646,84 @@ def _serving_html(tracer: Optional[Tracer], registry) -> Optional[str]:
     return "".join(parts)
 
 
+def _perf_html(profile: Optional[Dict[str, Any]]) -> str:
+    """The ``#perf`` lane: wall-clock profile of the run's hot path.
+
+    Always rendered (stable anchor); shows an empty-state note when the
+    run had no profiler attached.
+    """
+    if not profile or not profile.get("sections"):
+        return ('<p class="empty">No wall-clock profile attached &#8212; '
+                'run <span class="mono">repro profile</span> or '
+                '<span class="mono">repro report</span> (which attaches '
+                'the profiler automatically) to populate this lane.</p>')
+    sections = profile["sections"]
+    counters = profile.get("counters", {})
+    rates = profile.get("rates", {})
+    events = counters.get("sim.events_processed",
+                          counters.get("sim.heap_pops", 0))
+    note = (f'wall {profile.get("wall_s", 0.0):.3f} s &#183; '
+            f'{_fmt(events)} kernel events &#183; '
+            f'{_fmt(rates.get("events_per_wall_second", 0.0))} events/s '
+            f'&#183; heap {_fmt(counters.get("sim.heap_pushes", 0))} pushes '
+            f'/ {_fmt(counters.get("sim.heap_pops", 0))} pops')
+    top = sorted(
+        sections.items(), key=lambda kv: kv[1]["self_s"], reverse=True
+    )[:12]
+    # Self-vs-child horizontal bars: exclusive time in series-1, time
+    # spent in nested sections in series-3, scaled to the widest total.
+    row_h, gap = 20, 6
+    label_w = 220
+    bar_max = _W - label_w - _PAD_R - 70
+    max_total = max(row[1]["total_s"] for row in top) or 1.0
+    parts = []
+    for i, (name, row) in enumerate(top):
+        y = i * (row_h + gap)
+        self_w = bar_max * row["self_s"] / max_total
+        child_w = bar_max * (row["total_s"] - row["self_s"]) / max_total
+        tip = (f'{name}: {row["calls"]} calls, total '
+               f'{row["total_s"] * 1e3:.2f} ms, self '
+               f'{row["self_s"] * 1e3:.2f} ms, p50 {row["p50_us"]:.1f} us, '
+               f'p95 {row["p95_us"]:.1f} us')
+        parts.append(
+            f'<text class="tick" x="{label_w - 8}" y="{y + row_h - 6}" '
+            f'text-anchor="end">{_esc(name)}</text>'
+            f'<rect class="s1" x="{label_w}" y="{y}" '
+            f'width="{max(self_w, 1.0):.1f}" height="{row_h - 4}" rx="3">'
+            f'<title>{_esc(tip)}</title></rect>'
+            f'<rect class="s3" x="{label_w + max(self_w, 1.0):.1f}" '
+            f'y="{y}" width="{child_w:.1f}" height="{row_h - 4}" rx="3">'
+            f'<title>{_esc(tip)}</title></rect>'
+            f'<text class="tick" '
+            f'x="{label_w + max(self_w, 1.0) + child_w + 6:.1f}" '
+            f'y="{y + row_h - 6}">{row["total_s"] * 1e3:.1f} ms</text>'
+        )
+    height = len(top) * (row_h + gap)
+    svg = (f'<svg viewBox="0 0 {_W} {height}" role="img" '
+           f'aria-label="Top wall-clock sections">{"".join(parts)}</svg>')
+    rows = []
+    for name, row in top:
+        rows.append(
+            f'<tr><td class="mono">{_esc(name)}</td>'
+            f'<td class="mono">{row["calls"]}</td>'
+            f'<td class="mono">{row["total_s"] * 1e3:.2f}</td>'
+            f'<td class="mono">{row["self_s"] * 1e3:.2f}</td>'
+            f'<td class="mono">{row["p50_us"]:.1f}</td>'
+            f'<td class="mono">{row["p95_us"]:.1f}</td></tr>'
+        )
+    table = (
+        '<table><thead><tr><th>section</th><th>calls</th>'
+        '<th>total [ms]</th><th>self [ms]</th><th>p50 [us]</th>'
+        '<th>p95 [us]</th></tr></thead>'
+        f'<tbody>{"".join(rows)}</tbody></table>'
+    )
+    legend = _legend([
+        ("s1", "self (exclusive) time"),
+        ("s3", "time in nested sections"),
+    ])
+    return f'<p class="chart-note">{note}</p>{legend}{svg}{table}'
+
+
 def _findings_table(findings: Sequence[HealthFinding]) -> str:
     if not findings:
         return ('<p class="ok"><span class="chip good">&#10003; OK</span> '
@@ -751,8 +833,14 @@ def render_report(
     findings: Optional[Sequence[HealthFinding]] = None,
     title: str = "Scheduler run report",
     subtitle: str = "",
+    profile: Optional[Dict[str, Any]] = None,
 ) -> str:
-    """One self-contained HTML page for a finished run."""
+    """One self-contained HTML page for a finished run.
+
+    ``profile`` is an optional :meth:`repro.obs.profile.Profiler.report`
+    dict; the ``#perf`` lane renders it (and shows an empty state when
+    absent, keeping the section anchors stable).
+    """
     findings = list(findings or [])
     makespan = _makespan(tracer, registry)
     n_spes = int(_value(registry, "run.n_spes", 0))
@@ -789,6 +877,7 @@ def render_report(
     serving = _serving_html(tracer, registry)
     if serving is not None:
         sections.append(("serving", "Serving layer", serving))
+    sections.append(("perf", "Wall-clock profile", _perf_html(profile)))
     sections.append(
         ("faults", "Faults and recovery", _faults_html(tracer, registry))
     )
@@ -818,9 +907,11 @@ def write_report(
     findings: Optional[Sequence[HealthFinding]] = None,
     title: str = "Scheduler run report",
     subtitle: str = "",
+    profile: Optional[Dict[str, Any]] = None,
 ) -> str:
     """Render and write the report; returns the path written."""
-    doc = render_report(tracer, registry, findings, title, subtitle)
+    doc = render_report(tracer, registry, findings, title, subtitle,
+                        profile=profile)
     with open(path, "w") as fh:
         fh.write(doc)
     return str(path)

@@ -133,6 +133,10 @@ class ServeResult:
     autoscaler_events: Tuple[Tuple[float, str, int], ...]
     compilations: int
     lost_jobs: int
+    # Kernel events processed by the run's Environment — deterministic
+    # per config, so throughput benchmarks can report events per
+    # wall-second for the serving loop too.
+    events_processed: int = 0
 
     def digest_map(self) -> Dict[str, str]:
         """``source -> result digest`` for every completed job.
@@ -158,6 +162,7 @@ class ServeResult:
             "autoscaler_events": [list(e) for e in self.autoscaler_events],
             "compilations": self.compilations,
             "lost_jobs": self.lost_jobs,
+            "events_processed": self.events_processed,
         }
         return json.dumps(payload, sort_keys=True, indent=2)
 
@@ -206,8 +211,14 @@ class Service:
     ) -> None:
         self.env = env
         self.config = config
+        # A disabled tracer would still pay payload building at every
+        # ``if self.tracer is not None`` hot site; normalize it to None
+        # so observability-off runs skip the formatting entirely.
+        if tracer is not None and not getattr(tracer, "enabled", True):
+            tracer = None
         self.tracer = tracer
         self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        self.profiler = getattr(env, "profiler", None)
         self.stats = ServeStats(self.metrics)
         self.streams = RngStreams(config.seed).spawn("serve")
         self.compiler = JobCompiler(
@@ -241,10 +252,23 @@ class Service:
         self._main = None
 
     # -- construction helpers ---------------------------------------------
+    def _compile(self, template: JobTemplate, variant: int):
+        """Compile via the memoizing compiler, wall-timed when profiling.
+
+        Compilation is synchronous (a real :func:`run_experiment` on a
+        miss, a dict hit otherwise) so it is safe to wall-time.
+        """
+        prof = self.profiler
+        if prof is None:
+            return self.compiler.compile(template, variant)
+        return prof.call(
+            "serve.compile", self.compiler.compile, template, variant
+        )
+
     def _make_job(
         self, tenant: TenantSpec, variant: int, source: str = ""
     ) -> Job:
-        compiled = self.compiler.compile(tenant.template, variant)
+        compiled = self._compile(tenant.template, variant)
         job = Job(
             job_id=self._job_seq,
             tenant=tenant.name,
@@ -341,6 +365,8 @@ class Service:
             b.queue_depth for b in self.blades
         )
         self.stats.note_dispatch(queued)
+        if self.profiler is not None:
+            self.profiler.count("serve.dispatches")
         if self.tracer is not None:
             self.tracer.emit(
                 now, "serve", "dispatcher", "dispatch",
@@ -430,11 +456,13 @@ class Service:
                 return
 
     def _complete(self, job: Job, b: BladeState) -> None:
-        compiled = self.compiler.compile(job.template, job.variant)
+        compiled = self._compile(job.template, job.variant)
         job.finish_time = self.env.now
         job.digest = compiled.digest
         b.jobs_run += 1
         self.stats.note_completed(job)
+        if self.profiler is not None:
+            self.profiler.count("serve.jobs_completed")
         self.frontend.job_finished()
         if self.tracer is not None:
             self.tracer.emit(
@@ -546,6 +574,7 @@ class Service:
             ) if self.autoscaler is not None else (),
             compilations=self.compiler.compilations,
             lost_jobs=self.lost_jobs,
+            events_processed=self.env.events_processed,
         )
 
 
@@ -553,10 +582,23 @@ def run_service(
     config: ServeConfig,
     tracer=None,
     metrics=None,
+    profiler=None,
 ) -> ServeResult:
-    """Execute one serving run to full drain; deterministic per config."""
-    env = Environment(tracer=tracer, metrics=metrics)
+    """Execute one serving run to full drain; deterministic per config.
+
+    Pass a :class:`~repro.obs.profile.Profiler` to wall-time the fleet
+    loop (dispatch counts, compile cost, kernel event dispatch);
+    profiling never changes the simulated outcome.
+    """
+    env = Environment(tracer=tracer, metrics=metrics, profiler=profiler)
+    if profiler is not None and tracer is not None:
+        tracer.profiler = profiler
     service = Service(env, config, tracer=tracer, metrics=metrics)
     service.start()
-    env.run_until_complete(service._main)
+    if profiler is None:
+        env.run_until_complete(service._main)
+    else:
+        with profiler.section("run.simulate"):
+            env.run_until_complete(service._main)
+        profiler.set_count("sim.events_processed", env.events_processed)
     return service.result()

@@ -39,6 +39,12 @@ class Environment:
         :class:`~repro.obs.metrics.MetricsRegistry` without threading
         them through each constructor.  Both default to ``None``
         (observability off); neither influences event ordering.
+    profiler:
+        Optional :class:`~repro.obs.profile.Profiler` measuring the
+        *wall-clock* cost of the event loop: heap push/pop tallies and
+        per-event-type dispatch timing.  Defaults to ``None``; the fast
+        path then pays only one ``is None`` check per step and push.
+        Profiling never influences event ordering or simulated results.
     """
 
     def __init__(
@@ -48,6 +54,7 @@ class Environment:
         *,
         tracer: Optional[Any] = None,
         metrics: Optional[Any] = None,
+        profiler: Optional[Any] = None,
     ) -> None:
         self._now = float(initial_time)
         self._queue: List[Tuple[float, int, int, Event]] = []
@@ -56,7 +63,9 @@ class Environment:
         self.strict = strict
         self.tracer = tracer
         self.metrics = metrics
+        self.profiler = profiler
         self.events_processed = 0
+        self._event_section: dict = {}
 
     # -- clock ------------------------------------------------------------
     @property
@@ -97,6 +106,8 @@ class Environment:
         event._scheduled = True
         self._seq += 1
         heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
+        if self.profiler is not None:
+            self.profiler.heap_pushes += 1
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
@@ -110,7 +121,17 @@ class Environment:
             raise EmptySchedule() from None
         self._now = when
         self.events_processed += 1
-        event._process()
+        prof = self.profiler
+        if prof is None:
+            event._process()
+            return
+        prof.heap_pops += 1
+        cls = event.__class__
+        name = self._event_section.get(cls)
+        if name is None:
+            name = self._event_section[cls] = f"sim.event.{cls.__name__}"
+        with prof.section(name):
+            event._process()
 
     def run(self, until: Optional[float] = None) -> float:
         """Run until the calendar drains or the clock reaches ``until``.

@@ -16,13 +16,20 @@ from repro.cli import main
 from repro.obs.bench import (
     CORE_BASELINE,
     OBS_BASELINE,
+    PERF_BASELINE,
+    PERF_REGRESSION_TOLERANCE,
+    PERF_TOLERANCE_ENV,
     REQUIRED_CORE_KEYS,
     REQUIRED_OBS_KEYS,
+    REQUIRED_PERF_KEYS,
     check_baselines,
+    check_perf_floors,
     compare,
     find_repo_root,
     flatten,
+    is_wall_field,
     measure_core,
+    perf_tolerance,
     stable_payload,
 )
 
@@ -35,6 +42,7 @@ class TestCommittedBaselines:
     @pytest.mark.parametrize("name,required", [
         (CORE_BASELINE, REQUIRED_CORE_KEYS),
         (OBS_BASELINE, REQUIRED_OBS_KEYS),
+        (PERF_BASELINE, REQUIRED_PERF_KEYS),
     ])
     def test_baseline_parses_with_required_keys(self, name, required):
         path = REPO_ROOT / name
@@ -113,6 +121,66 @@ class TestCompare:
         out = stable_payload(raw)
         assert out["x"] != raw["x"]  # rounded
         assert out["t_wall"] == raw["t_wall"]  # verbatim
+
+
+# -- throughput floors --------------------------------------------------------
+
+class TestPerfFloors:
+    BASE = {"scenarios": {"fig8": {"events": 9016,
+                                   "events_per_sec_wall": 100000.0,
+                                   "seconds_wall": 0.09}}}
+
+    def _current(self, rate):
+        return {"scenarios": {"fig8": {"events": 9016,
+                                       "events_per_sec_wall": rate,
+                                       "seconds_wall": 0.09}}}
+
+    def test_equal_rate_passes(self):
+        assert check_perf_floors(self._current(100000.0), self.BASE) == []
+
+    def test_faster_never_fails(self):
+        assert check_perf_floors(self._current(1e9), self.BASE) == []
+
+    def test_regression_within_tolerance_passes(self):
+        # 30% default tolerance: 71k is above the 70k floor.
+        assert check_perf_floors(self._current(71000.0), self.BASE) == []
+
+    def test_regression_beyond_tolerance_fails(self):
+        violations = check_perf_floors(self._current(69000.0), self.BASE)
+        assert [v["path"] for v in violations] == [
+            "scenarios.fig8.events_per_sec_wall"
+        ]
+        v = violations[0]
+        assert v["kind"] == "throughput"
+        assert v["floor"] == pytest.approx(70000.0)
+        assert v["tolerance"] == PERF_REGRESSION_TOLERANCE
+
+    def test_missing_rate_flagged(self):
+        current = {"scenarios": {"fig8": {"events": 9016}}}
+        violations = check_perf_floors(current, self.BASE)
+        assert [v["kind"] for v in violations] == ["missing"]
+
+    def test_explicit_tolerance_overrides_default(self):
+        assert check_perf_floors(self._current(69000.0), self.BASE,
+                                 tolerance=0.5) == []
+        violations = check_perf_floors(self._current(99000.0), self.BASE,
+                                       tolerance=0.0)
+        assert len(violations) == 1
+
+    def test_env_tolerance_respected(self, monkeypatch):
+        monkeypatch.setenv(PERF_TOLERANCE_ENV, "0.5")
+        assert perf_tolerance() == 0.5
+        assert check_perf_floors(self._current(60000.0), self.BASE) == []
+        # An explicit override still wins over the environment.
+        assert perf_tolerance(0.1) == 0.1
+
+    def test_wall_rates_skipped_by_compare(self):
+        # The very fields the floors enforce are invisible to the
+        # two-sided diff — wall fields stay informational there.
+        assert is_wall_field("scenarios.fig8.events_per_sec_wall")
+        assert not is_wall_field("scenarios.fig8.events")
+        current = self._current(12345.0)
+        assert compare(current, self.BASE) == []
 
 
 # -- the gate, end to end -----------------------------------------------------

@@ -1,0 +1,260 @@
+"""Tests for the wall-clock profiling layer.
+
+Tier-1 guarantees:
+
+* **Determinism** — the same seeded workload profiled twice yields the
+  identical section tree (names, call counts) and counters; only the
+  wall-time fields differ between runs.
+* **Zero overhead off** — running with ``profiler=None`` leaves the
+  schedule bit-identical to a profiled run: same makespan, same
+  digests, same event counts.  The profiler observes, never perturbs.
+* The :class:`~repro.obs.profile.Profiler` primitive itself: exclusive
+  vs inclusive time under nesting, instantaneous ``account`` leaves,
+  counters, the deterministic report shape, and the exporters
+  (text table, Chrome trace-event spans).
+* The three surfaces: ``repro profile`` (table and ``--json``), the
+  ``#perf`` report lane, and the :func:`measure_throughput` grid.
+"""
+
+import json
+
+import pytest
+
+from repro.cell.params import BladeParams
+from repro.cli import main
+from repro.core.runner import run_experiment
+from repro.core.schedulers import mgps
+from repro.obs import MetricsRegistry, Profiler, render_report
+from repro.obs.bench import measure_throughput
+from repro.obs.profile import (
+    events_per_second,
+    profile_chrome_events,
+    render_profile,
+    write_profile_trace,
+)
+from repro.sim.trace import Tracer
+from repro.workloads.traces import Workload
+
+
+def _small_workload():
+    return Workload(bootstraps=2, tasks_per_bootstrap=40, seed=0)
+
+
+def _run(profiler=None, tracer=None, metrics=None):
+    return run_experiment(
+        mgps(), _small_workload(), blade=BladeParams(), seed=0,
+        tracer=tracer, metrics=metrics, profiler=profiler,
+    )
+
+
+# -- the Profiler primitive ---------------------------------------------------
+
+class TestProfiler:
+    def test_section_nesting_splits_self_and_total(self):
+        # A fake clock makes wall time deterministic: each call returns
+        # the next value (first tick = profiler birth, last = report),
+        # so outer spans 0..10s with 2..5s in the child.
+        ticks = iter([0.0, 0.0, 2.0, 5.0, 10.0, 10.0])
+        prof = Profiler(time_source=lambda: next(ticks))
+        with prof.section("outer"):
+            with prof.section("inner"):
+                pass
+        report = prof.report()
+        outer = report["sections"]["outer"]
+        inner = report["sections"]["inner"]
+        assert outer["total_s"] == pytest.approx(10.0)
+        assert outer["self_s"] == pytest.approx(7.0)  # 10 - 3 in child
+        assert inner["total_s"] == pytest.approx(3.0)
+        assert inner["self_s"] == pytest.approx(3.0)
+        assert outer["calls"] == inner["calls"] == 1
+
+    def test_account_credits_enclosing_section(self):
+        ticks = iter([0.0, 0.0, 10.0, 10.0])
+        prof = Profiler(time_source=lambda: next(ticks))
+        with prof.section("outer"):
+            prof.account("leaf", 4.0)
+        report = prof.report()
+        assert report["sections"]["leaf"]["total_s"] == pytest.approx(4.0)
+        # The leaf's time is subtracted from the enclosing section's
+        # exclusive time exactly once.
+        assert report["sections"]["outer"]["self_s"] == pytest.approx(6.0)
+
+    def test_counters_and_heap_tallies(self):
+        prof = Profiler()
+        prof.count("widgets")
+        prof.count("widgets", 2)
+        prof.set_count("gadgets", 7)
+        prof.heap_pushes += 3
+        prof.heap_pops += 2
+        counters = prof.report()["counters"]
+        assert counters["widgets"] == 3
+        assert counters["gadgets"] == 7
+        assert counters["sim.heap_pushes"] == 3
+        assert counters["sim.heap_pops"] == 2
+
+    def test_call_times_and_passes_through(self):
+        prof = Profiler()
+        assert prof.call("f", lambda x: x + 1, 41) == 42
+        assert prof.report()["sections"]["f"]["calls"] == 1
+
+    def test_report_shape(self):
+        prof = Profiler()
+        with prof.section("s"):
+            pass
+        report = prof.report()
+        assert set(report) == {"wall_s", "sections", "counters", "rates"}
+        assert set(report["sections"]["s"]) == {
+            "calls", "total_s", "self_s", "mean_us", "p50_us", "p95_us",
+        }
+
+    def test_events_per_second_prefers_simulate_section(self):
+        sections = {"run.simulate": {"total_s": 2.0}}
+        assert events_per_second(100, sections, 50.0) == pytest.approx(50.0)
+        assert events_per_second(100, {}, 50.0) == pytest.approx(2.0)
+        assert events_per_second(100, {}, 0.0) == 0.0
+
+    def test_span_collection_is_bounded(self):
+        prof = Profiler(keep_spans=True, max_spans=3)
+        for _ in range(5):
+            with prof.section("s"):
+                pass
+        assert len(prof.spans()) == 3
+
+
+# -- determinism and the profiler=None gate -----------------------------------
+
+class TestDeterminism:
+    def test_section_tree_and_counts_identical_across_runs(self):
+        prof_a, prof_b = Profiler(), Profiler()
+        _run(profiler=prof_a)
+        _run(profiler=prof_b)
+        rep_a, rep_b = prof_a.report(), prof_b.report()
+        # Identical tree: same section names, same call counts.
+        assert sorted(rep_a["sections"]) == sorted(rep_b["sections"])
+        calls_a = {k: v["calls"] for k, v in rep_a["sections"].items()}
+        calls_b = {k: v["calls"] for k, v in rep_b["sections"].items()}
+        assert calls_a == calls_b
+        # Identical counters, including the heap tallies.
+        assert rep_a["counters"] == rep_b["counters"]
+        # Wall time is the only thing allowed to vary.
+        assert rep_a["counters"]["sim.events_processed"] > 0
+
+    def test_profiler_off_leaves_run_bit_identical(self):
+        off = _run(profiler=None)
+        on = _run(profiler=Profiler())
+        assert off.makespan == on.makespan
+        assert off.offloads == on.offloads
+        assert off.result_digest == on.result_digest
+        assert off.bootstrap_digests == on.bootstrap_digests
+        assert off.events_processed == on.events_processed
+
+    def test_events_processed_matches_heap_pops(self):
+        prof = Profiler()
+        result = _run(profiler=prof)
+        counters = prof.report()["counters"]
+        assert counters["sim.events_processed"] == result.events_processed
+        assert counters["sim.heap_pops"] == result.events_processed
+
+
+# -- exporters ----------------------------------------------------------------
+
+class TestExport:
+    def test_render_profile_table(self):
+        prof = Profiler()
+        _run(profiler=prof)
+        text = render_profile(prof.report(), sort="self", top=5,
+                              title="unit test")
+        assert "unit test" in text
+        assert "events/s" in text
+        assert "run.simulate" in text
+        assert "counters:" in text
+
+    def test_render_profile_sort_keys(self):
+        prof = Profiler()
+        _run(profiler=prof)
+        for sort in ("self", "total", "calls"):
+            assert render_profile(prof.report(), sort=sort)
+        # Unknown sort keys fall back to self-time ordering.
+        report = prof.report()
+        assert render_profile(report, sort="bogus") == render_profile(
+            report, sort="self"
+        )
+
+    def test_chrome_events_need_kept_spans(self):
+        prof = Profiler(keep_spans=True)
+        _run(profiler=prof)
+        events = profile_chrome_events(prof)
+        phases = {e["ph"] for e in events}
+        assert "X" in phases  # complete wall spans
+        assert all(e["pid"] == 1000 for e in events)
+        names = {e["name"] for e in events if e["ph"] == "X"}
+        assert "run.simulate" in names
+
+    def test_write_profile_trace_merges_sim_and_wall(self, tmp_path):
+        tracer = Tracer(enabled=True)
+        prof = Profiler(keep_spans=True)
+        _run(profiler=prof, tracer=tracer)
+        path = tmp_path / "trace.json"
+        write_profile_trace(tracer, prof, path)
+        doc = json.loads(path.read_text())
+        pids = {e.get("pid") for e in doc["traceEvents"]}
+        assert 1000 in pids          # wall-clock lane
+        assert pids - {1000}         # at least one sim-time lane
+
+
+# -- the three surfaces -------------------------------------------------------
+
+class TestSurfaces:
+    def test_cli_profile_json(self, capsys):
+        rc = main(["profile", "--scenario", "fig8", "--bootstraps", "2",
+                   "--tasks", "40", "--json"])
+        assert rc == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["counters"]["sim.events_processed"] > 0
+        assert report["rates"]["events_per_wall_second"] > 0
+        assert any(name.startswith("sim.event.")
+                   for name in report["sections"])
+
+    def test_cli_profile_table_and_perfetto(self, tmp_path, capsys):
+        out = tmp_path / "prof.json"
+        rc = main(["profile", "--scenario", "fig8", "--bootstraps", "2",
+                   "--tasks", "40", "--sort", "calls", "--perfetto",
+                   str(out)])
+        assert rc == 0
+        assert "wall-clock profile" in capsys.readouterr().out
+        assert json.loads(out.read_text())["traceEvents"]
+
+    def test_report_perf_lane_populated(self):
+        tracer = Tracer(enabled=True)
+        metrics = MetricsRegistry()
+        prof = Profiler()
+        _run(profiler=prof, tracer=tracer, metrics=metrics)
+        html = render_report(tracer, metrics, profile=prof.report())
+        assert 'id="perf"' in html
+        assert "self (exclusive) time" in html
+        assert "run.simulate" in html
+
+    def test_report_perf_lane_empty_state(self):
+        tracer = Tracer(enabled=True)
+        metrics = MetricsRegistry()
+        _run(tracer=tracer, metrics=metrics)
+        html = render_report(tracer, metrics)
+        assert 'id="perf"' in html
+        assert "No wall-clock profile" in html
+
+    def test_measure_throughput_grid_shape(self):
+        grid = measure_throughput(bootstraps=1, tasks=30, seed=0,
+                                  duration_s=120.0, reps=1)
+        assert set(grid) == {"workload", "scenarios"}
+        fig8 = grid["scenarios"]["fig8"]
+        serve = grid["scenarios"]["serve"]
+        assert fig8["events"] > 0
+        assert fig8["events_per_sec_wall"] > 0
+        assert serve["jobs"] >= 0
+        assert serve["events_per_sec_wall"] > 0
+        # Event/job counts are deterministic for a fixed workload.
+        again = measure_throughput(bootstraps=1, tasks=30, seed=0,
+                                   duration_s=120.0, reps=1)
+        assert again["scenarios"]["fig8"]["events"] == fig8["events"]
+        assert again["scenarios"]["serve"]["events"] == serve["events"]
+        assert again["scenarios"]["serve"]["jobs"] == serve["jobs"]
