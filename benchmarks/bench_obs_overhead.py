@@ -21,6 +21,13 @@ for cross-PR comparison.  The profiler leg additionally proves the
 ``profiler=None`` gate: attaching a :class:`repro.obs.Profiler` must
 leave the schedule — makespan, off-load count and the per-bootstrap
 digest map — bit-identical.
+
+A fifth, *causal* leg runs with the tracer attached and then folds the
+trace into off-load span trees plus an aggregate critical-path
+breakdown (:mod:`repro.obs.causal` / :mod:`repro.obs.attribution`).
+Collection is post-hoc, so the run's digests must stay bit-identical
+to the off path; the fold's wall cost is recorded as
+``causal_over_off_ratio_wall``.
 """
 
 import time
@@ -30,7 +37,7 @@ from conftest import run_once
 from repro.cell.params import BladeParams
 from repro.core.runner import run_experiment
 from repro.core.schedulers import mgps
-from repro.obs import MetricsRegistry, Profiler
+from repro.obs import MetricsRegistry, Profiler, build_offload_trees, critical_path
 from repro.sim.trace import Tracer
 from repro.workloads.traces import Workload
 
@@ -45,6 +52,15 @@ def _run(tracer=None, metrics=None, profiler=None):
         mgps(), wl, blade=BladeParams(), seed=0,
         tracer=tracer, metrics=metrics, profiler=profiler,
     )
+
+
+def _causal_run():
+    """Traced run + full causal fold — the priced end-to-end pipeline."""
+    tracer = Tracer(enabled=True)
+    result = _run(tracer=tracer)
+    roots = build_offload_trees(tracer)
+    paths = [critical_path(r) for r in roots]
+    return result, roots, paths
 
 
 def _best_of(reps, fn):
@@ -72,17 +88,19 @@ def test_obs_overhead(benchmark, record_json):
         prof_wall, prof_raw, prof = _best_of(
             REPS, lambda: _run(profiler=Profiler())
         )
+        causal_wall, causal_raw, causal = _best_of(REPS, _causal_run)
         raw = {
             "off": off_raw,
             "on": on_raw,
             "metrics_only": metrics_raw,
             "profiler": prof_raw,
+            "causal": causal_raw,
         }
-        return off_wall, on_wall, metrics_wall, prof_wall, off, on, prof, raw
+        return (off_wall, on_wall, metrics_wall, prof_wall, causal_wall,
+                off, on, prof, causal, raw)
 
-    off_wall, on_wall, metrics_wall, prof_wall, off, on, prof, raw = run_once(
-        benchmark, measure
-    )
+    (off_wall, on_wall, metrics_wall, prof_wall, causal_wall,
+     off, on, prof, causal, raw) = run_once(benchmark, measure)
 
     # Observability must not perturb the simulation...
     assert off.makespan == on.makespan
@@ -102,6 +120,18 @@ def test_obs_overhead(benchmark, record_json):
     assert off.events_processed == prof.events_processed
     assert off_wall <= prof_wall * 1.02
 
+    # The causal fold is post-hoc: tracing + tree assembly must leave
+    # every deterministic outcome bit-identical to the stripped run,
+    # and the trees must cover every recorded off-load.
+    causal_result, causal_roots, causal_paths = causal
+    assert off.makespan == causal_result.makespan
+    assert off.offloads == causal_result.offloads
+    assert off.result_digest == causal_result.result_digest
+    assert off.bootstrap_digests == causal_result.bootstrap_digests
+    assert off.events_processed == causal_result.events_processed
+    assert len(causal_roots) == off.offloads
+    assert all(len(p) >= 2 for p in causal_paths)
+
     # Summary -> the tracked repo-root baseline; raw samples -> out/.
     record_json(
         "BENCH_obs",
@@ -118,9 +148,11 @@ def test_obs_overhead(benchmark, record_json):
             "on_seconds_wall": on_wall,
             "metrics_only_seconds_wall": metrics_wall,
             "profiler_seconds_wall": prof_wall,
+            "causal_seconds_wall": causal_wall,
             "on_over_off_ratio_wall": on_wall / off_wall,
             "metrics_over_off_ratio_wall": metrics_wall / off_wall,
             "profiler_over_off_ratio_wall": prof_wall / off_wall,
+            "causal_over_off_ratio_wall": causal_wall / off_wall,
         },
         root=True,
     )

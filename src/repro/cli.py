@@ -263,6 +263,35 @@ def build_parser() -> argparse.ArgumentParser:
     add_llp_schedule_flag(p)
 
     p = sub.add_parser(
+        "explain",
+        help="per-job critical-path latency attribution for one run",
+        description=(
+            "Run one representative simulation of the named scenario (or "
+            "scheduler), rebuild causal span trees from its trace and "
+            "print critical paths.  Serving runs get per-job phase "
+            "breakdowns (admission wait, blade queue, dispatch overhead, "
+            "service, failover requeues) whose durations sum to the "
+            "job's sojourn time, plus aggregate per-tenant shares; core "
+            "scenarios get the slowest off-load trees (retry attempts, "
+            "backoff waits, PPE fallback, LLP chunk fan-out)."
+        ),
+    )
+    p.add_argument("scenario", nargs="?", choices=_OBSERVABLE,
+                   default="serve")
+    p.add_argument("--job", type=int, default=None, metavar="ID",
+                   help="explain a single job by id (serve scenario)")
+    p.add_argument("--tenant", default=None, metavar="NAME",
+                   help="restrict per-job output to one tenant")
+    p.add_argument("--top", type=int, default=5,
+                   help="slowest jobs / off-loads to show (default 5)")
+    p.add_argument("--json", action="store_true",
+                   help="emit trees and breakdown as JSON instead of text")
+    p.add_argument("--bootstraps", type=int, default=3)
+    p.add_argument("--tasks", type=int, default=200)
+    p.add_argument("--seed", type=int, default=0)
+    add_llp_schedule_flag(p)
+
+    p = sub.add_parser(
         "profile",
         help="wall-clock profile of one scenario run",
         description=(
@@ -695,6 +724,69 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
         print(f"wrote report to {args.out} ({len(findings)} finding(s); "
               f"self-contained, open in any browser)")
+    elif args.command == "explain":
+        import json as _json
+
+        from .obs import (
+            aggregate_breakdown,
+            build_job_trees,
+            build_offload_trees,
+            critical_path,
+            job_summary,
+            publish_breakdown,
+            render_explain,
+            top_slowest,
+        )
+
+        tracer, metrics, result = _run_observed(
+            args.scenario, args.bootstraps, args.tasks, args.seed,
+            llp_schedule=args.llp_schedule,
+        )
+        if args.scenario == "serve":
+            trees = build_job_trees(tracer)
+            breakdown = aggregate_breakdown(trees)
+            publish_breakdown(metrics, breakdown)
+            if args.json:
+                if args.job is not None:
+                    jobs = ([job_summary(trees[args.job])]
+                            if args.job in trees else [])
+                else:
+                    jobs = top_slowest(trees, k=args.top,
+                                       tenant=args.tenant)
+                print(_json.dumps(
+                    {"scenario": args.scenario, "breakdown": breakdown,
+                     "jobs": jobs},
+                    indent=2, sort_keys=True,
+                ))
+            else:
+                print(render_explain(trees, breakdown, top=args.top,
+                                     job=args.job, tenant=args.tenant))
+            if args.job is not None and args.job not in trees:
+                return 1
+        else:
+            roots = build_offload_trees(tracer)
+            slow = sorted(roots,
+                          key=lambda r: (-r.duration, r.start))[:args.top]
+            if args.json:
+                print(_json.dumps(
+                    {"scenario": args.scenario,
+                     "offloads": len(roots),
+                     "slowest": [r.to_dict() for r in slow]},
+                    indent=2, sort_keys=True,
+                ))
+            elif not roots:
+                print("no off-loads recorded — nothing to attribute")
+            else:
+                print(f"{args.scenario}: {len(roots)} off-loads, top "
+                      f"{len(slow)} slowest critical paths:")
+                for r in slow:
+                    segs = " -> ".join(
+                        f"{n.name} {n.duration * 1e6:.1f}us"
+                        for n in critical_path(r)[1:]
+                    )
+                    print(f"  {r.attrs.get('proc')} "
+                          f"{r.attrs.get('function')} "
+                          f"[{r.duration * 1e6:.1f}us]: {segs}")
     elif args.command == "profile":
         import json as _json
 

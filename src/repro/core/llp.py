@@ -334,10 +334,21 @@ class LoopParallelModel:
         config: Optional[LLPConfig] = None,
         metrics: Optional[object] = None,
         profiler: Optional[object] = None,
+        tracer: Optional[object] = None,
+        clock: Optional[object] = None,
     ) -> None:
         self.params = params
         self.config = config or LLPConfig()
         self.profiler = profiler
+        # Optional trace sink for per-invocation chunk fan-out detail
+        # (``llp_fanout`` events).  ``clock`` supplies the simulated
+        # timestamp (the model itself is a synchronous closed form); a
+        # disabled tracer is collapsed to None so the invoke hot path
+        # pays one ``is None`` check when observability is off.
+        if tracer is not None and not getattr(tracer, "enabled", True):
+            tracer = None
+        self.tracer = tracer
+        self.clock = clock
         self.mfc = MFC(params)
         self._schedule = resolve_loop_schedule(self.config.schedule)
         self._fraction: Dict[Tuple[str, int], float] = {}
@@ -393,28 +404,60 @@ class LoopParallelModel:
         task: TaskSpec,
         k: int,
         cross_cell_workers: int = 0,
+        actor: str = "",
     ) -> LLPInvocation:
         """Timing of ``task`` executed with work-sharing over ``k`` SPEs.
 
         ``cross_cell_workers`` counts workers on the other Cell of a
-        blade, whose signals pay the inter-chip penalty.
+        blade, whose signals pay the inter-chip penalty.  ``actor``
+        names the master SPE in emitted ``llp_fanout`` trace events so
+        the causal layer can attribute concurrent invocations.
         """
         prof = self.profiler
         if prof is None:
-            return self._invoke(task, k, cross_cell_workers)
+            return self._invoke(task, k, cross_cell_workers, actor)
         # The invocation model is a synchronous closed form (plus the
         # chunk-queue loop for non-static schedules) — safe to wall-time.
         with prof.section("llp.invoke"):
-            inv = self._invoke(task, k, cross_cell_workers)
+            inv = self._invoke(task, k, cross_cell_workers, actor)
         prof.count("llp.invocations")
         prof.count("llp.chunks", len(inv.chunks))
         return inv
+
+    def _emit_fanout(
+        self,
+        task: TaskSpec,
+        actor: str,
+        base: float,
+        master_end: float,
+        worker_starts: List[float],
+        worker_ends: List[float],
+        inv: LLPInvocation,
+    ) -> None:
+        """Chunk fan-out/join detail for the causal span layer.
+
+        Offsets are relative to the invocation's start (``base`` covers
+        setup + the serial fraction), so a consumer can lay master and
+        worker chunk spans on the simulated timeline.
+        """
+        now = self.clock() if self.clock is not None else 0.0
+        self.tracer.emit(
+            now, "llp", "model", "llp_fanout",
+            function=task.function, k=inv.k, master=actor,
+            schedule=inv.schedule, base=base,
+            master_end=master_end,
+            worker_starts=tuple(worker_starts),
+            worker_ends=tuple(worker_ends),
+            join_idle=inv.join_idle, reduction=inv.reduction_time,
+            duration=inv.duration,
+        )
 
     def _invoke(
         self,
         task: TaskSpec,
         k: int,
         cross_cell_workers: int = 0,
+        actor: str = "",
     ) -> LLPInvocation:
         if k < 1:
             raise ValueError("k must be >= 1")
@@ -436,7 +479,7 @@ class LoopParallelModel:
                 schedule=self.config.schedule, chunk_counts=(1,),
             )
         if self._schedule.name != "static":
-            return self._invoke_scheduled(task, k, cross_cell_workers)
+            return self._invoke_scheduled(task, k, cross_cell_workers, actor)
         cfg = self.config
         p = self.params
 
@@ -501,7 +544,7 @@ class LoopParallelModel:
             self._m_chunk.observe(c)
         self._m_join_idle.observe(join_idle * 1e6)
         self._m_fraction.set(f)
-        return LLPInvocation(
+        inv = LLPInvocation(
             duration=duration,
             k=k,
             chunks=tuple(chunks),
@@ -513,12 +556,17 @@ class LoopParallelModel:
             schedule="static",
             chunk_counts=(1,) * k,
         )
+        if self.tracer is not None:
+            self._emit_fanout(task, actor, cfg.setup + serial, master_end,
+                              start_delays, worker_ends, inv)
+        return inv
 
     def _invoke_scheduled(
         self,
         task: TaskSpec,
         k: int,
         cross_cell_workers: int,
+        actor: str = "",
     ) -> LLPInvocation:
         """Invocation timing under a non-static :class:`LoopSchedule`.
 
@@ -598,7 +646,7 @@ class LoopParallelModel:
         self._m_join_idle.observe(join_idle * 1e6)
         self._m_fraction.set(f)
         delays = avail[1:]
-        return LLPInvocation(
+        inv = LLPInvocation(
             duration=duration,
             k=k,
             chunks=tuple(shares),
@@ -610,3 +658,7 @@ class LoopParallelModel:
             schedule=self._schedule.name,
             chunk_counts=tuple(len(a) for a in assignments),
         )
+        if self.tracer is not None:
+            self._emit_fanout(task, actor, cfg.setup + serial, master_end,
+                              delays, ends[1:], inv)
+        return inv

@@ -98,6 +98,7 @@ class OffloadEngine:
         self.llp_model = LoopParallelModel(
             self.cell, llp_config, metrics=self.metrics,
             profiler=self.profiler,
+            tracer=self.tracer, clock=lambda: env.now,
         )
         self.stats = RuntimeStats()
         self._active_sources: Set[int] = set()
@@ -319,7 +320,8 @@ class OffloadEngine:
 
         if workers:
             cross = sum(1 for w in workers if w.cell_id != spe.cell_id)
-            inv = self.llp_model.invoke(task, 1 + len(workers), cross)
+            inv = self.llp_model.invoke(task, 1 + len(workers), cross,
+                                         actor=spe.name)
             duration = inv.duration
             self.stats.llp_invocations += 1
             self.stats.llp_worker_seconds += duration * len(workers)
@@ -611,7 +613,8 @@ class OffloadEngine:
 
         if workers:
             cross = sum(1 for w in workers if w.cell_id != spe.cell_id)
-            inv = self.llp_model.invoke(task, 1 + len(workers), cross)
+            inv = self.llp_model.invoke(task, 1 + len(workers), cross,
+                                         actor=spe.name)
             duration = inv.duration
             self.stats.llp_invocations += 1
             self.stats.llp_worker_seconds += duration * len(workers)
@@ -749,9 +752,18 @@ class OffloadEngine:
             if self.tracer.enabled:
                 sp.set(function=task.function, reason=decision.reason)
             for attempt in range(tol.max_attempts):
+                if pinned and not spe.in_service:
+                    break
+                if self.tracer.enabled:
+                    # Attempt boundary: lets the causal layer rebuild
+                    # retries as sibling spans with the backoff waits
+                    # between them.
+                    self.tracer.emit(
+                        env.now, "fault", f"mpi{ctx.rank}",
+                        "offload_attempt",
+                        function=task.function, attempt=attempt,
+                    )
                 if pinned:
-                    if not spe.in_service:
-                        break
                     yield ctx.thread.run(self.cell.dispatch_overhead)
                     workers: List[SPE] = []
                     release = False

@@ -17,11 +17,24 @@ package makes those decisions observable without perturbing them:
 * :mod:`repro.obs.bench` — the tracked benchmark trajectory and its
   regression gate over the committed ``BENCH_*.json`` baselines;
 * :mod:`repro.obs.profile` — low-overhead wall-clock profiling of the
-  simulation hot path (scoped timers, heap tallies, events/sec).
+  simulation hot path (scoped timers, heap tallies, events/sec);
+* :mod:`repro.obs.causal` — post-hoc causal span trees (per-job serve
+  lifecycles, off-load attempt/backoff/fallback/LLP-fan-out trees);
+* :mod:`repro.obs.attribution` — critical-path extraction and
+  aggregate latency breakdowns (``serve.breakdown.*``);
+* :mod:`repro.obs.timeseries` — deterministic sim-time-bucketed gauge
+  series sampled from a finished trace.
 
 Everything is stdlib-only and hangs off per-run objects — no globals.
 """
 
+from .attribution import (
+    aggregate_breakdown,
+    job_summary,
+    publish_breakdown,
+    render_explain,
+    top_slowest,
+)
 from .bench import (
     check_baselines,
     check_perf_floors,
@@ -37,6 +50,15 @@ from .export import (
     write_chrome_trace,
     write_metrics_snapshot,
     write_trace_jsonl,
+)
+from .causal import (
+    JobTree,
+    PHASE_ORDER,
+    ReconciliationError,
+    SpanNode,
+    build_job_trees,
+    build_offload_trees,
+    critical_path,
 )
 from .metrics import (
     Counter,
@@ -66,6 +88,7 @@ from .profile import (
 )
 from .report import render_report, write_report
 from .spans import NULL_SPAN, Span, SpanRecorder
+from .timeseries import TimeSeries, sample_timeseries
 
 __all__ = [
     "Counter",
@@ -105,4 +128,18 @@ __all__ = [
     "compare",
     "check_baselines",
     "check_perf_floors",
+    "JobTree",
+    "PHASE_ORDER",
+    "ReconciliationError",
+    "SpanNode",
+    "build_job_trees",
+    "build_offload_trees",
+    "critical_path",
+    "aggregate_breakdown",
+    "job_summary",
+    "publish_breakdown",
+    "render_explain",
+    "top_slowest",
+    "TimeSeries",
+    "sample_timeseries",
 ]

@@ -1,0 +1,232 @@
+"""Critical-path extraction and aggregate latency breakdowns.
+
+Consumes the causal trees from :mod:`repro.obs.causal` and answers the
+question the raw percentiles cannot: *where did the time go* — per
+job, per tenant, per template, and for the jobs that define the tail.
+
+Every aggregate is deterministic: exemplar jobs are picked by the same
+nearest-rank rule as :func:`repro.serve.slo.exact_percentile`, ties
+break on job id, and all published floats go through
+:func:`~repro.obs.metrics.stable_round`.  A run with zero completed
+jobs yields an explicit empty breakdown (``completed == 0`` plus a
+note) instead of a crash or a division by zero.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, Iterable, List, Mapping, Optional
+
+from .causal import JobTree, PHASE_ORDER
+from .metrics import labeled, stable_round
+
+__all__ = [
+    "job_summary",
+    "aggregate_breakdown",
+    "top_slowest",
+    "publish_breakdown",
+    "render_explain",
+]
+
+_PERCENTILES = (50, 95, 99)
+
+
+def _completed(trees: Mapping[int, JobTree]) -> List[JobTree]:
+    return [t for t in trees.values() if t.status == "completed"]
+
+
+def job_summary(tree: JobTree, tol: float = 1e-6) -> Dict[str, Any]:
+    """One job's phase composition; validates reconciliation first."""
+    tree.validate(tol)
+    phases = tree.phase_durations()
+    sojourn = tree.sojourn
+    dominant = max(phases.items(), key=lambda kv: (kv[1], kv[0]))[0] \
+        if phases else ""
+    return {
+        "job_id": tree.job_id,
+        "tenant": tree.tenant,
+        "template": tree.template,
+        "variant": tree.variant,
+        "status": tree.status,
+        "sojourn_s": stable_round(sojourn),
+        "phases_s": {k: stable_round(v) for k, v in phases.items()},
+        "phase_shares": {
+            k: stable_round(v / sojourn if sojourn > 0 else 0.0)
+            for k, v in phases.items()
+        },
+        "dominant_phase": dominant,
+    }
+
+
+def _nearest_rank(sorted_trees: List[JobTree], p: float) -> JobTree:
+    idx = max(0, math.ceil(p / 100.0 * len(sorted_trees)) - 1)
+    return sorted_trees[idx]
+
+
+def _group_breakdown(group: List[JobTree]) -> Dict[str, Any]:
+    n = len(group)
+    totals: Dict[str, float] = {}
+    sojourn_total = 0.0
+    for tree in group:
+        sojourn_total += tree.sojourn
+        for name, dur in tree.phase_durations().items():
+            totals[name] = totals.get(name, 0.0) + dur
+    ordered = [p for p in PHASE_ORDER if p in totals] + \
+        sorted(k for k in totals if k not in PHASE_ORDER)
+    by_latency = sorted(group, key=lambda t: (t.sojourn, t.job_id))
+    exemplars = {}
+    for p in _PERCENTILES:
+        t = _nearest_rank(by_latency, p)
+        s = job_summary(t)
+        exemplars[f"p{p}"] = {
+            "job_id": s["job_id"],
+            "tenant": s["tenant"],
+            "sojourn_s": s["sojourn_s"],
+            "dominant_phase": s["dominant_phase"],
+            "phase_shares": s["phase_shares"],
+        }
+    return {
+        "jobs": n,
+        "mean_sojourn_s": stable_round(sojourn_total / n),
+        "mean_phase_s": {
+            k: stable_round(totals[k] / n) for k in ordered
+        },
+        "phase_shares": {
+            k: stable_round(
+                totals[k] / sojourn_total if sojourn_total > 0 else 0.0
+            )
+            for k in ordered
+        },
+        "percentile_exemplars": exemplars,
+    }
+
+
+def aggregate_breakdown(trees: Mapping[int, JobTree]) -> Dict[str, Any]:
+    """Overall + per-tenant + per-template latency breakdown.
+
+    The empty state is explicit: with no completed jobs the result is
+    ``{"completed": 0, "note": ...}`` and every consumer (CLI, report,
+    bench rows) renders it as such rather than dividing by zero.
+    """
+    completed = _completed(trees)
+    lost = sum(1 for t in trees.values() if t.status == "lost")
+    if not completed:
+        return {
+            "completed": 0,
+            "lost": lost,
+            "note": "no completed jobs — nothing to attribute",
+        }
+    out: Dict[str, Any] = {"completed": len(completed), "lost": lost}
+    out["overall"] = _group_breakdown(completed)
+    tenants: Dict[str, List[JobTree]] = {}
+    templates: Dict[str, List[JobTree]] = {}
+    for t in completed:
+        tenants.setdefault(t.tenant, []).append(t)
+        templates.setdefault(t.template or "?", []).append(t)
+    out["tenants"] = {
+        name: _group_breakdown(group)
+        for name, group in sorted(tenants.items())
+    }
+    out["templates"] = {
+        name: _group_breakdown(group)
+        for name, group in sorted(templates.items())
+    }
+    return out
+
+
+def top_slowest(trees: Mapping[int, JobTree], k: int = 5,
+                tenant: Optional[str] = None) -> List[Dict[str, Any]]:
+    """The ``k`` slowest completed jobs, slowest first, ties on job id."""
+    pool = _completed(trees)
+    if tenant is not None:
+        pool = [t for t in pool if t.tenant == tenant]
+    pool.sort(key=lambda t: (-t.sojourn, t.job_id))
+    return [job_summary(t) for t in pool[:k]]
+
+
+def publish_breakdown(metrics, breakdown: Mapping[str, Any]) -> None:
+    """Publish breakdown shares as ``serve.breakdown.*`` gauges."""
+    metrics.gauge(
+        "serve.breakdown.completed",
+        help="completed jobs covered by the latency breakdown",
+    ).set(breakdown.get("completed", 0))
+    overall = breakdown.get("overall")
+    if not overall:
+        return
+    for phase, share in overall["phase_shares"].items():
+        key = phase.replace("-", "_")
+        metrics.gauge(
+            f"serve.breakdown.{key}_share",
+            help=f"share of total sojourn spent in the {phase} phase",
+        ).set(share)
+    for tenant, group in breakdown.get("tenants", {}).items():
+        for phase, share in group["phase_shares"].items():
+            key = phase.replace("-", "_")
+            metrics.gauge(
+                labeled(f"serve.breakdown.{key}_share", tenant=tenant)
+            ).set(share)
+
+
+def _fmt_path(summary: Dict[str, Any]) -> List[str]:
+    lines = [
+        f"job {summary['job_id']} ({summary['tenant']}, "
+        f"{summary['template'] or '?'} v{summary['variant']}): "
+        f"sojourn {summary['sojourn_s']:.3f} s, "
+        f"dominant phase {summary['dominant_phase']}"
+    ]
+    for name, dur in summary["phases_s"].items():
+        share = summary["phase_shares"][name]
+        lines.append(f"    {name:<26s} {dur:>12.3f} s  ({share:6.1%})")
+    return lines
+
+
+def render_explain(trees: Mapping[int, JobTree],
+                   breakdown: Mapping[str, Any],
+                   top: int = 5,
+                   job: Optional[int] = None,
+                   tenant: Optional[str] = None) -> str:
+    """Human-readable attribution: critical paths + aggregate shares."""
+    lines: List[str] = []
+    if breakdown.get("completed", 0) == 0:
+        lines.append("no completed jobs — nothing to attribute")
+        lost = breakdown.get("lost", 0)
+        total = len(trees)
+        if total:
+            lines.append(
+                f"({total} job(s) observed: {lost} lost, "
+                f"{total - lost} still in flight or shed)"
+            )
+        return "\n".join(lines)
+    if job is not None:
+        tree = trees.get(job)
+        if tree is None:
+            return f"job {job} not found in this trace"
+        lines.extend(_fmt_path(job_summary(tree)))
+        return "\n".join(lines)
+    slowest = top_slowest(trees, k=top, tenant=tenant)
+    scope = f" (tenant {tenant})" if tenant is not None else ""
+    lines.append(
+        f"top {len(slowest)} slowest of {breakdown['completed']} "
+        f"completed jobs{scope}:"
+    )
+    for s in slowest:
+        lines.append("")
+        lines.extend(_fmt_path(s))
+    lines.append("")
+    lines.append("aggregate phase shares of total sojourn:")
+    overall = breakdown["overall"]
+    for name, share in overall["phase_shares"].items():
+        lines.append(
+            f"    {name:<26s} {overall['mean_phase_s'][name]:>12.3f} s mean"
+            f"  ({share:6.1%})"
+        )
+    for tname, group in breakdown.get("tenants", {}).items():
+        if tenant is not None and tname != tenant:
+            continue
+        dom = max(group["phase_shares"].items(),
+                  key=lambda kv: (kv[1], kv[0]))[0]
+        lines.append(
+            f"    tenant {tname}: {group['jobs']} jobs, mean sojourn "
+            f"{group['mean_sojourn_s']:.3f} s, dominant phase {dom}"
+        )
+    return "\n".join(lines)

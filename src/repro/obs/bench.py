@@ -112,11 +112,13 @@ REQUIRED_OBS_KEYS = (
     "on_over_off_ratio_wall",
     "metrics_over_off_ratio_wall",
     "profiler_over_off_ratio_wall",
+    "causal_over_off_ratio_wall",
 )
 REQUIRED_SERVE_KEYS = (
     "workload",
     "policies",
     "digests_identical",
+    "breakdown",
 )
 REQUIRED_PERF_KEYS = (
     "workload",
@@ -361,6 +363,11 @@ def measure_serve(
     submission sets per policy), every dispatch policy must produce
     bit-identical per-job digest maps — ``digests_identical`` is that
     invariant.  All fields are deterministic except ``seconds_wall``.
+
+    The ``breakdown`` block carries tracked latency-attribution rows
+    (overall and per-tenant sojourn phase shares from one traced
+    static-block fixed run) plus ``digest_invariant_under_tracing``,
+    proving the causal collection never perturbs outcomes.
     """
     from ..serve import ServeConfig, default_tenants, run_service
 
@@ -418,6 +425,48 @@ def measure_serve(
         digest_maps.append(run_service(cfg).digest_map())
     digests_identical = all(m == digest_maps[0] for m in digest_maps[1:])
 
+    # Latency attribution rows: one traced static-block fixed run,
+    # folded into causal job trees and aggregated per tenant.  The same
+    # configuration is re-run untraced and its digest map compared —
+    # attaching the tracer must never change a simulated outcome.
+    from ..sim.trace import Tracer
+    from .attribution import aggregate_breakdown
+    from .causal import build_job_trees
+
+    base_cfg = ServeConfig(
+        tenants=tenants,
+        duration_s=duration_s,
+        seed=seed,
+        dispatch=SERVE_POLICIES[0],
+        autoscale=False,
+    )
+    tracer = Tracer(enabled=True)
+    traced = run_service(base_cfg, tracer=tracer)
+    untraced = run_service(base_cfg)
+    full = aggregate_breakdown(build_job_trees(tracer))
+    breakdown: Dict[str, Any] = {
+        "completed": full["completed"],
+        "lost": full.get("lost", 0),
+        "digest_invariant_under_tracing":
+            traced.digest_map() == untraced.digest_map(),
+    }
+    if full["completed"]:
+        breakdown["overall"] = {
+            "jobs": full["overall"]["jobs"],
+            "mean_sojourn_s": full["overall"]["mean_sojourn_s"],
+            "phase_shares": full["overall"]["phase_shares"],
+        }
+        breakdown["tenants"] = {
+            name: {
+                "jobs": g["jobs"],
+                "mean_sojourn_s": g["mean_sojourn_s"],
+                "phase_shares": g["phase_shares"],
+            }
+            for name, g in full["tenants"].items()
+        }
+    else:
+        breakdown["note"] = full.get("note", "no completed jobs")
+
     return {
         "workload": {
             "seed": seed,
@@ -427,6 +476,7 @@ def measure_serve(
         },
         "policies": policies,
         "digests_identical": digests_identical,
+        "breakdown": breakdown,
     }
 
 

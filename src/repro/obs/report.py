@@ -395,6 +395,133 @@ def _latency_svg(registry) -> str:
     return f'<p class="chart-note">{stats}</p>{svg}'
 
 
+_PHASE_CLASS = {
+    "admission": "p1",
+    "blade-queue": "p2",
+    "dispatch-overhead": "p4",
+    "service": "p3",
+}
+
+
+def _phase_class(name: str) -> str:
+    # Aborted attempts, requeue hops and anything unexpected render in
+    # the critical hue so failover cost is visually loud.
+    return _PHASE_CLASS.get(name, "p5")
+
+
+def _stacked_bar(label: str, shares: Dict[str, float], detail: str) -> str:
+    """One horizontal 100%-stacked phase bar with a row label."""
+    bar_h, label_w = 18, 150
+    plot_w = _W - label_w - _PAD_R
+    parts = [
+        f'<text class="tick" x="{label_w - 8}" y="{bar_h / 2 + 3:.1f}" '
+        f'text-anchor="end">{_esc(label)}</text>'
+    ]
+    x = float(label_w)
+    for name, share in shares.items():
+        w = max(0.0, share) * plot_w
+        if w <= 0.0:
+            continue
+        parts.append(
+            f'<rect class="{_phase_class(name)}" x="{x:.1f}" y="0" '
+            f'width="{w:.1f}" height="{bar_h}">'
+            f'<title>{_esc(label)} &#8212; {_esc(name)}: '
+            f'{share:.1%}{_esc(detail)}</title></rect>'
+        )
+        x += w
+    return (f'<svg viewBox="0 0 {_W} {bar_h}" class="phase-bar" '
+            f'role="img" aria-label="Phase breakdown: {_esc(label)}">'
+            f'{"".join(parts)}</svg>')
+
+
+def _sparkline(label: str, values: Sequence[float], note: str = "") -> str:
+    """A small inline trend line for one windowed gauge series."""
+    h, label_w = 34, 150
+    plot_w = _W - label_w - _PAD_R
+    hi = max(values) if values else 0.0
+    if hi <= 0.0:
+        hi = 1.0
+    n = max(1, len(values) - 1)
+    pts = " ".join(
+        f"{label_w + i / n * plot_w:.1f},"
+        f"{2 + (h - 4) * (1 - v / hi):.1f}"
+        for i, v in enumerate(values)
+    )
+    peak = max(values) if values else 0.0
+    tail = note or f"peak {_fmt(peak)}"
+    return (
+        f'<svg viewBox="0 0 {_W} {h}" class="spark-row" role="img" '
+        f'aria-label="{_esc(label)} over time">'
+        f'<text class="tick" x="{label_w - 8}" y="{h / 2 + 3:.1f}" '
+        f'text-anchor="end">{_esc(label)}</text>'
+        f'<polyline class="spark" points="{pts}"/>'
+        f'<text class="tick" x="{_W - _PAD_R}" y="{h / 2 + 3:.1f}" '
+        f'text-anchor="end">{_esc(tail)}</text></svg>'
+    )
+
+
+def _attribution_html(tracer) -> str:
+    """Serve phase-breakdown bars + windowed sparklines for #latency.
+
+    Returns '' for non-serving runs (the off-load histogram already
+    covers them); a serving run with zero completed jobs gets an
+    explicit empty state instead of a division by zero.
+    """
+    if tracer is None:
+        return ""
+    records = getattr(tracer, "records", ())
+    if not any(r.category == "serve" for r in records):
+        return ""
+    from .attribution import aggregate_breakdown
+    from .causal import build_job_trees
+    from .timeseries import sample_timeseries
+
+    trees = build_job_trees(tracer)
+    breakdown = aggregate_breakdown(trees)
+    parts = ['<h3>Sojourn phase breakdown</h3>']
+    if breakdown.get("completed", 0) == 0:
+        lost = breakdown.get("lost", 0)
+        parts.append(
+            '<p class="empty">No completed jobs &#8212; nothing to '
+            f'attribute ({len(trees)} observed, {lost} lost).</p>'
+        )
+        return "".join(parts)
+    overall = breakdown["overall"]
+    legend = [(_phase_class(name), name)
+              for name in overall["phase_shares"]]
+    seen = set()
+    legend = [e for e in legend
+              if not (e[0] in seen or seen.add(e[0]))]
+    parts.append(_legend(legend))
+    parts.append(_stacked_bar(
+        f"all jobs ({overall['jobs']})", overall["phase_shares"],
+        f" &#183; mean sojourn {overall['mean_sojourn_s']:.2f} s",
+    ))
+    for tenant, group in breakdown.get("tenants", {}).items():
+        parts.append(_stacked_bar(
+            f"{tenant} ({group['jobs']})", group["phase_shares"],
+            f" &#183; mean sojourn {group['mean_sojourn_s']:.2f} s",
+        ))
+    for p, ex in overall["percentile_exemplars"].items():
+        parts.append(_stacked_bar(
+            f"{p} exemplar (job {ex['job_id']})", ex["phase_shares"],
+            f" &#183; sojourn {ex['sojourn_s']:.2f} s",
+        ))
+    ts = sample_timeseries(tracer)
+    spark_keys = [k for k in ("queue_depth", "in_flight") if k in ts.series]
+    spark_keys += sorted(k for k in ts.series if k.endswith(".u"))
+    if spark_keys:
+        parts.append(
+            f'<h3>Windowed series ({ts.window_s:.0f} s buckets)</h3>'
+        )
+        for key in spark_keys:
+            vals = list(ts.series[key])
+            note = (f"peak {max(vals):.0%}" if key.endswith(".u")
+                    else "")
+            parts.append(_sparkline(key, vals, note))
+    return "".join(parts)
+
+
 def _adaptation_svg(series: Dict[str, List[Tuple[int, float, float]]]) -> str:
     if not series:
         return ('<p class="empty">No loop-parallel invocations recorded '
@@ -808,6 +935,20 @@ circle.hollow { fill: var(--surface-1); stroke: var(--series-1); }
 .swatch.s1 { background: var(--series-1); }
 .swatch.s2 { background: var(--series-2); }
 .swatch.s3 { background: var(--series-3); }
+rect.p1 { fill: var(--series-1); }
+rect.p2 { fill: var(--series-2); }
+rect.p3 { fill: var(--series-3); }
+rect.p4 { fill: var(--warning); }
+rect.p5 { fill: var(--critical); }
+.swatch.p1 { background: var(--series-1); }
+.swatch.p2 { background: var(--series-2); }
+.swatch.p3 { background: var(--series-3); }
+.swatch.p4 { background: var(--warning); }
+.swatch.p5 { background: var(--critical); }
+svg.phase-bar { display: block; margin: 4px 0; }
+svg.spark-row { display: block; margin: 2px 0; }
+polyline.spark { fill: none; stroke: var(--series-1); stroke-width: 1.5;
+  stroke-linejoin: round; }
 table { border-collapse: collapse; width: 100%; }
 th { text-align: left; color: var(--text-secondary); font-weight: 600;
   font-size: 12px; border-bottom: 1px solid var(--baseline); padding: 6px 10px; }
@@ -868,7 +1009,8 @@ def render_report(
         ("u-series",
          "Window utilization U per MGPS decision",
          _u_series_svg(u_series, n_spes, threshold)),
-        ("latency", "Off-load latency", _latency_svg(registry)),
+        ("latency", "Off-load latency",
+         _latency_svg(registry) + _attribution_html(tracer)),
         ("llp-adaptation",
          "LLP adaptive unbalancing",
          _llp_schedule_note(tracer)

@@ -141,7 +141,8 @@ class FrontEnd:
         if self.tracer is not None:
             self.tracer.emit(now, "serve", "frontend", "admit",
                              job=job.job_id, tenant=tenant.name,
-                             variant=variant)
+                             variant=variant,
+                             template=tenant.template.name)
         if not self.wake.triggered:
             self.wake.succeed()
         return job
@@ -182,4 +183,13 @@ class FrontEnd:
                 heapq.heapify(self._heap)
         self._unit_seq += 1
         self.stats.note_batch(len(jobs))
-        return DispatchUnit(seq=self._unit_seq - 1, jobs=jobs)
+        unit = DispatchUnit(seq=self._unit_seq - 1, jobs=jobs)
+        if self.tracer is not None:
+            # Unit formation: the causal layer uses this to time the
+            # admission-queue phase and the windowed sampler uses the
+            # residual depth for its frontend queue series.
+            self.tracer.emit(self.env.now, "serve", "frontend", "unit",
+                             unit=unit.seq,
+                             jobs=tuple(j.job_id for j in jobs),
+                             queued=len(self._heap))
+        return unit

@@ -126,9 +126,15 @@ class BladeState:
     misses in-progress work.
     """
 
-    def __init__(self, env: Environment, index: int, active: bool = True) -> None:
+    def __init__(self, env: Environment, index: int, active: bool = True,
+                 tracer=None) -> None:
         self.env = env
         self.index = index
+        # Same normalization as the Service: a disabled tracer would
+        # still pay payload building per push, so collapse it to None.
+        if tracer is not None and not getattr(tracer, "enabled", True):
+            tracer = None
+        self.tracer = tracer
         self.alive = True
         self.active = active
         self.queue: List[DispatchUnit] = []
@@ -175,6 +181,11 @@ class BladeState:
     def push(self, unit: DispatchUnit) -> None:
         unit.blade = self.index
         self.queue.append(unit)
+        if self.tracer is not None:
+            # Arrival-at-blade record: gives the windowed sampler an
+            # exact per-blade queue-depth step function.
+            self.tracer.emit(self.env.now, "serve", self.name, "enqueue",
+                             unit=unit.seq, depth=len(self.queue))
         if not self.wake.triggered:
             self.wake.succeed()
 

@@ -233,7 +233,7 @@ class Service:
         )
         n_start = config.min_blades if config.autoscale else config.max_blades
         self.blades = [
-            BladeState(env, i, active=(i < n_start))
+            BladeState(env, i, active=(i < n_start), tracer=tracer)
             for i in range(config.max_blades)
         ]
         self.stop = env.event()
@@ -434,6 +434,12 @@ class Service:
             b.units_run += 1
             b.mark_busy()
             b.busy_until = env.now + cfg.dispatch_overhead_s + unit.service_time
+            if self.tracer is not None:
+                # Unit pickup: closes the blade-queue phase of every job
+                # in the unit and opens the dispatch-overhead phase.
+                self.tracer.emit(env.now, "serve", b.name, "unit-start",
+                                 unit=unit.seq,
+                                 jobs=tuple(j.job_id for j in unit.jobs))
             died = yield from self._segment(b, cfg.dispatch_overhead_s)
             idx = 0
             while not died and idx < len(unit.jobs):
