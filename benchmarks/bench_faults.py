@@ -56,4 +56,21 @@ def test_fault_overhead(benchmark, record_json):
     assert faulty["offload_retries"] > 0
     assert faulty["slowdown_ratio"] >= 1.0
 
+    # Fleet-tier resilience: the seeded chaos soak (randomized kills,
+    # flaps, stragglers, link degrades against hedging + breakers) must
+    # lose nothing and change no digests, and the deadline-enforcement
+    # cell must account for every admitted job exactly once.
+    fleet = payload["fleet_faults"]
+    assert fleet["lost_jobs"] == 0, (
+        "the chaos soak lost jobs; failover/hedging dropped work"
+    )
+    assert fleet["digests_identical"], (
+        "fleet faults changed at least one job's result digest"
+    )
+    assert fleet["invariants_ok"], "a chaos-plan invariant was violated"
+    assert fleet["deadline_conservation_ok"], (
+        "deadline shedding double-counted or leaked a job"
+    )
+    assert fleet["deadline_aborts"] > 0  # the enforcement cell fired
+
     record_json("BENCH_faults", payload, root=True)

@@ -410,6 +410,29 @@ def build_parser() -> argparse.ArgumentParser:
                    metavar="BLADE:TIME",
                    help="kill blade index at simulated time (seconds); "
                         "queued and running jobs fail over, repeatable")
+    p.add_argument("--slow-blade", action="append", default=[],
+                   metavar="BLADE:TIME:FACTOR[:DURATION]",
+                   help="multiply blade service times by FACTOR from TIME "
+                        "(optionally recovering after DURATION seconds); "
+                        "repeatable")
+    p.add_argument("--flap-blade", action="append", default=[],
+                   metavar="BLADE:TIME:DOWN",
+                   help="crash the blade at TIME and rejoin it DOWN "
+                        "seconds later (on breaker probation); repeatable")
+    p.add_argument("--degrade-blade", action="append", default=[],
+                   metavar="BLADE:TIME:LATENCY[:DURATION]",
+                   help="add LATENCY seconds of front-end->blade dispatch "
+                        "latency from TIME (optionally recovering after "
+                        "DURATION); repeatable")
+    p.add_argument("--fault-plan", metavar="PATH", default=None,
+                   help="load a FleetFaultPlan JSON file; per-fault flags "
+                        "are appended on top of it")
+    p.add_argument("--resilience", action="store_true",
+                   help="enable hedged dispatch and the per-blade circuit "
+                        "breaker")
+    p.add_argument("--enforce-deadlines", action="store_true",
+                   help="shed jobs whose deadline became unreachable "
+                        "instead of finishing them late")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--json", action="store_true",
                    help="emit the full deterministic run record as JSON")
@@ -417,6 +440,49 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also write the self-contained HTML report "
                         "(includes the serving lane)")
     add_trace_flag(p)
+
+    p = sub.add_parser(
+        "chaos",
+        help="seeded chaos soak over randomized fleet fault plans",
+        description=(
+            "Draw a batch of seeded randomized FleetFaultPlans (blade "
+            "kills, flaps, slowdowns, link degradation), run the same "
+            "open-loop serving workload under each with hedging and the "
+            "circuit breaker enabled, and assert the resilience "
+            "invariants: zero lost jobs, per-job digests bit-identical "
+            "to the fault-free run, bounded p99 inflation and a legal "
+            "breaker state machine.  Exits non-zero when any invariant "
+            "fails, or (with --check) when the soak never exercised a "
+            "hedge or a full breaker recovery cycle."
+        ),
+    )
+    from .serve.chaos import CHAOS_MIXES
+
+    p.add_argument("--plans", type=int, default=20, metavar="N",
+                   help="randomized fault plans to draw (default 20)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="root seed; plan k derives from (seed, k)")
+    p.add_argument("--mix", default="storm", choices=CHAOS_MIXES,
+                   help="fault mix: storm = crashes + stragglers, "
+                        "stragglers = timing faults only (default storm)")
+    p.add_argument("--duration", type=float, default=2400.0, metavar="S",
+                   help="arrival horizon per run in simulated seconds "
+                        "(default 2400)")
+    p.add_argument("--arrival-rate", type=float, default=0.05, metavar="R",
+                   help="open-loop arrival rate [jobs/s] (default 0.05)")
+    p.add_argument("--blades", type=int, default=4,
+                   help="fleet size (default 4; storm needs >= 3)")
+    p.add_argument("--dispatch", default="least-loaded",
+                   choices=[i.name for i in available_dispatch_policies()],
+                   help="blade-selection policy (default least-loaded)")
+    p.add_argument("--check", action="store_true",
+                   help="also require mechanism liveness: >= 1 hedge and "
+                        ">= 1 completed breaker recovery cycle")
+    p.add_argument("--json", action="store_true",
+                   help="emit the full soak report as JSON")
+    p.add_argument("--report", metavar="PATH", default=None,
+                   help="write the HTML report of the first failing plan "
+                        "(or the last plan when all pass)")
 
     p = sub.add_parser(
         "bench",
@@ -932,15 +998,53 @@ def main(argv: Optional[List[str]] = None) -> int:
         if not digests_match:
             return 1
     elif args.command == "serve":
+        import dataclasses
+
         from .serve import (
+            BladeFlap,
             BladeKill,
+            BladeSlow,
             FleetFaultPlan,
+            LinkDegrade,
+            ResilienceConfig,
             ServeConfig,
             default_tenants,
             run_service,
         )
 
-        kills = []
+        def parse_fault(text: str, flag: str, shape: str,
+                        n_min: int, n_max: int):
+            parts = text.split(":")
+            if not (n_min <= len(parts) <= n_max):
+                print(f"repro serve: error: {flag} expects {shape}, "
+                      f"got {text!r}", file=sys.stderr)
+                raise SystemExit(2)
+            try:
+                return [int(parts[0])] + [float(x) for x in parts[1:]]
+            except ValueError:
+                print(f"repro serve: error: {flag} expects {shape}, "
+                      f"got {text!r}", file=sys.stderr)
+                raise SystemExit(2)
+
+        if args.fault_plan:
+            import pathlib as _pathlib
+
+            path = _pathlib.Path(args.fault_plan)
+            if not path.is_file():
+                print(f"repro serve: error: fault-plan file "
+                      f"{args.fault_plan!r} not found", file=sys.stderr)
+                return 2
+            try:
+                plan = FleetFaultPlan.from_json(path.read_text())
+            except ValueError as exc:
+                print(f"repro serve: error: {exc}", file=sys.stderr)
+                return 2
+        else:
+            plan = FleetFaultPlan()
+        kills = list(plan.kills)
+        slows = list(plan.slows)
+        flaps = list(plan.flaps)
+        degrades = list(plan.degrades)
         for text in args.kill_blade:
             try:
                 left, right = text.split(":", 1)
@@ -949,9 +1053,31 @@ def main(argv: Optional[List[str]] = None) -> int:
                 print(f"repro serve: error: --kill-blade expects "
                       f"BLADE:TIME, got {text!r}", file=sys.stderr)
                 return 2
+        for text in args.slow_blade:
+            v = parse_fault(text, "--slow-blade",
+                            "BLADE:TIME:FACTOR[:DURATION]", 3, 4)
+            slows.append(BladeSlow(
+                blade=v[0], at=v[1], factor=v[2],
+                duration=v[3] if len(v) > 3 else None,
+            ))
+        for text in args.flap_blade:
+            v = parse_fault(text, "--flap-blade", "BLADE:TIME:DOWN", 3, 3)
+            flaps.append(BladeFlap(blade=v[0], at=v[1], down_s=v[2]))
+        for text in args.degrade_blade:
+            v = parse_fault(text, "--degrade-blade",
+                            "BLADE:TIME:LATENCY[:DURATION]", 3, 4)
+            degrades.append(LinkDegrade(
+                blade=v[0], at=v[1], added_latency_s=v[2],
+                duration=v[3] if len(v) > 3 else None,
+            ))
         tracer = Tracer(enabled=True)
         metrics = MetricsRegistry()
         try:
+            plan = FleetFaultPlan(
+                kills=tuple(kills), slows=tuple(slows),
+                flaps=tuple(flaps), degrades=tuple(degrades),
+                seed=plan.seed,
+            )
             cfg = ServeConfig(
                 tenants=default_tenants(arrival_rate=args.arrival_rate,
                                         n_tenants=args.tenants),
@@ -964,7 +1090,12 @@ def main(argv: Optional[List[str]] = None) -> int:
                 autoscale=args.autoscale,
                 queue_capacity=args.queue_capacity,
                 batch_max=args.batch_max,
-                faults=FleetFaultPlan(kills=tuple(kills)) if kills else None,
+                faults=None if plan.is_null else plan,
+                resilience=ResilienceConfig(
+                    hedging=args.resilience,
+                    breaker=args.resilience,
+                    enforce_deadlines=args.enforce_deadlines,
+                ),
             )
         except ValueError as exc:
             print(f"repro serve: error: {exc}", file=sys.stderr)
@@ -975,6 +1106,27 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(result.to_json())
         else:
             print(result.summary_text())
+        digests_match = True
+        if cfg.faults is not None:
+            # Mirror `repro faults`: rerun fault-free and verify every
+            # job the runs share produced an identical digest.  (Shared
+            # keys only: closed-loop tenants submit on completion, so
+            # fault timing legitimately changes how *many* jobs exist.)
+            clean = run_service(dataclasses.replace(cfg, faults=None))
+            clean_map = clean.digest_map()
+            faulty_map = result.digest_map()
+            shared = sorted(set(clean_map) & set(faulty_map))
+            diverged = [k for k in shared if clean_map[k] != faulty_map[k]]
+            digests_match = not diverged
+            if not args.json:
+                verdict = (
+                    f"identical to the fault-free run "
+                    f"({len(shared)} shared jobs)"
+                    if digests_match else
+                    f"DIVERGED from fault-free on {len(diverged)} of "
+                    f"{len(shared)} shared jobs"
+                )
+                print(f"  digests: {verdict}")
         if args.report:
             import pathlib
 
@@ -995,6 +1147,64 @@ def main(argv: Optional[List[str]] = None) -> int:
             )
             print(f"wrote report to {args.report} ({len(findings)} "
                   f"finding(s); self-contained, open in any browser)")
+        if not digests_match:
+            return 1
+    elif args.command == "chaos":
+        from .serve.chaos import ChaosConfig, run_chaos
+
+        try:
+            chaos_cfg = ChaosConfig(
+                plans=args.plans,
+                seed=args.seed,
+                mix=args.mix,
+                duration_s=args.duration,
+                arrival_rate=args.arrival_rate,
+                blades=args.blades,
+                dispatch=args.dispatch,
+            )
+        except ValueError as exc:
+            print(f"repro chaos: error: {exc}", file=sys.stderr)
+            return 2
+        report = run_chaos(chaos_cfg)
+        if args.json:
+            print(report.to_json())
+        else:
+            print(report.summary_text())
+        if args.report:
+            import pathlib as _pathlib
+
+            from .obs import analyze_run, write_report
+            from .serve.chaos import chaos_serve_config
+            from .serve.service import run_service as _run_service
+
+            if not _pathlib.Path(args.report).parent.is_dir():
+                print(f"repro chaos: error: directory of {args.report!r} "
+                      f"does not exist", file=sys.stderr)
+                return 2
+            # Re-run the most interesting plan (first failure, else the
+            # last) with full observability and render it.
+            shown = (report.failures[0] if report.failures
+                     else report.outcomes[-1])
+            rtracer = Tracer(enabled=True)
+            rmetrics = MetricsRegistry()
+            _run_service(chaos_serve_config(chaos_cfg, shown.plan),
+                         tracer=rtracer, metrics=rmetrics)
+            findings = analyze_run(rtracer, rmetrics)
+            write_report(
+                args.report, rtracer, rmetrics, findings,
+                title=f"chaos plan {shown.index}: "
+                      f"{shown.plan.describe() or 'no faults'}",
+                subtitle=f"mix {chaos_cfg.mix}, seed {chaos_cfg.seed}, "
+                         f"{chaos_cfg.blades} blades — "
+                         f"{'PASS' if shown.ok else 'FAIL'}",
+            )
+            print(f"wrote report to {args.report} ({len(findings)} "
+                  f"finding(s); self-contained, open in any browser)")
+        failed = bool(report.failures)
+        if args.check:
+            failed = failed or bool(report.liveness_violations)
+        if failed:
+            return 1
     elif args.command == "run":
         from collections import Counter
 
@@ -1052,6 +1262,12 @@ def main(argv: Optional[List[str]] = None) -> int:
               f"faulty slowdown {fa['slowdown_ratio']:.2f}x "
               f"({fa['offload_retries']:.0f} retries, "
               f"{fa['live_spes']:.0f} live SPEs)")
+        ff = current_faults["fleet_faults"]
+        print(f"fleet-chaos: {ff['plans']} {ff['mix']} plans, "
+              f"lost {ff['lost_jobs']}, "
+              f"digests {'identical' if ff['digests_identical'] else 'DIVERGED'}, "
+              f"{ff['hedges']} hedges, {ff['breaker_cycles']} breaker cycles, "
+              f"{ff['deadline_aborts']} deadline aborts")
         current_serve = obs_bench.measure_serve()
         for pol, cells in current_serve["policies"].items():
             fixed = cells["fixed"]

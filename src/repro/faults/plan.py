@@ -117,8 +117,8 @@ class FaultPlan:
         unknown = set(payload) - known
         if unknown:
             raise ValueError(
-                f"unknown fault-plan keys {sorted(unknown)}; "
-                f"known keys: {sorted(known)}"
+                f"unknown fault-plan key {sorted(unknown)[0]!r}; "
+                f"known keys: {', '.join(sorted(known))}"
             )
         kills = tuple(
             SPEKill(**k) if isinstance(k, dict) else SPEKill(*k)

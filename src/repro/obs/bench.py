@@ -104,6 +104,7 @@ REQUIRED_FAULTS_KEYS = (
     "fault_free",
     "zero_fault_tolerant",
     "faulty",
+    "fleet_faults",
 )
 REQUIRED_OBS_KEYS = (
     "workload",
@@ -285,6 +286,12 @@ def measure_faults(
       off-load and DMA error rates) exercising retries, blacklisting and
       MGPS degradation.
 
+    A fourth tracked section, ``fleet_faults``, covers the serving
+    layer's node-tier resilience: a small deterministic chaos grid
+    (seeded storm plans under hedging + circuit breaker) plus one
+    deadline-enforcement cell.  Its gated invariants are zero lost
+    jobs and bit-identical per-job digests versus the fault-free run.
+
     ``digest_match`` fields record the headline invariant: application
     results are bit-identical to the fault-free run.  All fields are
     deterministic except ``seconds_wall``.
@@ -346,6 +353,82 @@ def measure_faults(
             "live_spes": int(faulty.extras.get("live_spes", 0)),
             "seconds_wall": faulty_wall,
         },
+        "fleet_faults": measure_fleet_faults(seed=seed,
+                                             time_source=time_source),
+    }
+
+
+def measure_fleet_faults(
+    seed: int = SEED,
+    time_source=time.perf_counter,
+) -> Dict[str, Any]:
+    """The tracked ``fleet_faults`` cell of the ``BENCH_faults`` payload.
+
+    A small deterministic chaos soak (3 seeded storm plans, hedging and
+    circuit breaker enabled) plus one deadline-enforcement run.  Gated
+    invariants: zero lost jobs across every plan, digest maps
+    bit-identical to the fault-free run, and deadline aborts firing in
+    the enforcement cell.  All fields deterministic except
+    ``seconds_wall``.
+    """
+    from ..serve import (
+        BladeSlow,
+        FleetFaultPlan,
+        JobTemplate,
+        ResilienceConfig,
+        ServeConfig,
+        TenantSpec,
+        run_service,
+    )
+    from ..serve.chaos import ChaosConfig, run_chaos
+
+    t0 = time_source()
+    soak = run_chaos(ChaosConfig(
+        plans=3, seed=seed, mix="storm", duration_s=1800.0,
+        arrival_rate=0.05, blades=4,
+    ))
+    # Deadline-enforcement cell: a tight-deadline tenant on a small
+    # fleet with a permanent straggler, so shedding must engage.
+    small = JobTemplate("small-bag", bootstraps=2, tasks_per_bootstrap=60,
+                        variants=2)
+    deadline_cfg = ServeConfig(
+        tenants=(TenantSpec("deadline", small, arrival="poisson",
+                            arrival_rate=0.08, deadline_s=120.0),),
+        duration_s=1200.0,
+        seed=seed,
+        dispatch="least-loaded",
+        min_blades=2,
+        max_blades=2,
+        queue_capacity=4096,
+        faults=FleetFaultPlan(
+            slows=(BladeSlow(blade=0, at=100.0, factor=4.0),), seed=seed
+        ),
+        resilience=ResilienceConfig(enforce_deadlines=True),
+    )
+    deadline_run = run_service(deadline_cfg)
+    wall = time_source() - t0
+    ds = deadline_run.summary
+    return {
+        "plans": soak.config.plans,
+        "mix": soak.config.mix,
+        "seed": soak.config.seed,
+        "clean_completed": soak.clean_completed,
+        "lost_jobs": sum(o.lost for o in soak.outcomes),
+        "digests_identical": all(
+            not any("digest" in v for v in o.violations)
+            for o in soak.outcomes
+        ),
+        "invariants_ok": soak.ok,
+        "hedges": soak.total_hedges,
+        "hedge_wins": sum(o.hedge_wins for o in soak.outcomes),
+        "breaker_cycles": soak.total_breaker_cycles,
+        "worst_p99_s": max(o.p99_s for o in soak.outcomes),
+        "deadline_aborts": ds["deadline_aborts"],
+        "deadline_conservation_ok": (
+            ds["admitted"] == ds["completed"] + ds["deadline_aborts"]
+            + deadline_run.lost_jobs
+        ),
+        "seconds_wall": wall,
     }
 
 
@@ -859,6 +942,31 @@ def check_baselines(
                         f"results diverged from the fault-free run"
                     )
                     ok = False
+            fleet = fcur.get("fleet_faults", {})
+            if fleet.get("lost_jobs", -1) != 0:
+                lines.append(
+                    f"bench: {FAULTS_BASELINE}: fleet_faults lost "
+                    f"{fleet.get('lost_jobs')} job(s) under chaos"
+                )
+                ok = False
+            if not fleet.get("digests_identical", False):
+                lines.append(
+                    f"bench: {FAULTS_BASELINE}: fleet_faults digests "
+                    f"diverged from the fault-free run"
+                )
+                ok = False
+            if not fleet.get("invariants_ok", False):
+                lines.append(
+                    f"bench: {FAULTS_BASELINE}: fleet_faults chaos "
+                    f"invariants failed"
+                )
+                ok = False
+            if not fleet.get("deadline_conservation_ok", False):
+                lines.append(
+                    f"bench: {FAULTS_BASELINE}: fleet_faults deadline "
+                    f"cell broke admitted == completed + aborted + lost"
+                )
+                ok = False
 
     serve_path = root / SERVE_BASELINE
     if not serve_path.exists():

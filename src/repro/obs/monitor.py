@@ -28,6 +28,15 @@ queue-saturation  the serving front-end shed a high fraction of offered
                   jobs, or its queues ran near the admission bound for
                   much of the run (inert unless a serving run recorded
                   arrivals)
+blade-breaker     a blade's circuit breaker opened; critical when it
+                  flapped open repeatedly without a completed recovery
+                  (inert unless the resilience layer recorded opens)
+hedge-storm       speculative hedges were issued for a high fraction of
+                  dispatched units — the straggler threshold is too low
+                  or the fleet is systemically slow
+deadline-shedding deadline enforcement aborted a high fraction of
+                  admitted jobs (the fleet cannot meet the contracted
+                  deadlines at this load)
 ================  ===========================================================
 
 Findings are structured (:class:`HealthFinding`) so CI can assert on them
@@ -206,6 +215,16 @@ class MonitorConfig:
     queue_rejection_ratio: float = 0.1
     queue_depth_ratio: float = 0.8
     queue_min_arrivals: int = 20
+    # blade-breaker: any open is worth a warning; breaker_flap_opens
+    # opens with zero completed recoveries escalates to critical.
+    breaker_min_opens: int = 1
+    breaker_flap_opens: int = 3
+    # hedge-storm: hedges / dispatched units above this ratio (with at
+    # least hedge_min_units dispatched) means speculation is systemic.
+    hedge_storm_ratio: float = 0.25
+    hedge_min_units: int = 8
+    # deadline-shedding: deadline aborts / admitted above this ratio.
+    deadline_abort_ratio: float = 0.1
 
     def with_(self, **kwargs: Any) -> "MonitorConfig":
         return replace(self, **kwargs)
@@ -557,6 +576,94 @@ class HealthMonitor:
             },
         ))
 
+    def _detect_blade_breaker(
+        self, tracer, registry, findings: List[HealthFinding]
+    ) -> None:
+        cfg = self.config
+        opens = _registry_value(registry, "serve.breaker_opens")
+        if opens < cfg.breaker_min_opens:
+            return
+        closes = _registry_value(registry, "serve.breaker_closes")
+        probes = _registry_value(registry, "serve.breaker_probes")
+        flapping = opens >= cfg.breaker_flap_opens and closes <= 0
+        findings.append(HealthFinding(
+            detector="blade-breaker",
+            severity="critical" if flapping else "warning",
+            summary=(
+                f"blade circuit breakers opened {opens:.0f} time(s) "
+                + (
+                    f"with no completed recovery in {probes:.0f} probes "
+                    f"— a blade is stuck sick"
+                    if flapping
+                    else f"and closed {closes:.0f} time(s) after probing"
+                )
+            ),
+            evidence={
+                "breaker_opens": opens,
+                "breaker_closes": closes,
+                "breaker_probes": probes,
+                "threshold": cfg.breaker_min_opens,
+            },
+        ))
+
+    def _detect_hedge_storm(
+        self, tracer, registry, findings: List[HealthFinding]
+    ) -> None:
+        cfg = self.config
+        units = _registry_value(registry, "serve.dispatched_units")
+        if units < cfg.hedge_min_units:
+            return
+        hedges = _registry_value(registry, "serve.hedges")
+        ratio = hedges / units
+        if ratio <= cfg.hedge_storm_ratio:
+            return
+        wins = _registry_value(registry, "serve.hedge_wins")
+        findings.append(HealthFinding(
+            detector="hedge-storm",
+            severity="warning",
+            summary=(
+                f"{hedges:.0f} of {units:.0f} dispatched units were "
+                f"hedged ({ratio:.0%} > {cfg.hedge_storm_ratio:.0%}) — "
+                f"speculation is systemic, not tail rescue "
+                f"({wins:.0f} hedge wins)"
+            ),
+            evidence={
+                "hedges": hedges,
+                "hedge_wins": wins,
+                "dispatched_units": units,
+                "hedge_ratio": round(ratio, 4),
+                "threshold": cfg.hedge_storm_ratio,
+            },
+        ))
+
+    def _detect_deadline_shedding(
+        self, tracer, registry, findings: List[HealthFinding]
+    ) -> None:
+        cfg = self.config
+        admitted = _registry_value(registry, "serve.admitted")
+        if admitted < cfg.queue_min_arrivals:
+            return
+        aborts = _registry_value(registry, "serve.deadline_aborts")
+        ratio = aborts / admitted
+        if ratio <= cfg.deadline_abort_ratio:
+            return
+        findings.append(HealthFinding(
+            detector="deadline-shedding",
+            severity="warning",
+            summary=(
+                f"deadline enforcement shed {aborts:.0f} of "
+                f"{admitted:.0f} admitted jobs ({ratio:.0%} > "
+                f"{cfg.deadline_abort_ratio:.0%}) — the fleet cannot "
+                f"meet the contracted deadlines at this load"
+            ),
+            evidence={
+                "deadline_aborts": aborts,
+                "admitted": admitted,
+                "abort_ratio": round(ratio, 4),
+                "threshold": cfg.deadline_abort_ratio,
+            },
+        ))
+
     # -- entry point ------------------------------------------------------
     def analyze(self, tracer: Optional[Tracer], registry) -> List[HealthFinding]:
         """All findings for one run, in detector-catalogue order."""
@@ -569,6 +676,9 @@ class HealthMonitor:
         self._detect_fault_storm(tracer, registry, findings)
         self._detect_degraded_capacity(tracer, registry, findings)
         self._detect_queue_saturation(tracer, registry, findings)
+        self._detect_blade_breaker(tracer, registry, findings)
+        self._detect_hedge_storm(tracer, registry, findings)
+        self._detect_deadline_shedding(tracer, registry, findings)
         return findings
 
 

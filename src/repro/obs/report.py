@@ -576,17 +576,40 @@ _FAULT_EVENT_LABELS = {
     "retry_fallback": ("recovery", "task fell back to the PPE"),
     "llp_recovery": ("recovery", "loop chunks reclaimed from dead worker"),
     "task_abort": ("injected", "task aborted by SPE death"),
+    # fleet-tier faults and the resilience layer's responses
+    "blade-kill": ("injected", "node fault: blade died"),
+    "blade-slow": ("injected", "blade became a straggler"),
+    "blade-recover": ("recovery", "straggler blade returned to speed"),
+    "blade-flap": ("injected", "blade crashed (will rejoin)"),
+    "blade-rejoin": ("recovery", "flapped blade rejoined on probation"),
+    "link-degrade": ("injected", "dispatch link latency degraded"),
+    "link-restore": ("recovery", "dispatch link latency restored"),
+    "breaker": ("recovery", "circuit breaker changed state"),
+    "hedge": ("recovery", "straggling unit speculatively re-dispatched"),
+    "hedge-win": ("recovery", "hedge clone finished first"),
+    "hedge-cancel": ("recovery", "losing hedge copy cancelled"),
+    "deadline-abort": ("injected", "job shed: deadline unreachable"),
 }
+
+# Serve-category events that belong in the fault lane alongside the
+# category="fault" records of the offline runtime.
+_SERVE_FAULT_EVENTS = frozenset({
+    "blade-kill", "blade-slow", "blade-recover", "blade-flap",
+    "blade-rejoin", "link-degrade", "link-restore", "breaker",
+    "hedge", "hedge-win", "hedge-cancel", "deadline-abort",
+})
 
 
 def _fault_events(tracer: Optional[Tracer]) -> List[Any]:
-    """Time-ordered fault-category records (plus SPE-death task aborts)."""
+    """Time-ordered fault-category records (plus SPE-death task aborts
+    and the serving layer's fleet-fault / resilience events)."""
     if tracer is None:
         return []
     return [
         r for r in tracer.records
         if r.category == "fault"
         or (r.category == "spe" and r.event == "task_abort")
+        or (r.category == "serve" and r.event in _SERVE_FAULT_EVENTS)
     ]
 
 
@@ -604,6 +627,15 @@ def _faults_html(tracer: Optional[Tracer], registry) -> str:
         ("SPE kills", _value(registry, "faults.spe_kills")),
         ("blacklists", _value(registry, "runtime.spe_blacklists")),
         ("live SPEs at end", _value(registry, "run.live_spes")),
+        ("blade deaths", _value(registry, "serve.blade_deaths")),
+        ("blade crashes (flap)", _value(registry, "serve.blade_crashes")),
+        ("blade rejoins", _value(registry, "serve.blade_rejoins")),
+        ("breaker opens", _value(registry, "serve.breaker_opens")),
+        ("breaker closes", _value(registry, "serve.breaker_closes")),
+        ("breaker probes", _value(registry, "serve.breaker_probes")),
+        ("hedges", _value(registry, "serve.hedges")),
+        ("hedge wins", _value(registry, "serve.hedge_wins")),
+        ("deadline aborts", _value(registry, "serve.deadline_aborts")),
     ]
     note = " &#183; ".join(
         f"{_esc(lab)} {_fmt(v)}" for lab, v in counters if v > 0
@@ -649,6 +681,17 @@ _SERVE_OPS_EVENTS = {
     "blade-kill": "node fault: blade died",
     "failover": "orphaned jobs re-dispatched to surviving blades",
     "lost": "job lost to total fleet failure",
+    "blade-slow": "node fault: blade service times stretched",
+    "blade-recover": "blade slowdown ended; nominal speed restored",
+    "blade-flap": "node fault: blade crashed (will rejoin)",
+    "blade-rejoin": "flapped blade rejoined the fleet on probation",
+    "link-degrade": "node fault: dispatch link latency added",
+    "link-restore": "dispatch link latency removed",
+    "breaker": "circuit breaker changed state",
+    "hedge": "straggling unit speculatively re-dispatched",
+    "hedge-win": "hedge copy finished first",
+    "hedge-cancel": "losing hedge twin cancelled",
+    "deadline-abort": "unit shed: deadline unreachable",
 }
 
 
@@ -756,7 +799,9 @@ def _serving_html(tracer: Optional[Tracer], registry) -> Optional[str]:
         rows = []
         for r in ops[:200]:
             detail = "; ".join(f"{k}={v}" for k, v in sorted(r.data))
-            chip = ("critical" if r.event in ("blade-kill", "lost")
+            chip = ("critical"
+                    if r.event in ("blade-kill", "blade-flap", "lost",
+                                   "deadline-abort")
                     else "warning")
             rows.append(
                 f'<tr><td class="mono">{r.time:.1f} s</td>'

@@ -17,12 +17,19 @@ Layers (client to metal):
   (static-block, least-loaded, join-shortest-queue, work-stealing);
 * :mod:`~repro.serve.fleet` — per-blade state, memoized job compilation
   through :func:`~repro.core.runner.run_experiment`, and node-level
-  fault plans (:class:`FleetFaultPlan`);
+  fault plans (:class:`FleetFaultPlan`: kills, slowdowns, flaps,
+  link degradation);
+* :mod:`~repro.serve.resilience` — blade health EWMAs, the per-blade
+  circuit breaker and hedged-dispatch thresholds
+  (:class:`ResilienceConfig`, :class:`FleetResilience`);
 * :mod:`~repro.serve.autoscaler` — the MGPS-style utilization feedback
   loop resizing the active blade set;
 * :mod:`~repro.serve.slo` — per-tenant latency percentiles, goodput,
   rejection and deadline-miss accounting;
-* :mod:`~repro.serve.service` — :func:`run_service`, tying it together.
+* :mod:`~repro.serve.service` — :func:`run_service`, tying it together;
+* :mod:`~repro.serve.chaos` — the seeded chaos soak harness
+  (:func:`run_chaos`) asserting zero loss and digest invariance under
+  randomized fault plans.
 """
 
 from .admission import DispatchUnit, FrontEnd, TokenBucket
@@ -35,15 +42,32 @@ from .dispatch import (
     register_dispatch,
     resolve_dispatch,
 )
+from .chaos import (
+    ChaosConfig,
+    ChaosReport,
+    chaos_tenants,
+    random_fleet_fault_plan,
+    run_chaos,
+)
 from .fleet import (
+    BladeFlap,
     BladeKill,
+    BladeSlow,
     BladeState,
     CompiledJob,
     FleetFaultPlan,
     JobCompiler,
+    LinkDegrade,
     scheduler_by_name,
 )
 from .jobs import Job, JobTemplate, TenantSpec, job_seed
+from .resilience import (
+    BREAKER_STATES,
+    FleetResilience,
+    LEGAL_BREAKER_TRANSITIONS,
+    ResilienceConfig,
+    count_breaker_cycles,
+)
 from .service import (
     ServeConfig,
     ServeResult,
@@ -56,17 +80,26 @@ from .slo import ServeStats, exact_percentile
 __all__ = [
     "Autoscaler",
     "AutoscalerConfig",
+    "BREAKER_STATES",
+    "BladeFlap",
     "BladeKill",
+    "BladeSlow",
     "BladeState",
+    "ChaosConfig",
+    "ChaosReport",
     "CompiledJob",
     "DispatchInfo",
     "DispatchPolicy",
     "DispatchUnit",
     "FleetFaultPlan",
+    "FleetResilience",
     "FrontEnd",
     "Job",
     "JobCompiler",
     "JobTemplate",
+    "LEGAL_BREAKER_TRANSITIONS",
+    "LinkDegrade",
+    "ResilienceConfig",
     "ServeConfig",
     "ServeResult",
     "ServeStats",
@@ -75,11 +108,15 @@ __all__ = [
     "TokenBucket",
     "available_dispatch_policies",
     "block_partition",
+    "chaos_tenants",
+    "count_breaker_cycles",
     "default_tenants",
     "exact_percentile",
     "job_seed",
+    "random_fleet_fault_plan",
     "register_dispatch",
     "resolve_dispatch",
+    "run_chaos",
     "run_service",
     "scheduler_by_name",
 ]

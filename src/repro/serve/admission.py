@@ -63,12 +63,23 @@ class DispatchUnit:
     ``seq`` is the dispatch sequence number (round-robin key); members
     share a single ``(template, variant)`` bag so the blade executes
     them back-to-back under one dispatch overhead charge.
+
+    The hedging fields are only populated by the resilience layer: a
+    hedged unit and its ``twin`` share the *same* Job objects, so first
+    completion wins per job; when one copy drains its jobs the loser's
+    ``cancelled`` flag is raised and the blade loop drops it at the next
+    segment boundary (a queued loser is removed outright).  ``probe``
+    marks the single unit a half-open circuit breaker admits.
     """
 
     seq: int
     jobs: List[Job]
     blade: Optional[int] = None
     attempts: int = 0
+    hedge_of: Optional[int] = None        # seq of the primary, for clones
+    twin: Optional["DispatchUnit"] = None  # the other copy, while both live
+    cancelled: bool = False                # hedge loser, drop don't run
+    probe: bool = False                    # breaker half-open probe unit
 
     @property
     def template(self):
@@ -156,6 +167,11 @@ class FrontEnd:
     def job_finished(self) -> None:
         """Release one unit of system capacity."""
         self.in_system -= 1
+
+    def new_unit_seq(self) -> int:
+        """Claim the next dispatch-unit sequence number (hedge clones)."""
+        self._unit_seq += 1
+        return self._unit_seq - 1
 
     # -- outflow -----------------------------------------------------------
     @property

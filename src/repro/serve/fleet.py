@@ -13,15 +13,30 @@ thousands of requests stream through.
 :class:`BladeState` is the passive per-node record (queue, liveness,
 activation, busy accounting); the serving loops in
 :mod:`repro.serve.service` drive it.  :class:`FleetFaultPlan` declares
-node-level kills (whole blades dying mid-stream), the fleet analogue of
-the SPE-level :class:`~repro.faults.FaultPlan`.
+node-level faults, the fleet analogue of the SPE-level
+:class:`~repro.faults.FaultPlan`:
+
+* :class:`BladeKill` — a blade dies permanently at time T;
+* :class:`BladeSlow` — the straggler case: a blade's service times are
+  multiplied by ``factor`` (with optional seeded lognormal jitter) from
+  time T, optionally recovering after ``duration`` seconds;
+* :class:`BladeFlap` — a blade crashes at T (drain + requeue, like a
+  kill) but rejoins ``down_s`` seconds later and must be re-admitted;
+* :class:`LinkDegrade` — the front-end→blade dispatch path gains
+  ``added_latency_s`` seconds per unit from time T, optionally
+  recovering after ``duration``.
+
+Plans carry their own ``seed``; any random draw (slow-factor jitter) is
+taken from a named :class:`~repro.sim.rng.RngStreams` substream keyed
+by fault kind and blade, so the same plan replays the exact same fault
+sequence — chaos runs are diffable, never flaky.
 """
 
 from __future__ import annotations
 
 import json
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from ..cell.params import BladeParams
 from ..core.runner import run_experiment
@@ -37,6 +52,9 @@ __all__ = [
     "JobCompiler",
     "BladeState",
     "BladeKill",
+    "BladeSlow",
+    "BladeFlap",
+    "LinkDegrade",
     "FleetFaultPlan",
     "scheduler_by_name",
     "available_blade_schedulers",
@@ -120,10 +138,12 @@ class JobCompiler:
 class BladeState:
     """Passive state of one fleet node.
 
-    ``alive`` goes false forever when a :class:`BladeKill` fires;
-    ``active`` toggles with the autoscaler.  ``busy_s(now)`` includes
-    the currently open service segment so utilization sampling never
-    misses in-progress work.
+    ``alive`` goes false when a :class:`BladeKill` or :class:`BladeFlap`
+    fires (:meth:`rejoin` reverses a flap); ``active`` toggles with the
+    autoscaler.  ``busy_s(now)`` includes the currently open service
+    segment so utilization sampling never misses in-progress work.
+    ``slow_factor`` and ``dispatch_delay_s`` are the live fault state a
+    :class:`BladeSlow` / :class:`LinkDegrade` imposes on the node.
     """
 
     def __init__(self, env: Environment, index: int, active: bool = True,
@@ -142,6 +162,8 @@ class BladeState:
         self.busy_until = 0.0     # absolute time the running unit finishes
         self.units_run = 0
         self.jobs_run = 0
+        self.slow_factor = 1.0        # BladeSlow: service-time multiplier
+        self.dispatch_delay_s = 0.0   # LinkDegrade: extra per-unit latency
         self.wake: Event = env.event()
         self.death: Event = env.event()
         self._busy_acc = 0.0
@@ -206,6 +228,18 @@ class BladeState:
         if not self.death.triggered:
             self.death.succeed()
 
+    def rejoin(self) -> None:
+        """Bring a flapped blade back: fresh liveness and fresh events.
+
+        The old ``death`` event stays triggered for whoever was watching
+        the crash; the rejoined node needs untriggered ``death``/``wake``
+        events before its new blade loop starts.
+        """
+        self.alive = True
+        self.active = True
+        self.death = self.env.event()
+        self.wake = self.env.event()
+
 
 @dataclass(frozen=True)
 class BladeKill:
@@ -222,49 +256,229 @@ class BladeKill:
 
 
 @dataclass(frozen=True)
+class BladeSlow:
+    """The straggler fault: blade service times stretch by ``factor``.
+
+    From time ``at`` every service segment on the blade takes ``factor``
+    times its nominal duration (optionally perturbed once by a seeded
+    lognormal draw of sigma ``jitter``); when ``duration`` is set the
+    blade recovers to nominal speed at ``at + duration``.
+    """
+
+    blade: int
+    at: float
+    factor: float
+    jitter: float = 0.0
+    duration: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.blade < 0:
+            raise ValueError("blade index must be >= 0")
+        if self.at < 0:
+            raise ValueError("slow time must be >= 0")
+        if self.factor < 1.0:
+            raise ValueError(f"slow factor must be >= 1.0, got {self.factor}")
+        if self.jitter < 0:
+            raise ValueError(f"jitter must be >= 0, got {self.jitter}")
+        if self.duration is not None and self.duration <= 0:
+            raise ValueError("slow duration must be positive when set")
+
+
+@dataclass(frozen=True)
+class BladeFlap:
+    """Crash at ``at``, rejoin ``down_s`` seconds later.
+
+    The crash behaves exactly like a kill (running and queued work is
+    requeued to survivors); the rejoin re-admits the node, which the
+    resilience layer treats as probation (half-open breaker).
+    """
+
+    blade: int
+    at: float
+    down_s: float
+
+    def __post_init__(self) -> None:
+        if self.blade < 0:
+            raise ValueError("blade index must be >= 0")
+        if self.at < 0:
+            raise ValueError("flap time must be >= 0")
+        if self.down_s <= 0:
+            raise ValueError("down_s must be positive")
+
+
+@dataclass(frozen=True)
+class LinkDegrade:
+    """Front-end→blade dispatch path gains ``added_latency_s`` per unit.
+
+    Models a degraded interconnect: every unit picked up by the blade
+    pays the extra latency on top of the configured dispatch overhead.
+    Recovers at ``at + duration`` when ``duration`` is set.
+    """
+
+    blade: int
+    at: float
+    added_latency_s: float
+    duration: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.blade < 0:
+            raise ValueError("blade index must be >= 0")
+        if self.at < 0:
+            raise ValueError("degrade time must be >= 0")
+        if self.added_latency_s <= 0:
+            raise ValueError("added_latency_s must be positive")
+        if self.duration is not None and self.duration <= 0:
+            raise ValueError("degrade duration must be positive when set")
+
+
+def _parse_entries(kind: str, cls, fields: Dict[str, Any], entries):
+    """Build fault dataclasses from JSON dicts with known-key errors."""
+    out = []
+    for entry in entries:
+        bad = set(entry) - set(fields)
+        if bad:
+            known = ", ".join(sorted(fields))
+            raise ValueError(
+                f"unknown {kind} key {sorted(bad)[0]!r}; "
+                f"known keys: {known}"
+            )
+        kwargs = {
+            name: conv(entry[name])
+            for name, conv in fields.items() if name in entry
+        }
+        out.append(cls(**kwargs))
+    return tuple(out)
+
+
+def _opt_float(value) -> Optional[float]:
+    return None if value is None else float(value)
+
+
+@dataclass(frozen=True)
 class FleetFaultPlan:
     """Declarative node-fault schedule for a serving run.
 
-    The fleet analogue of :class:`~repro.faults.FaultPlan`: a blade that
-    dies takes its running and queued work with it, and the serving
-    layer must fail all of it over to surviving blades with digests
-    unchanged.
+    The fleet analogue of :class:`~repro.faults.FaultPlan`: kills and
+    flaps take a blade's running and queued work with them and the
+    serving layer must fail all of it over with digests unchanged;
+    slows and degrades stretch the timeline without touching results.
+    ``seed`` feeds the per-fault RNG substreams (slow-factor jitter).
     """
 
     kills: Tuple[BladeKill, ...] = ()
+    slows: Tuple[BladeSlow, ...] = ()
+    flaps: Tuple[BladeFlap, ...] = ()
+    degrades: Tuple[LinkDegrade, ...] = ()
+    seed: int = 0
 
     def __post_init__(self) -> None:
-        seen = set()
-        for k in self.kills:
-            if k.blade in seen:
-                raise ValueError(f"blade {k.blade} is killed twice")
-            seen.add(k.blade)
+        object.__setattr__(self, "kills", tuple(self.kills))
+        object.__setattr__(self, "slows", tuple(self.slows))
+        object.__setattr__(self, "flaps", tuple(self.flaps))
+        object.__setattr__(self, "degrades", tuple(self.degrades))
+        for kind, faults in (("killed", self.kills), ("slowed", self.slows),
+                             ("flapped", self.flaps),
+                             ("degraded", self.degrades)):
+            seen = set()
+            for f in faults:
+                if f.blade in seen:
+                    raise ValueError(f"blade {f.blade} is {kind} twice")
+                seen.add(f.blade)
+        overlap = ({k.blade for k in self.kills}
+                   & {f.blade for f in self.flaps})
+        if overlap:
+            raise ValueError(
+                f"blade {sorted(overlap)[0]} is both killed and flapped; "
+                f"a kill is permanent"
+            )
+
+    @property
+    def blades(self) -> Tuple[int, ...]:
+        """Every blade index any fault in the plan touches, sorted."""
+        return tuple(sorted(
+            {f.blade for group in (self.kills, self.slows, self.flaps,
+                                   self.degrades) for f in group}
+        ))
+
+    @property
+    def is_null(self) -> bool:
+        return not (self.kills or self.slows or self.flaps or self.degrades)
 
     def to_json(self) -> str:
-        return json.dumps(
-            {"kills": [{"blade": k.blade, "at": k.at} for k in self.kills]},
-            sort_keys=True,
-        )
+        return json.dumps({
+            "seed": self.seed,
+            "kills": [{"blade": k.blade, "at": k.at} for k in self.kills],
+            "slows": [
+                {"blade": s.blade, "at": s.at, "factor": s.factor,
+                 "jitter": s.jitter, "duration": s.duration}
+                for s in self.slows
+            ],
+            "flaps": [
+                {"blade": f.blade, "at": f.at, "down_s": f.down_s}
+                for f in self.flaps
+            ],
+            "degrades": [
+                {"blade": d.blade, "at": d.at,
+                 "added_latency_s": d.added_latency_s,
+                 "duration": d.duration}
+                for d in self.degrades
+            ],
+        }, sort_keys=True)
 
     @classmethod
     def from_json(cls, text: str) -> "FleetFaultPlan":
         data = json.loads(text)
-        unknown = set(data) - {"kills"}
+        known = {"seed", "kills", "slows", "flaps", "degrades"}
+        unknown = set(data) - known
         if unknown:
             raise ValueError(
-                f"unknown fleet fault plan keys: {sorted(unknown)}"
+                f"unknown fleet fault kind {sorted(unknown)[0]!r}; "
+                f"known kinds: {', '.join(sorted(known - {'seed'}))} "
+                f"(plus the plan-level 'seed')"
             )
-        kills = []
-        for entry in data.get("kills", ()):
-            bad = set(entry) - {"blade", "at"}
-            if bad:
-                raise ValueError(f"unknown blade kill keys: {sorted(bad)}")
-            kills.append(BladeKill(blade=int(entry["blade"]),
-                                   at=float(entry["at"])))
-        return cls(kills=tuple(kills))
+        kills = _parse_entries(
+            "blade kill", BladeKill,
+            {"blade": int, "at": float}, data.get("kills", ()),
+        )
+        slows = _parse_entries(
+            "blade slow", BladeSlow,
+            {"blade": int, "at": float, "factor": float, "jitter": float,
+             "duration": _opt_float},
+            data.get("slows", ()),
+        )
+        flaps = _parse_entries(
+            "blade flap", BladeFlap,
+            {"blade": int, "at": float, "down_s": float},
+            data.get("flaps", ()),
+        )
+        degrades = _parse_entries(
+            "link degrade", LinkDegrade,
+            {"blade": int, "at": float, "added_latency_s": float,
+             "duration": _opt_float},
+            data.get("degrades", ()),
+        )
+        return cls(kills=kills, slows=slows, flaps=flaps, degrades=degrades,
+                   seed=int(data.get("seed", 0)))
 
     def describe(self) -> str:
-        if not self.kills:
+        if self.is_null:
             return "no node faults"
-        parts = [f"blade{k.blade}@{k.at:g}s" for k in self.kills]
-        return "kill " + ", ".join(parts)
+        parts = []
+        for k in self.kills:
+            parts.append(f"kill blade{k.blade}@{k.at:g}s")
+        for s in self.slows:
+            span = f" for {s.duration:g}s" if s.duration is not None else ""
+            parts.append(
+                f"slow blade{s.blade}@{s.at:g}s x{s.factor:g}{span}"
+            )
+        for f in self.flaps:
+            parts.append(
+                f"flap blade{f.blade}@{f.at:g}s down {f.down_s:g}s"
+            )
+        for d in self.degrades:
+            span = f" for {d.duration:g}s" if d.duration is not None else ""
+            parts.append(
+                f"degrade link blade{d.blade}@{d.at:g}s "
+                f"+{d.added_latency_s:g}s{span}"
+            )
+        return "; ".join(parts)

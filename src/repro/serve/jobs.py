@@ -127,6 +127,7 @@ class Job:
     finish_time: Optional[float] = None
     blade: Optional[int] = None
     failovers: int = 0
+    aborted: bool = False    # shed by deadline enforcement, never completed
     digest: str = ""
     done: object = field(default=None, repr=False)  # sim Event for closed loops
 

@@ -46,6 +46,7 @@ from .fleet import (
 )
 from .jobs import Job, JobTemplate, TenantSpec
 from .generators import tenant_generators
+from .resilience import FleetResilience, ResilienceConfig
 from .slo import ServeStats
 
 __all__ = ["ServeConfig", "ServeResult", "Service", "run_service",
@@ -95,6 +96,7 @@ class ServeConfig:
     batch_max: int = 1
     dispatch_overhead_s: float = 0.5
     faults: Optional[FleetFaultPlan] = None
+    resilience: ResilienceConfig = ResilienceConfig()
 
     def __post_init__(self) -> None:
         if not self.tenants:
@@ -109,10 +111,10 @@ class ServeConfig:
         if self.dispatch_overhead_s < 0:
             raise ValueError("dispatch_overhead_s must be >= 0")
         if self.faults is not None:
-            for k in self.faults.kills:
-                if k.blade >= self.max_blades:
+            for blade in self.faults.blades:
+                if blade >= self.max_blades:
                     raise ValueError(
-                        f"fault plan kills blade {k.blade} but the fleet "
+                        f"fault plan touches blade {blade} but the fleet "
                         f"has only {self.max_blades} blades"
                     )
 
@@ -137,6 +139,9 @@ class ServeResult:
     # per config, so throughput benchmarks can report events per
     # wall-second for the serving loop too.
     events_processed: int = 0
+    # Circuit-breaker transition log: (time, blade, from, to, reason).
+    # Empty unless the resilience breaker is enabled.
+    breaker_transitions: Tuple[Tuple[float, int, str, str, str], ...] = ()
 
     def digest_map(self) -> Dict[str, str]:
         """``source -> result digest`` for every completed job.
@@ -163,6 +168,9 @@ class ServeResult:
             "compilations": self.compilations,
             "lost_jobs": self.lost_jobs,
             "events_processed": self.events_processed,
+            "breaker_transitions": [
+                list(t) for t in self.breaker_transitions
+            ],
         }
         return json.dumps(payload, sort_keys=True, indent=2)
 
@@ -240,6 +248,10 @@ class Service:
         self.arrivals_done = False
         self.lost_jobs = 0
         self._job_seq = 0
+        self.resilience = FleetResilience(
+            env, config.resilience, config.max_blades,
+            stats=self.stats, tracer=self.tracer,
+        )
         self.autoscaler = (
             Autoscaler(self, config.autoscaler,
                        config.min_blades, config.max_blades)
@@ -286,13 +298,24 @@ class Service:
         return job
 
     def eligible(self) -> List[BladeState]:
-        """Alive+active blades; reactivates alive blades in an emergency."""
+        """Alive+active blades; reactivates alive blades in an emergency.
+
+        With the circuit breaker enabled, blades whose breaker does not
+        currently admit work are filtered out of the candidate set —
+        unless that would empty it, in which case the unfiltered set is
+        used (work is never stranded just because every breaker is
+        open).
+        """
         out = [b for b in self.blades if b.alive and b.active]
         if not out:
             alive = [b for b in self.blades if b.alive]
             for b in alive:
                 b.active = True
             out = alive
+        if self.config.resilience.breaker and out:
+            admitted = [b for b in out if self.resilience.admits(b.index)]
+            if admitted:
+                return admitted
         return out
 
     # -- lifecycle ---------------------------------------------------------
@@ -312,9 +335,23 @@ class Service:
         if self.autoscaler is not None:
             env.process(self.autoscaler.loop(), name="serve-autoscaler")
         if self.config.faults is not None:
-            for kill in self.config.faults.kills:
+            plan = self.config.faults
+            # Fault randomness (slow-factor jitter) lives in its own
+            # substream family keyed by the *plan* seed, so two plans
+            # differing only in seed perturb nothing but the faults.
+            fault_streams = RngStreams(plan.seed).spawn("fleet-faults")
+            for kill in plan.kills:
                 env.process(self._kill_proc(kill),
                             name=f"kill-blade{kill.blade}")
+            for slow in plan.slows:
+                env.process(self._slow_proc(slow, fault_streams),
+                            name=f"slow-blade{slow.blade}")
+            for flap in plan.flaps:
+                env.process(self._flap_proc(flap),
+                            name=f"flap-blade{flap.blade}")
+            for degrade in plan.degrades:
+                env.process(self._degrade_proc(degrade),
+                            name=f"degrade-blade{degrade.blade}")
         self._main = env.process(self._wait_stop(), name="serve-main")
 
     def _wait_stop(self):
@@ -360,6 +397,9 @@ class Service:
         for job in unit.jobs:
             if job.dispatch_time is None:
                 job.dispatch_time = now
+        if self.resilience.is_probe_dispatch(blade.index):
+            unit.probe = True
+            self.resilience.note_probe_dispatched(blade.index)
         blade.push(unit)
         queued = self.frontend.pending + sum(
             b.queue_depth for b in self.blades
@@ -377,8 +417,14 @@ class Service:
     def redispatch(self, units: List[DispatchUnit]) -> None:
         """Re-place orphaned units; kick the dispatcher afterwards."""
         for unit in units:
+            if unit.cancelled:
+                continue
             blades = self.eligible()
             if not blades:
+                if unit.twin is not None:
+                    # The other hedge copy still holds these jobs.
+                    self._drop_copy(unit)
+                    continue
                 self._lose_unit(unit)
                 continue
             blade = self.policy.select(unit, blades)
@@ -412,6 +458,7 @@ class Service:
     def _blade_loop(self, b: BladeState):
         env = self.env
         cfg = self.config
+        res = self.resilience
         while True:
             if not b.alive:
                 return
@@ -421,6 +468,14 @@ class Service:
                 if unit is not None and self.tracer is not None:
                     self.tracer.emit(env.now, "serve", b.name, "steal",
                                      unit=unit.seq, victim=unit.blade)
+                if (unit is not None and unit.probe
+                        and unit.blade != b.index):
+                    # A probe stolen off a half-open blade is no longer
+                    # a probe; release that blade's probe slot.
+                    unit.probe = False
+                    res.probe_inflight[unit.blade] = False
+            if unit is not None and unit.cancelled:
+                continue
             if unit is None:
                 if self.stop.triggered:
                     return
@@ -433,26 +488,57 @@ class Service:
             b.running = unit
             b.units_run += 1
             b.mark_busy()
-            b.busy_until = env.now + cfg.dispatch_overhead_s + unit.service_time
+            if cfg.resilience.enforce_deadlines:
+                self._shed_unreachable(unit, b)
+            pending = [j for j in unit.jobs
+                       if j.finish_time is None and not j.aborted]
+            # Expected (nominal) duration excludes slow factors and link
+            # delay on purpose: the observed/expected ratio fed to the
+            # health EWMA must surface exactly those pathologies.
+            expected = cfg.dispatch_overhead_s + sum(
+                j.service_time for j in pending
+            )
+            picked_at = env.now
+            overhead = cfg.dispatch_overhead_s * b.slow_factor \
+                + b.dispatch_delay_s
+            b.busy_until = env.now + overhead + sum(
+                j.service_time * b.slow_factor for j in pending
+            )
             if self.tracer is not None:
                 # Unit pickup: closes the blade-queue phase of every job
                 # in the unit and opens the dispatch-overhead phase.
                 self.tracer.emit(env.now, "serve", b.name, "unit-start",
                                  unit=unit.seq,
                                  jobs=tuple(j.job_id for j in unit.jobs))
-            died = yield from self._segment(b, cfg.dispatch_overhead_s)
+            if (cfg.resilience.hedging and pending
+                    and unit.twin is None and not unit.probe):
+                env.process(self._hedge_watch(unit, b),
+                            name=f"hedge-watch-{unit.seq}")
+            died = yield from self._segment(b, overhead)
+            completed_any = False
             idx = 0
             while not died and idx < len(unit.jobs):
+                if unit.cancelled:
+                    break
                 job = unit.jobs[idx]
+                if job.finish_time is not None or job.aborted:
+                    idx += 1
+                    continue
                 job.start_time = env.now
                 job.blade = b.index
                 if self.tracer is not None:
                     self.tracer.emit(env.now, "serve", b.name, "start",
                                      job=job.job_id, tenant=job.tenant)
-                died = yield from self._segment(b, job.service_time)
+                died = yield from self._segment(
+                    b, job.service_time * b.slow_factor
+                )
                 if died:
                     break
-                self._complete(job, b)
+                # First completion wins: the twin may have finished this
+                # job while our segment was in flight.
+                if job.finish_time is None and not job.aborted:
+                    self._complete(job, b)
+                    completed_any = True
                 idx += 1
             b.mark_idle()
             b.running = None
@@ -460,8 +546,124 @@ class Service:
             if died:
                 self._on_blade_death(b, unit, idx)
                 return
+            if unit.cancelled:
+                # Hedge loser: the twin finished everything.  Feed the
+                # elapsed-time ratio only when it is genuinely overdue
+                # (a loser cancelled early says nothing about health).
+                if expected > 0:
+                    ratio = (env.now - picked_at) / expected
+                    if ratio > 1.0:
+                        res.note_unit_cancelled(b.index, ratio,
+                                                probe=unit.probe)
+                continue
+            if unit.twin is not None:
+                self._cancel_twin(unit, b)
+            if unit.hedge_of is not None and completed_any:
+                res.note_hedge_win()
+                if self.tracer is not None:
+                    self.tracer.emit(env.now, "serve", b.name, "hedge-win",
+                                     unit=unit.seq, primary=unit.hedge_of)
+            if expected > 0:
+                res.note_unit_done(b.index, (env.now - picked_at) / expected,
+                                   probe=unit.probe)
+
+    def _shed_unreachable(self, unit: DispatchUnit, b: BladeState) -> None:
+        """Deadline enforcement: abort jobs that cannot finish in time.
+
+        Estimated with *nominal* durations (optimistic — a straggler
+        blade's slowdown is not held against the job), so only jobs
+        unreachable even at full speed are shed.
+        """
+        t = self.env.now + self.config.dispatch_overhead_s
+        for job in unit.jobs:
+            if job.finish_time is not None or job.aborted:
+                continue
+            t += job.service_time
+            if job.deadline is not None and t > job.deadline:
+                self._abort_job(job, b)
+
+    def _abort_job(self, job: Job, b: BladeState) -> None:
+        job.aborted = True
+        self.stats.note_deadline_abort(job)
+        if self.tracer is not None:
+            self.tracer.emit(
+                self.env.now, "serve", b.name, "deadline-abort",
+                job=job.job_id, tenant=job.tenant,
+                deadline=round(job.deadline, 9),
+            )
+        self.frontend.job_finished()
+        if job.done is not None and not job.done.triggered:
+            job.done.succeed()
+        self._check_stop()
+
+    def _hedge_watch(self, unit: DispatchUnit, b: BladeState):
+        """Clone ``unit`` to a healthy blade if it overstays its welcome."""
+        env = self.env
+        expected = self.config.dispatch_overhead_s + sum(
+            j.service_time for j in unit.jobs
+            if j.finish_time is None and not j.aborted
+        )
+        if expected <= 0:
+            return
+        threshold = self.resilience.hedge_threshold_s(expected)
+        yield env.any_of([env.timeout(threshold), b.death, self.stop])
+        if self.stop.triggered:
+            return
+        if b.running is not unit or not b.alive:
+            return  # finished, died (death path requeues) or was cancelled
+        if unit.twin is not None or unit.cancelled:
+            return
+        pending = [j for j in unit.jobs
+                   if j.finish_time is None and not j.aborted]
+        if not pending:
+            return
+        targets = [x for x in self.eligible() if x.index != b.index]
+        if not targets:
+            return
+        target = min(targets, key=lambda x: (x.backlog_s, x.index))
+        clone = DispatchUnit(
+            seq=self.frontend.new_unit_seq(),
+            jobs=list(unit.jobs),
+            hedge_of=unit.seq,
+        )
+        unit.twin = clone
+        clone.twin = unit
+        self.resilience.note_hedge()
+        if self.tracer is not None:
+            self.tracer.emit(
+                env.now, "serve", "dispatcher", "hedge",
+                unit=unit.seq, clone=clone.seq,
+                straggler=b.index, target=target.index,
+                threshold=round(threshold, 9),
+            )
+        self._place(clone, target)
+
+    def _cancel_twin(self, winner: DispatchUnit, b: BladeState) -> None:
+        """First completion wins: tear the losing copy down.
+
+        A queued loser is removed outright; a running loser notices its
+        ``cancelled`` flag at the next segment boundary (its per-job
+        completion guards already make any overlap harmless).
+        """
+        loser = winner.twin
+        winner.twin = None
+        if loser is None:
+            return
+        loser.twin = None
+        loser.cancelled = True
+        for blade in self.blades:
+            if loser in blade.queue:
+                blade.queue.remove(loser)
+                break
+        if self.tracer is not None:
+            self.tracer.emit(
+                self.env.now, "serve", b.name, "hedge-cancel",
+                unit=winner.seq, loser=loser.seq,
+            )
 
     def _complete(self, job: Job, b: BladeState) -> None:
+        if job.finish_time is not None or job.aborted:
+            return
         compiled = self._compile(job.template, job.variant)
         job.finish_time = self.env.now
         job.digest = compiled.digest
@@ -481,11 +683,27 @@ class Service:
             job.done.succeed()
         self._check_stop()
 
+    def _drop_copy(self, unit: DispatchUnit) -> None:
+        """Unlink one copy of a hedged pair; the other copy carries on.
+
+        The survivor keeps ``twin is None``, so if *it* later dies too,
+        the normal failover path requeues its jobs — nothing is lost.
+        """
+        other = unit.twin
+        unit.twin = None
+        if other is not None:
+            other.twin = None
+
     def _on_blade_death(self, b: BladeState, unit: DispatchUnit,
                         idx: int) -> None:
-        remaining = list(unit.jobs[idx:])
+        remaining = [j for j in unit.jobs[idx:]
+                     if j.finish_time is None and not j.aborted]
         orphans: List[DispatchUnit] = []
-        if remaining:
+        if unit.twin is not None:
+            # The other hedge copy is still live somewhere: drop this
+            # one instead of requeueing duplicate work.
+            self._drop_copy(unit)
+        elif remaining and not unit.cancelled:
             for job in remaining:
                 job.failovers += 1
                 job.start_time = None
@@ -495,6 +713,11 @@ class Service:
             unit.blade = None
             orphans.append(unit)
         for queued in b.drain():
+            if queued.twin is not None:
+                self._drop_copy(queued)
+                continue
+            if queued.cancelled:
+                continue
             for job in queued.jobs:
                 job.failovers += 1
                 self.stats.note_failover(job)
@@ -506,6 +729,34 @@ class Service:
                 jobs=tuple(j.job_id for u in orphans for j in u.jobs),
             )
         self.redispatch(orphans)
+
+    def _drain_idle_orphans(self, b: BladeState) -> None:
+        """Requeue a dead blade's queue when no blade loop will.
+
+        The blade loop's death path only runs when a unit was in flight;
+        a blade killed while idle needs its queued units rescued here.
+        """
+        if b.running is not None:
+            return
+        orphans: List[DispatchUnit] = []
+        for queued in b.drain():
+            if queued.twin is not None:
+                self._drop_copy(queued)
+                continue
+            if queued.cancelled:
+                continue
+            for job in queued.jobs:
+                job.failovers += 1
+                self.stats.note_failover(job)
+            queued.blade = None
+            orphans.append(queued)
+        if orphans:
+            if self.tracer is not None:
+                self.tracer.emit(
+                    self.env.now, "serve", b.name, "failover",
+                    jobs=tuple(j.job_id for u in orphans for j in u.jobs),
+                )
+            self.redispatch(orphans)
 
     def _kill_proc(self, kill):
         env = self.env
@@ -522,9 +773,95 @@ class Service:
             self.tracer.emit(env.now, "serve", "fleet", "blade-kill",
                              blade=b.index)
         b.kill()
+        self.resilience.note_failure(b.index)
+        self._drain_idle_orphans(b)
         self.metrics.gauge("serve.active_blades").set(
             len([x for x in self.blades if x.alive and x.active])
         )
+
+    def _slow_proc(self, slow, streams: RngStreams):
+        env = self.env
+        yield env.any_of([env.timeout(slow.at), self.stop])
+        if self.stop.triggered:
+            return
+        b = self.blades[slow.blade]
+        if not b.alive:
+            return
+        factor = slow.factor
+        if slow.jitter > 0:
+            rng = streams.stream(f"slow:blade{slow.blade}")
+            factor = max(1.0, factor * float(rng.lognormal(0.0, slow.jitter)))
+        b.slow_factor = factor
+        if self.tracer is not None:
+            self.tracer.emit(env.now, "serve", "fleet", "blade-slow",
+                             blade=b.index, factor=round(factor, 9))
+        if slow.duration is None:
+            return
+        yield env.any_of([env.timeout(slow.duration), b.death, self.stop])
+        b.slow_factor = 1.0
+        if self.stop.triggered or not b.alive:
+            return
+        if self.tracer is not None:
+            self.tracer.emit(env.now, "serve", "fleet", "blade-recover",
+                             blade=b.index)
+
+    def _degrade_proc(self, degrade):
+        env = self.env
+        yield env.any_of([env.timeout(degrade.at), self.stop])
+        if self.stop.triggered:
+            return
+        b = self.blades[degrade.blade]
+        b.dispatch_delay_s = degrade.added_latency_s
+        if self.tracer is not None:
+            self.tracer.emit(
+                env.now, "serve", "fleet", "link-degrade",
+                blade=b.index,
+                added_latency_s=round(degrade.added_latency_s, 9),
+            )
+        if degrade.duration is None:
+            return
+        yield env.any_of([env.timeout(degrade.duration), self.stop])
+        b.dispatch_delay_s = 0.0
+        if self.stop.triggered:
+            return
+        if self.tracer is not None:
+            self.tracer.emit(env.now, "serve", "fleet", "link-restore",
+                             blade=b.index)
+
+    def _flap_proc(self, flap):
+        env = self.env
+        yield env.any_of([env.timeout(flap.at), self.stop])
+        if self.stop.triggered:
+            return
+        b = self.blades[flap.blade]
+        if not b.alive:
+            return
+        self.stats.note_crash(b.index)
+        if self.tracer is not None:
+            self.tracer.emit(env.now, "serve", "fleet", "blade-flap",
+                             blade=b.index, down_s=round(flap.down_s, 9))
+        b.kill()
+        self.resilience.note_failure(b.index)
+        self._drain_idle_orphans(b)
+        self.metrics.gauge("serve.active_blades").set(
+            len([x for x in self.blades if x.alive and x.active])
+        )
+        yield env.any_of([env.timeout(flap.down_s), self.stop])
+        if self.stop.triggered:
+            return
+        b.rejoin()
+        b.slow_factor = 1.0
+        self.stats.note_rejoin(b.index)
+        self.resilience.note_rejoin(b.index)
+        if self.tracer is not None:
+            self.tracer.emit(env.now, "serve", "fleet", "blade-rejoin",
+                             blade=b.index)
+        env.process(self._blade_loop(b), name=f"{b.name}-rejoin")
+        self.metrics.gauge("serve.active_blades").set(
+            len([x for x in self.blades if x.alive and x.active])
+        )
+        if self.frontend.pending and not self.frontend.wake.triggered:
+            self.frontend.wake.succeed()
 
     # -- reporting ---------------------------------------------------------
     def result(self) -> ServeResult:
@@ -581,6 +918,10 @@ class Service:
             compilations=self.compiler.compilations,
             lost_jobs=self.lost_jobs,
             events_processed=self.env.events_processed,
+            breaker_transitions=tuple(
+                (stable_round(t), blade, a, b, reason)
+                for t, blade, a, b, reason in self.resilience.transitions
+            ),
         )
 
 

@@ -92,6 +92,44 @@ class ServeStats:
         self.metrics.counter(
             "serve.failovers", help="job executions re-queued off dead blades"
         )
+        # Fleet-resilience counters (all zero unless the resilience
+        # layer or the richer fault kinds are in play).
+        self.metrics.counter(
+            "serve.dispatched_units", help="dispatch units placed on blades"
+        )
+        self.metrics.counter(
+            "serve.deadline_aborts",
+            help="jobs shed because their deadline became unreachable",
+        )
+        self.metrics.counter(
+            "serve.hedges", help="speculative duplicate dispatches issued"
+        )
+        self.metrics.counter(
+            "serve.hedge_wins", help="hedge clones that finished first"
+        )
+        self.metrics.counter(
+            "serve.breaker_opens",
+            help="circuit breaker closed/half-open -> open",
+        )
+        self.metrics.counter(
+            "serve.breaker_closes", help="circuit breaker half-open -> closed"
+        )
+        self.metrics.counter(
+            "serve.breaker_probes", help="probe units sent to half-open blades"
+        )
+        self.metrics.counter(
+            "serve.blade_crashes", help="flap crashes delivered to blades"
+        )
+        self.metrics.counter(
+            "serve.blade_rejoins", help="flapped blades re-admitted"
+        )
+        self.deadline_aborts = 0
+        self.hedges = 0
+        self.hedge_wins = 0
+        self.breaker_opens = 0
+        self.breaker_closes = 0
+        self.blade_crashes = 0
+        self.blade_rejoins = 0
 
     # -- event feed --------------------------------------------------------
     def note_arrival(self, tenant: str) -> None:
@@ -118,6 +156,9 @@ class ServeStats:
 
     def note_dispatch(self, queued: int) -> None:
         self._depth_hist.observe(queued)
+        self.metrics.counter(
+            "serve.dispatched_units", help="dispatch units placed on blades"
+        ).inc()
 
     def note_batch(self, size: int) -> None:
         if size > 1:
@@ -128,6 +169,56 @@ class ServeStats:
         self.failovers += 1
         self.metrics.counter(
             "serve.failovers", help="job executions re-queued off dead blades"
+        ).inc()
+
+    def note_deadline_abort(self, job: Job) -> None:
+        self.deadline_aborts += 1
+        self.metrics.counter(
+            "serve.deadline_aborts",
+            help="jobs shed because their deadline became unreachable",
+        ).inc()
+
+    def note_hedge(self) -> None:
+        self.hedges += 1
+        self.metrics.counter(
+            "serve.hedges", help="speculative duplicate dispatches issued"
+        ).inc()
+
+    def note_hedge_win(self) -> None:
+        self.hedge_wins += 1
+        self.metrics.counter(
+            "serve.hedge_wins", help="hedge clones that finished first"
+        ).inc()
+
+    def note_probe(self) -> None:
+        self.metrics.counter(
+            "serve.breaker_probes", help="probe units sent to half-open blades"
+        ).inc()
+
+    def note_breaker(self, from_state: str, to_state: str) -> None:
+        if to_state == "open":
+            self.breaker_opens += 1
+            self.metrics.counter(
+                "serve.breaker_opens",
+                help="circuit breaker closed/half-open -> open",
+            ).inc()
+        elif to_state == "closed":
+            self.breaker_closes += 1
+            self.metrics.counter(
+                "serve.breaker_closes",
+                help="circuit breaker half-open -> closed",
+            ).inc()
+
+    def note_crash(self, blade: int) -> None:
+        self.blade_crashes += 1
+        self.metrics.counter(
+            "serve.blade_crashes", help="flap crashes delivered to blades"
+        ).inc()
+
+    def note_rejoin(self, blade: int) -> None:
+        self.blade_rejoins += 1
+        self.metrics.counter(
+            "serve.blade_rejoins", help="flapped blades re-admitted"
         ).inc()
 
     def note_completed(self, job: Job) -> None:
@@ -178,7 +269,14 @@ class ServeStats:
             "rejected": self.rejected,
             "completed": len(lat),
             "deadline_misses": missed,
+            "deadline_aborts": self.deadline_aborts,
             "failovers": self.failovers,
+            "hedges": self.hedges,
+            "hedge_wins": self.hedge_wins,
+            "breaker_opens": self.breaker_opens,
+            "breaker_closes": self.breaker_closes,
+            "blade_crashes": self.blade_crashes,
+            "blade_rejoins": self.blade_rejoins,
             "batches": self.batches,
             "batched_jobs": self.batched_jobs,
             "latency_p50_s": exact_percentile(lat, 50),

@@ -136,3 +136,33 @@ def test_scenario_trace_flag(tmp_path, capsys):
     # One Perfetto process per scheduler in the comparison.
     pids = {e["pid"] for e in doc["traceEvents"]}
     assert len(pids) == 5
+
+
+def test_serve_fault_flags_print_digest_verdict(capsys):
+    assert main(["serve", "--duration", "900", "--arrival-rate", "0.05",
+                 "--min-blades", "3", "--max-blades", "3", "--tenants", "1",
+                 "--slow-blade", "0:100:3.0", "--resilience"]) == 0
+    out = capsys.readouterr().out
+    assert "digests: identical to the fault-free run" in out
+
+
+def test_serve_rejects_malformed_fault_flag():
+    with pytest.raises(SystemExit):
+        main(["serve", "--slow-blade", "not-a-fault"])
+
+
+def test_chaos_command_small_soak(capsys):
+    assert main(["chaos", "--plans", "1", "--seed", "1",
+                 "--duration", "1200", "--check"]) == 0
+    out = capsys.readouterr().out
+    assert "verdict: PASS" in out
+
+
+def test_chaos_command_json_mode(capsys):
+    import json
+
+    assert main(["chaos", "--plans", "1", "--seed", "1",
+                 "--duration", "1200", "--json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["ok"]
+    assert doc["outcomes"][0]["lost"] == 0

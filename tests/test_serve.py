@@ -293,6 +293,33 @@ class TestBladeDeath:
         assert r.lost_jobs > 0
         assert s["completed"] + r.lost_jobs == s["admitted"]
 
+    def test_scale_down_drain_racing_kill_on_same_blade(self):
+        # A surge scales the fleet up, then the lull scales it down at
+        # t=840; killing the draining blade right at (and just after)
+        # the sample must not lose or duplicate any queued job.
+        tenants = (
+            TenantSpec("surge", SMALL, arrival="bursty", burst_size=12,
+                       burst_interval_s=1200.0),
+            TenantSpec("trickle", SMALL, arrival="poisson",
+                       arrival_rate=0.02, priority=1, deadline_s=900.0),
+        )
+        base = dict(
+            tenants=tenants, duration_s=1800.0, seed=0, autoscale=True,
+            min_blades=2, max_blades=4, dispatch="least-loaded",
+        )
+        clean = run_service(ServeConfig(**base))
+        assert ("down" in [d for _, d, _ in clean.autoscaler_events])
+        for kill_at in (840.0, 840.5):       # at the sample / mid-drain
+            faulty = run_service(ServeConfig(
+                **base,
+                faults=FleetFaultPlan(
+                    kills=(BladeKill(blade=2, at=kill_at),)),
+            ))
+            assert faulty.lost_jobs == 0, kill_at
+            assert (faulty.summary["completed"]
+                    == clean.summary["completed"]), kill_at
+            assert faulty.digest_map() == clean.digest_map(), kill_at
+
 
 # -- dispatch invariance ------------------------------------------------------
 
