@@ -10,7 +10,7 @@ blades.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, List, Optional, Tuple
+from typing import Deque, Dict, List, Optional, Tuple
 
 from ..sim.engine import Environment
 from ..sim.events import Event, URGENT
@@ -202,13 +202,63 @@ class CellMachine:
             EIB(cell, env) for _ in range(self.params.n_cells)
         ]
         self.spes: List[SPE] = []
+        # Busy-book: incremental counts maintained by SPE.mark_busy /
+        # mark_idle so contention and task-source queries are O(1)
+        # instead of scanning every SPE per off-load.
+        self._busy_by_cell: List[int] = [0] * self.params.n_cells
+        self._busy_cell_owner: Dict[Tuple[int, str], int] = {}
+        self._busy_owners: Dict[str, int] = {}
         for c in range(self.params.n_cells):
             for i in range(cell.n_spes):
                 spe = SPE(env, cell, c, i)
                 spe.eib = self.eibs[c]
                 spe.mfc.eib = self.eibs[c]
+                spe._book = self
                 self.spes.append(spe)
         self.pool = SPEPool(env, self.spes)
+
+    # -- busy-book ------------------------------------------------------------
+    def _note_busy(self, cell_id: int, owner: Optional[str]) -> None:
+        self._busy_by_cell[cell_id] += 1
+        if owner:
+            key = (cell_id, owner)
+            bco = self._busy_cell_owner
+            bco[key] = bco.get(key, 0) + 1
+            bo = self._busy_owners
+            bo[owner] = bo.get(owner, 0) + 1
+
+    def _note_idle(self, cell_id: int, owner: Optional[str]) -> None:
+        self._busy_by_cell[cell_id] -= 1
+        if owner:
+            key = (cell_id, owner)
+            bco = self._busy_cell_owner
+            n = bco[key] - 1
+            if n:
+                bco[key] = n
+            else:
+                del bco[key]
+            bo = self._busy_owners
+            n = bo[owner] - 1
+            if n:
+                bo[owner] = n
+            else:
+                del bo[owner]
+
+    def busy_others(self, cell_id: int, owner: str) -> int:
+        """Busy SPEs on ``cell_id`` owned by someone other than ``owner``.
+
+        Equivalent to scanning ``self.spes`` for
+        ``s.busy and s.cell_id == cell_id and s.owner != owner`` — the
+        memory-contention term of every off-load — in O(1).
+        """
+        return self._busy_by_cell[cell_id] - self._busy_cell_owner.get(
+            (cell_id, owner), 0
+        )
+
+    @property
+    def n_busy_owners(self) -> int:
+        """Distinct owners of busy SPEs right now (O(1))."""
+        return len(self._busy_owners)
 
     @property
     def cell_params(self) -> CellParams:

@@ -40,7 +40,7 @@ from collections import deque
 from typing import Deque, List, Optional
 
 from ..sim.engine import Environment
-from ..sim.events import Event, NORMAL, URGENT
+from ..sim.events import Event, URGENT
 
 __all__ = ["SMTCore", "CoreThread"]
 
@@ -106,6 +106,12 @@ class CoreThread:
         scheduled *and* the target has fired.
         """
         return self.core._submit(self, _SPIN, target=event)
+
+    def _spin_notice(self, ev: Event) -> None:
+        # Guard: the thread may have moved on to a different request.
+        if self.spin_target is ev:
+            self.spin_fired = True
+            self.core._wake()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<CoreThread {self.name} {self.state}>"
@@ -201,14 +207,10 @@ class SMTCore:
         if kind == _SPIN:
             if target is None:
                 raise ValueError("spin requires a target event")
-
-            def _notice(_ev: Event, thread=thread, target=target) -> None:
-                # Guard: the thread may have moved on to a different request.
-                if thread.spin_target is target:
-                    thread.spin_fired = True
-                    self._wake()
-
-            target.add_callback(_notice)
+            # The callback receives the fired event itself, so the bound
+            # method can re-check it against ``spin_target`` without a
+            # closure allocation per spin.
+            target.add_callback(thread._spin_notice)
 
         if thread.state == _LINGER:
             # Continue on the same context: no switch cost, quantum keeps
@@ -271,18 +273,18 @@ class SMTCore:
         thread.spin_target = None
         thread.state = _LINGER
         # Linger expires after every same-timestamp callback has run; a
-        # NORMAL-priority zero timeout sorts after the URGENT completion.
-        expire = Event(self.env)
-        expire.succeed(None, priority=NORMAL)
-
-        def _expire(_ev: Event, thread=thread) -> None:
-            if thread.state == _LINGER:
-                self._release_slot(thread)
-                thread.state = _IDLE
-                self._wake()
-
-        expire.add_callback(_expire)
+        # NORMAL-priority zero timeout sorts after the URGENT completion
+        # exactly like a NORMAL succeed would, and is pool-recyclable.
+        expire = self.env.timeout(0.0, thread)
+        expire.add_callback(self._on_linger_expire)
         done.succeed(None, priority=URGENT)
+
+    def _on_linger_expire(self, ev: Event) -> None:
+        thread = ev._value
+        if thread.state == _LINGER:
+            self._release_slot(thread)
+            thread.state = _IDLE
+            self._wake()
 
     def _release_slot(self, thread: CoreThread) -> None:
         self._running.remove(thread)
@@ -306,71 +308,92 @@ class SMTCore:
         """Re-evaluate state after any change; reschedule the timer."""
         self._version += 1
         self._advance()
+        running = self._running
 
-        # Reap completions.
-        for t in list(self._running):
+        # Reap completions.  ``_complete`` leaves the thread lingering on
+        # its slot (no ``_running`` mutation), so collect first and the
+        # common nothing-completed scan allocates no copy.
+        completed = None
+        for t in running:
             if t.penalty_left > _EPS:
                 continue
-            if t.kind == _WORK and t.remaining <= _EPS:
-                self._complete(t)
-            elif t.kind == _SPIN and t.spin_fired:
-                self._complete(t)
-
-        # Quantum preemption (only when a waiter could use the slot).
-        for t in list(self._running):
-            if (
-                t.state == _RUNNING
-                and t.quantum_left <= _EPS
-                and self._has_eligible(t.slot)
+            if (t.kind == _WORK and t.remaining <= _EPS) or (
+                t.kind == _SPIN and t.spin_fired
             ):
-                slot = t.slot
-                self._release_slot(t)
-                t.state = _READY
-                self._enqueue(t)
-
-        # Fill free contexts.
-        progressed = True
-        while self._slot_free and progressed:
-            progressed = False
-            for slot in list(self._slot_free):
-                t = self._eligible(slot)
-                if t is None:
-                    continue
-                self._slot_free.remove(slot)
-                t.slot = slot
-                t.state = _RUNNING
-                if self._slot_last[slot] is not t and self._slot_last[slot] is not None:
-                    t.penalty_left = self.switch_cost
-                    self.switches += 1
+                if completed is None:
+                    completed = [t]
                 else:
-                    t.penalty_left = 0.0
-                t.quantum_left = self.quantum
-                self._slot_last[slot] = t
-                self._running.append(t)
-                progressed = True
+                    completed.append(t)
+        if completed is not None:
+            for t in completed:
+                self._complete(t)
+
+        # Quantum preemption and context fill both matter only while a
+        # ready thread is waiting for a slot.
+        if self._ready or any(self._ready_aff):
+            preempted = None
+            for t in running:
+                if (
+                    t.state == _RUNNING
+                    and t.quantum_left <= _EPS
+                    and self._has_eligible(t.slot)
+                ):
+                    if preempted is None:
+                        preempted = [t]
+                    else:
+                        preempted.append(t)
+            if preempted is not None:
+                for t in preempted:
+                    self._release_slot(t)
+                    t.state = _READY
+                    self._enqueue(t)
+
+            # Fill free contexts.
+            progressed = True
+            while self._slot_free and progressed:
+                progressed = False
+                for slot in list(self._slot_free):
+                    t = self._eligible(slot)
+                    if t is None:
+                        continue
+                    self._slot_free.remove(slot)
+                    t.slot = slot
+                    t.state = _RUNNING
+                    if self._slot_last[slot] is not t and self._slot_last[slot] is not None:
+                        t.penalty_left = self.switch_cost
+                        self.switches += 1
+                    else:
+                        t.penalty_left = 0.0
+                    t.quantum_left = self.quantum
+                    self._slot_last[slot] = t
+                    running.append(t)
+                    progressed = True
 
         self._arm_timer()
 
     def _arm_timer(self) -> None:
         """Schedule the next state-change time, superseding older timers."""
-        if not self._running:
+        running = self._running
+        if not running:
             return
         horizon = float("inf")
-        for t in self._running:
+        waiters = bool(self._ready) or any(self._ready_aff)
+        for t in running:
             if t.kind == _WORK:
                 speed = self._thread_speed(t)
                 horizon = min(horizon, t.penalty_left + t.remaining / speed)
             elif t.kind == _SPIN and t.spin_fired:
                 horizon = min(horizon, t.penalty_left)
-            if self._has_eligible(t.slot):
+            if waiters and self._has_eligible(t.slot):
                 horizon = min(horizon, max(t.quantum_left, 0.0))
         if horizon == float("inf"):
             return
-        version = self._version
-        timer = self.env.timeout(max(horizon, 0.0))
+        # The timer carries its arming version; a superseded timer fires
+        # into a no-op.  Carrying it as the timeout value (instead of a
+        # closure) keeps the timer pool-recyclable.
+        timer = self.env.timeout(max(horizon, 0.0), self._version)
+        timer.add_callback(self._on_timer)
 
-        def _fire(_ev: Event, version=version) -> None:
-            if version == self._version:
-                self._wake()
-
-        timer.add_callback(_fire)
+    def _on_timer(self, ev: Event) -> None:
+        if ev._value == self._version:
+            self._wake()

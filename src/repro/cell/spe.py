@@ -42,6 +42,10 @@ class SPE:
         self.mfc = MFC(params)
         self.busy = False
         self.owner: Optional[str] = None
+        # Busy-book backref (set by CellMachine): mirrors busy/owner
+        # transitions into O(1) per-cell / per-owner counts so the
+        # runtime's contention and source queries need no SPE scans.
+        self._book: Optional[object] = None
         # Fault state: ``alive`` is cleared by a permanent kill,
         # ``blacklisted`` by the tolerance policy after repeated
         # failures.  Either takes the SPE out of service.
@@ -132,13 +136,17 @@ class SPE:
         self.busy = True
         self.owner = owner
         self._busy_since = self.env.now
+        if self._book is not None:
+            self._book._note_busy(self.cell_id, owner)
 
     def mark_idle(self) -> None:
         if not self.busy:
             raise RuntimeError(f"{self.name} marked idle while already idle")
+        owner, self.owner = self.owner, None
         self.busy = False
-        self.owner = None
         self.busy_seconds += self.env.now - self._busy_since
+        if self._book is not None:
+            self._book._note_idle(self.cell_id, owner)
 
     def occupy(self, duration: float, owner: str) -> Generator[Event, None, None]:
         """Generator: hold the SPE busy for ``duration`` seconds.

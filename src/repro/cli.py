@@ -511,6 +511,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="allowed fractional throughput regression before "
                         "--check fails (default 0.30; also settable via "
                         "REPRO_PERF_TOLERANCE)")
+    p.add_argument("--only", metavar="SECTION", action="append",
+                   choices=("core", "faults", "serve", "perf"),
+                   default=None,
+                   help="measure (and with --write, re-record) only the "
+                        "named baseline section instead of all of them; "
+                        "repeatable.  Not combinable with --check, which "
+                        "always validates every baseline.")
 
     return parser
 
@@ -1246,44 +1253,61 @@ def main(argv: Optional[List[str]] = None) -> int:
     elif args.command == "bench":
         from .obs import bench as obs_bench
 
-        current = obs_bench.measure_core()
-        for name, row in current["schedulers"].items():
-            speedup = current["speedup_over_serial"][name]
-            print(f"{name:>11}: makespan {row['makespan_s']:8.2f} s  "
-                  f"({speedup:4.2f}x serial), {row['offloads']:4d} "
-                  f"off-loads, {row['llp_invocations']:3d} LLP")
-        for name, row in current.get("llp_schedules", {}).items():
-            print(f"{'llp/' + name:>11}: makespan {row['makespan_s']:8.2f} s  "
-                  f"(edtlp-llp4), {row['llp_invocations']:3d} LLP")
-        current_faults = obs_bench.measure_faults()
-        zt = current_faults["zero_fault_tolerant"]
-        fa = current_faults["faulty"]
-        print(f"     faults: zero-fault overhead {zt['overhead_ratio']:.4f}x, "
-              f"faulty slowdown {fa['slowdown_ratio']:.2f}x "
-              f"({fa['offload_retries']:.0f} retries, "
-              f"{fa['live_spes']:.0f} live SPEs)")
-        ff = current_faults["fleet_faults"]
-        print(f"fleet-chaos: {ff['plans']} {ff['mix']} plans, "
-              f"lost {ff['lost_jobs']}, "
-              f"digests {'identical' if ff['digests_identical'] else 'DIVERGED'}, "
-              f"{ff['hedges']} hedges, {ff['breaker_cycles']} breaker cycles, "
-              f"{ff['deadline_aborts']} deadline aborts")
-        current_serve = obs_bench.measure_serve()
-        for pol, cells in current_serve["policies"].items():
-            fixed = cells["fixed"]
-            print(f"{'serve/' + pol:>24}: p99 {fixed['latency_p99_s']:6.1f} s, "
-                  f"goodput {fixed['goodput_jps'] * 3600:5.1f} jobs/h, "
-                  f"{fixed['completed']:3d} jobs "
-                  f"(autoscale p99 {cells['autoscale']['latency_p99_s']:.1f} s)")
-        print(f"      serve: cross-policy digests "
-              f"{'identical' if current_serve['digests_identical'] else 'DIVERGED'}")
-        current_perf = obs_bench.measure_throughput()
-        for scen, row in current_perf["scenarios"].items():
-            jobs = (f", {row['jobs_per_sec_wall']:.1f} jobs/s"
-                    if "jobs_per_sec_wall" in row else "")
-            print(f"{'perf/' + scen:>11}: "
-                  f"{row['events_per_sec_wall']:>9,.0f} events/s{jobs} "
-                  f"({row['events']} events in {row['seconds_wall']:.2f} s)")
+        if args.only and args.check:
+            print("repro bench: error: --only cannot be combined with "
+                  "--check (the gate always validates every baseline)",
+                  file=sys.stderr)
+            return 2
+        sections = (set(args.only) if args.only
+                    else {"core", "faults", "serve", "perf"})
+        current = current_faults = current_serve = current_perf = None
+        if "core" in sections:
+            current = obs_bench.measure_core()
+            for name, row in current["schedulers"].items():
+                speedup = current["speedup_over_serial"][name]
+                print(f"{name:>11}: makespan {row['makespan_s']:8.2f} s  "
+                      f"({speedup:4.2f}x serial), {row['offloads']:4d} "
+                      f"off-loads, {row['llp_invocations']:3d} LLP")
+            for name, row in current.get("llp_schedules", {}).items():
+                print(f"{'llp/' + name:>11}: makespan "
+                      f"{row['makespan_s']:8.2f} s  "
+                      f"(edtlp-llp4), {row['llp_invocations']:3d} LLP")
+        if "faults" in sections:
+            current_faults = obs_bench.measure_faults()
+            zt = current_faults["zero_fault_tolerant"]
+            fa = current_faults["faulty"]
+            print(f"     faults: zero-fault overhead "
+                  f"{zt['overhead_ratio']:.4f}x, "
+                  f"faulty slowdown {fa['slowdown_ratio']:.2f}x "
+                  f"({fa['offload_retries']:.0f} retries, "
+                  f"{fa['live_spes']:.0f} live SPEs)")
+            ff = current_faults["fleet_faults"]
+            print(f"fleet-chaos: {ff['plans']} {ff['mix']} plans, "
+                  f"lost {ff['lost_jobs']}, "
+                  f"digests {'identical' if ff['digests_identical'] else 'DIVERGED'}, "
+                  f"{ff['hedges']} hedges, {ff['breaker_cycles']} breaker cycles, "
+                  f"{ff['deadline_aborts']} deadline aborts")
+        if "serve" in sections:
+            current_serve = obs_bench.measure_serve()
+            for pol, cells in current_serve["policies"].items():
+                fixed = cells["fixed"]
+                print(f"{'serve/' + pol:>24}: p99 "
+                      f"{fixed['latency_p99_s']:6.1f} s, "
+                      f"goodput {fixed['goodput_jps'] * 3600:5.1f} jobs/h, "
+                      f"{fixed['completed']:3d} jobs "
+                      f"(autoscale p99 "
+                      f"{cells['autoscale']['latency_p99_s']:.1f} s)")
+            print(f"      serve: cross-policy digests "
+                  f"{'identical' if current_serve['digests_identical'] else 'DIVERGED'}")
+        if "perf" in sections:
+            current_perf = obs_bench.measure_throughput()
+            for scen, row in current_perf["scenarios"].items():
+                jobs = (f", {row['jobs_per_sec_wall']:.1f} jobs/s"
+                        if "jobs_per_sec_wall" in row else "")
+                print(f"{'perf/' + scen:>16}: "
+                      f"{row['events_per_sec_wall']:>9,.0f} events/s{jobs} "
+                      f"({row['events']} events in "
+                      f"{row['seconds_wall']:.2f} s)")
         if args.write:
             root = obs_bench.find_repo_root()
             for fname, payload in (
@@ -1292,6 +1316,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                 (obs_bench.SERVE_BASELINE, current_serve),
                 (obs_bench.PERF_BASELINE, current_perf),
             ):
+                if payload is None:
+                    continue
                 path = obs_bench.write_baseline(root, fname, payload)
                 print(f"wrote {path}")
         if args.check:

@@ -356,6 +356,9 @@ class LoopParallelModel:
         self.invocations = 0
         self.total_join_idle = 0.0
         m = metrics if metrics is not None else NULL_REGISTRY
+        # With the null registry every observe is a no-op; one flag lets
+        # the per-invocation hot path skip the calls entirely.
+        self._metrics_on = m is not NULL_REGISTRY
         self._m_invocations = m.counter(
             "llp.invocations", "loop-parallel task invocations"
         )
@@ -497,20 +500,31 @@ class LoopParallelModel:
 
         # Workers: signal latency (+ cross-cell penalty for some), input
         # DMA (concurrent streams share the EIB), compute, Pass back.
+        # Worker chunks take at most two distinct sizes (base and
+        # base + 1 from the even split), so the DMA timings — pure
+        # functions of the byte count — are computed once per size
+        # instead of twice per worker.
         worker_ends: List[float] = []
         start_delays: List[float] = []
+        dma_cache: Dict[int, Tuple[float, float]] = {}
         for j, w_iters in enumerate(chunks[1:]):
             sig = p.spe_spe_signal
             if j >= (k - 1) - cross_cell_workers:
                 sig += 0.5 * US  # inter-chip hop
-            fetch = self.mfc.transfer_time(
-                max(16, w_iters * loop.bytes_per_iteration), concurrent=k - 1
-            )
+            cached = dma_cache.get(w_iters)
+            if cached is None:
+                fetch = self.mfc.transfer_time(
+                    max(16, w_iters * loop.bytes_per_iteration),
+                    concurrent=k - 1,
+                )
+                commit_back = self.mfc.transfer_time(
+                    max(16, w_iters * max(16, loop.bytes_per_iteration // 2)),
+                    concurrent=k - 1,
+                )
+                dma_cache[w_iters] = (fetch, commit_back)
+            else:
+                fetch, commit_back = cached
             start = (j + 1) * cfg.signal_issue + sig + fetch
-            commit_back = self.mfc.transfer_time(
-                max(16, w_iters * max(16, loop.bytes_per_iteration // 2)),
-                concurrent=k - 1,
-            )
             end = start + w_iters * t_iter + p.spe_spe_signal + (
                 0.0 if loop.reduction else commit_back
             )
@@ -538,12 +552,13 @@ class LoopParallelModel:
 
         self.invocations += 1
         self.total_join_idle += join_idle
-        self._m_invocations.inc()
-        self._m_degree.observe(k)
-        for c in chunks:
-            self._m_chunk.observe(c)
-        self._m_join_idle.observe(join_idle * 1e6)
-        self._m_fraction.set(f)
+        if self._metrics_on:
+            self._m_invocations.inc()
+            self._m_degree.observe(k)
+            for c in chunks:
+                self._m_chunk.observe(c)
+            self._m_join_idle.observe(join_idle * 1e6)
+            self._m_fraction.set(f)
         inv = LLPInvocation(
             duration=duration,
             k=k,
@@ -638,13 +653,14 @@ class LoopParallelModel:
         f = shares[0] / n
         self.invocations += 1
         self.total_join_idle += join_idle
-        self._m_invocations.inc()
-        self._m_degree.observe(k)
-        for per_spe_chunks in assignments:
-            for c in per_spe_chunks:
-                self._m_chunk.observe(c)
-        self._m_join_idle.observe(join_idle * 1e6)
-        self._m_fraction.set(f)
+        if self._metrics_on:
+            self._m_invocations.inc()
+            self._m_degree.observe(k)
+            for per_spe_chunks in assignments:
+                for c in per_spe_chunks:
+                    self._m_chunk.observe(c)
+            self._m_join_idle.observe(join_idle * 1e6)
+            self._m_fraction.set(f)
         delays = avail[1:]
         inv = LLPInvocation(
             duration=duration,

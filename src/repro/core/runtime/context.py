@@ -19,6 +19,16 @@ class ProcContext:
     cell_id: int
     thread: CoreThread
     pinned_spe: Optional[SPE] = None
+    # Cached display labels: built once per process instead of one
+    # f-string per off-load on the hot path.
+    owner: str = ""       # SPE-ownership label ("p<rank>")
+    actor: str = ""       # trace-actor label ("mpi<rank>")
+
+    def __post_init__(self) -> None:
+        if not self.owner:
+            self.owner = f"p{self.rank}"
+        if not self.actor:
+            self.actor = f"mpi{self.rank}"
 
 
 @dataclass

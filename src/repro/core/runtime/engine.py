@@ -90,6 +90,15 @@ class OffloadEngine:
         # sinks; None keeps the off-load hot path branch-free beyond one
         # ``is None`` check per decision.
         self.profiler = getattr(env, "profiler", None)
+        # One flag for the whole sink fan-out (tracer, metrics,
+        # profiler): when every sink is off — the benchmarking
+        # configuration — the off-load hot path skips all recording
+        # calls and allocates nothing for them.
+        self.sinks_enabled = (
+            self.tracer.enabled
+            or self.metrics is not NULL_REGISTRY
+            or self.profiler is not None
+        )
         self.spans = SpanRecorder(self.tracer, env)
         self.granularity = GranularityGovernor(
             t_comm=self.cell.ppe_spe_signal, enabled=granularity_enabled,
@@ -211,10 +220,7 @@ class OffloadEngine:
         ``include_dispatcher`` adds the process performing the current
         off-load, whose task is not yet marked busy at sampling time.
         """
-        owners = {
-            s.owner for s in self.machine.spes if s.busy and s.owner
-        }
-        t = len(owners) + self.machine.pool.n_waiting
+        t = self.machine.n_busy_owners + self.machine.pool.n_waiting
         if include_dispatcher:
             t += 1
         if self._active_sources:
@@ -265,7 +271,8 @@ class OffloadEngine:
             # All SPEs busy: the scheduler parks this process (its PPE
             # context is free for siblings) until a departure.
             self.stats.offload_waits += 1
-            self._m_waits.inc()
+            if self.sinks_enabled:
+                self._m_waits.inc()
             spe = yield self.machine.pool.acquire(prefer_cell=ctx.cell_id)
         return spe
 
@@ -302,7 +309,8 @@ class OffloadEngine:
             t_load = max(t_load, w.load_code(trace.llp_image))
         if t_load > 0:
             self.stats.code_loads += 1
-            self._m_code_loads.inc()
+            if self.sinks_enabled:
+                self._m_code_loads.inc()
             yield env.timeout(t_load)
 
         # Stage the task's working set (memory-aware extension): a hit
@@ -312,11 +320,13 @@ class OffloadEngine:
             if moved:
                 self.stats.data_misses += 1
                 self.stats.data_bytes_transferred += moved
-                self._m_data_misses.inc()
+                if self.sinks_enabled:
+                    self._m_data_misses.inc()
                 yield env.timeout(spe.mfc.transfer_time(moved))
             else:
                 self.stats.data_hits += 1
-                self._m_data_hits.inc()
+                if self.sinks_enabled:
+                    self._m_data_hits.inc()
 
         if workers:
             cross = sum(1 for w in workers if w.cell_id != spe.cell_id)
@@ -341,16 +351,12 @@ class OffloadEngine:
                 )
         else:
             duration = self._exec_time(task)
-        owner = f"p{ctx.rank}"
+        owner = ctx.owner
         # Shared XDR / EIB contention: busy SPEs of *other* tasks on the
         # same Cell slow this one (each Cell has its own EIB and memory
         # channel; LLP workers of this task are already priced by the
         # loop model).  Superlinear: the memory controller queues.
-        busy_others = sum(
-            1
-            for s in self.machine.spes
-            if s.busy and s.cell_id == spe.cell_id and s.owner != owner
-        )
+        busy_others = self.machine.busy_others(spe.cell_id, owner)
         base_duration = duration
         duration *= 1.0 + min(
             self.cell.memory_contention_cap,
@@ -401,14 +407,15 @@ class OffloadEngine:
     ) -> Generator[Event, None, None]:
         """Execute the task's PPE version in place (throttled off-load)."""
         self.stats.ppe_fallbacks += 1
-        self._m_fallbacks.inc()
-        if self.profiler is not None:
-            self.profiler.count("runtime.ppe_fallbacks")
-        if self.tracer.enabled:
-            self.tracer.emit(
-                self.env.now, "ppe", f"mpi{ctx.rank}", "ppe_fallback",
-                function=task.function, duration=task.ppe_time,
-            )
+        if self.sinks_enabled:
+            self._m_fallbacks.inc()
+            if self.profiler is not None:
+                self.profiler.count("runtime.ppe_fallbacks")
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    self.env.now, "ppe", ctx.actor, "ppe_fallback",
+                    function=task.function, duration=task.ppe_time,
+                )
         yield ctx.thread.run(task.ppe_time)
         self.granularity.record_ppe(task.function, task.ppe_time)
 
@@ -444,7 +451,7 @@ class OffloadEngine:
         if self.faults is not None:
             yield from self._offload_tolerant(ctx, task, trace, decision)
             return
-        with self.spans.span("proc", f"mpi{ctx.rank}", "offload") as sp:
+        with self.spans.span("proc", ctx.actor, "offload") as sp:
             if self.tracer.enabled:
                 sp.set(function=task.function, reason=decision.reason)
             # The process writes the task descriptor / finds an SPE and
@@ -459,9 +466,10 @@ class OffloadEngine:
                     sp.set(spe=spe.name, llp_degree=1 + len(workers))
                 release = True
             self.stats.offloads += 1
-            self._m_offloads.inc()
-            if prof is not None:
-                prof.count("runtime.offloads")
+            if self.sinks_enabled:
+                self._m_offloads.inc()
+                if prof is not None:
+                    prof.count("runtime.offloads")
             start = self.env.now
             self.policy.on_dispatch(start)
             done = self.env.process(
@@ -478,7 +486,8 @@ class OffloadEngine:
                 # serves the next runnable MPI process.
                 yield done
             self.policy.on_departure(start, self.env.now)
-            self._m_offload_latency.observe((self.env.now - start) * 1e6)
+            if self.sinks_enabled:
+                self._m_offload_latency.observe((self.env.now - start) * 1e6)
             # Completion handling on the PPE before the process continues
             # (Section 5.2's t_comm bookkeeping on the PPE side).
             yield ctx.thread.run(self.cell.completion_overhead)
@@ -581,7 +590,8 @@ class OffloadEngine:
             t_load = max(t_load, w.load_code(trace.llp_image))
         if t_load > 0:
             self.stats.code_loads += 1
-            self._m_code_loads.inc()
+            if self.sinks_enabled:
+                self._m_code_loads.inc()
             t_load, ok = self._faulty_dma_time(spe, t_load)
             yield env.timeout(t_load)
             if not ok:
@@ -593,7 +603,8 @@ class OffloadEngine:
             if moved:
                 self.stats.data_misses += 1
                 self.stats.data_bytes_transferred += moved
-                self._m_data_misses.inc()
+                if self.sinks_enabled:
+                    self._m_data_misses.inc()
                 errors = faults.dma_errors(spe, policy.max_dma_retries)
                 if errors:
                     self.stats.dma_errors += errors
@@ -609,7 +620,8 @@ class OffloadEngine:
                     return "dma-fail"
             else:
                 self.stats.data_hits += 1
-                self._m_data_hits.inc()
+                if self.sinks_enabled:
+                    self._m_data_hits.inc()
 
         if workers:
             cross = sum(1 for w in workers if w.cell_id != spe.cell_id)
@@ -664,12 +676,8 @@ class OffloadEngine:
         else:
             duration = self._exec_time(task)
 
-        owner = f"p{ctx.rank}"
-        busy_others = sum(
-            1
-            for s in self.machine.spes
-            if s.busy and s.cell_id == spe.cell_id and s.owner != owner
-        )
+        owner = ctx.owner
+        busy_others = self.machine.busy_others(spe.cell_id, owner)
         base_duration = duration
         duration *= 1.0 + min(
             self.cell.memory_contention_cap,
@@ -748,7 +756,7 @@ class OffloadEngine:
         tol = self.tolerance
         pinned = self.policy.pinned
         spe = ctx.pinned_spe if pinned else None
-        with self.spans.span("proc", f"mpi{ctx.rank}", "offload") as sp:
+        with self.spans.span("proc", ctx.actor, "offload") as sp:
             if self.tracer.enabled:
                 sp.set(function=task.function, reason=decision.reason)
             for attempt in range(tol.max_attempts):
@@ -759,7 +767,7 @@ class OffloadEngine:
                     # retries as sibling spans with the backoff waits
                     # between them.
                     self.tracer.emit(
-                        env.now, "fault", f"mpi{ctx.rank}",
+                        env.now, "fault", ctx.actor,
                         "offload_attempt",
                         function=task.function, attempt=attempt,
                     )
@@ -778,9 +786,10 @@ class OffloadEngine:
                         sp.set(spe=spe.name, llp_degree=1 + len(workers))
                     release = True
                 self.stats.offloads += 1
-                self._m_offloads.inc()
-                if self.profiler is not None:
-                    self.profiler.count("runtime.offloads")
+                if self.sinks_enabled:
+                    self._m_offloads.inc()
+                    if self.profiler is not None:
+                        self.profiler.count("runtime.offloads")
                 start = env.now
                 self.policy.on_dispatch(start)
                 done = env.process(
@@ -803,18 +812,22 @@ class OffloadEngine:
                 if winner is done and status == "ok":
                     self._note_spe_success(spe)
                     self.policy.on_departure(start, env.now)
-                    self._m_offload_latency.observe((env.now - start) * 1e6)
+                    if self.sinks_enabled:
+                        self._m_offload_latency.observe(
+                            (env.now - start) * 1e6
+                        )
                     yield ctx.thread.run(self.cell.completion_overhead)
                     return
                 if status == "watchdog-timeout":
                     self.stats.watchdog_timeouts += 1
                     self._m_watchdog.inc()
                 self.stats.offload_retries += 1
-                self._m_retries.inc()
+                if self.sinks_enabled:
+                    self._m_retries.inc()
                 self._note_spe_failure(spe)
                 if self.tracer.enabled:
                     self.tracer.emit(
-                        env.now, "fault", f"mpi{ctx.rank}", "offload_retry",
+                        env.now, "fault", ctx.actor, "offload_retry",
                         function=task.function, status=status,
                         attempt=attempt, spe=spe.name,
                     )
@@ -823,7 +836,7 @@ class OffloadEngine:
             self._m_retry_fallbacks.inc()
             if self.tracer.enabled:
                 self.tracer.emit(
-                    env.now, "fault", f"mpi{ctx.rank}", "retry_fallback",
+                    env.now, "fault", ctx.actor, "retry_fallback",
                     function=task.function,
                 )
         yield from self._ppe_fallback(ctx, task)

@@ -116,6 +116,10 @@ class Profiler:
         self._sections: Dict[str, SectionStat] = {}
         self._counters: Dict[str, int] = {}
         self._stack: List[list] = []
+        # Per-event-class section names for the kernel's profiled step
+        # path; lives here (the only consumer) so the Environment stays
+        # slim and ``__slots__``-able.
+        self._event_sections: Dict[type, str] = {}
         # Kernel heap traffic is tallied via plain attributes: the event
         # loop is too hot for even a dict lookup per push/pop.
         self.heap_pushes = 0
@@ -127,6 +131,13 @@ class Profiler:
         self._t0 = time_source()
 
     # -- recording ----------------------------------------------------------
+    def event_section(self, cls: type) -> str:
+        """Cached ``sim.event.<ClassName>`` section name for an event class."""
+        name = self._event_sections.get(cls)
+        if name is None:
+            name = self._event_sections[cls] = f"sim.event.{cls.__name__}"
+        return name
+
     def section(self, name: str) -> _Section:
         """Scoped timer; use as ``with profiler.section("x"): ...``."""
         stat = self._sections.get(name)

@@ -818,14 +818,41 @@ def _serving_html(tracer: Optional[Tracer], registry) -> Optional[str]:
     return "".join(parts)
 
 
-def _perf_html(profile: Optional[Dict[str, Any]]) -> str:
+def _kernel_note(registry) -> str:
+    """Kernel-health chips for the ``#perf`` lane.
+
+    Reads the deterministic ``run.kernel.*`` gauges the runner publishes
+    from :meth:`Environment.kernel_stats`; empty string when the run had
+    no metrics registry attached (the gauges are simply absent).
+    """
+    if registry is None or registry.get("run.kernel.pool_hit_rate") is None:
+        return ""
+    pool = _value(registry, "run.kernel.pool_hit_rate")
+    batch = _value(registry, "run.kernel.batch_advance_fraction")
+    occ = _value(registry, "run.kernel.near_occupancy_p95")
+    pool_chip = "good" if pool >= 0.9 else "warning"
+    # Batch advance is honestly 0 under a profiler (the profiled loop
+    # steps one event at a time), so it renders as plain text, not a
+    # health verdict.
+    return (
+        '<p class="chart-note">event kernel &#183; '
+        f'<span class="chip {pool_chip}">pool hit {pool:.1%}</span> '
+        f'batch advance {batch:.1%} &#183; '
+        f'near-bucket p95 {occ:.0f}</p>'
+    )
+
+
+def _perf_html(profile: Optional[Dict[str, Any]], registry=None) -> str:
     """The ``#perf`` lane: wall-clock profile of the run's hot path.
 
     Always rendered (stable anchor); shows an empty-state note when the
-    run had no profiler attached.
+    run had no profiler attached.  ``registry`` additionally feeds the
+    kernel-health chips (``run.kernel.*`` gauges).
     """
+    kernel = _kernel_note(registry)
     if not profile or not profile.get("sections"):
-        return ('<p class="empty">No wall-clock profile attached &#8212; '
+        return kernel + (
+                '<p class="empty">No wall-clock profile attached &#8212; '
                 'run <span class="mono">repro profile</span> or '
                 '<span class="mono">repro report</span> (which attaches '
                 'the profiler automatically) to populate this lane.</p>')
@@ -893,7 +920,7 @@ def _perf_html(profile: Optional[Dict[str, Any]]) -> str:
         ("s1", "self (exclusive) time"),
         ("s3", "time in nested sections"),
     ])
-    return f'<p class="chart-note">{note}</p>{legend}{svg}{table}'
+    return f'{kernel}<p class="chart-note">{note}</p>{legend}{svg}{table}'
 
 
 def _findings_table(findings: Sequence[HealthFinding]) -> str:
@@ -1064,7 +1091,9 @@ def render_report(
     serving = _serving_html(tracer, registry)
     if serving is not None:
         sections.append(("serving", "Serving layer", serving))
-    sections.append(("perf", "Wall-clock profile", _perf_html(profile)))
+    sections.append(
+        ("perf", "Wall-clock profile", _perf_html(profile, registry))
+    )
     sections.append(
         ("faults", "Faults and recovery", _faults_html(tracer, registry))
     )

@@ -125,6 +125,11 @@ class FrontEnd:
         self._unit_seq = 0       # dispatch units formed so far
         self._buckets = {}
         self.wake = env.event()  # re-armed by the dispatcher loop
+        # Free list of finished DispatchUnits: at serving scale (10^4+
+        # jobs) unit records dominate dispatch-path allocation, so the
+        # blade loop returns clean units here and pop_unit reuses them
+        # (object *and* jobs list) instead of allocating.
+        self._unit_pool: List[DispatchUnit] = []
 
     # -- intake ------------------------------------------------------------
     def submit(
@@ -178,12 +183,34 @@ class FrontEnd:
     def pending(self) -> int:
         return len(self._heap)
 
+    def recycle_unit(self, unit: DispatchUnit) -> None:
+        """Return a finished unit to the free list for :meth:`pop_unit`.
+
+        Callers must guarantee nothing else references the unit (no live
+        twin, no hedge watch, not queued anywhere).
+        """
+        if len(self._unit_pool) >= 64:
+            return
+        unit.jobs.clear()
+        unit.blade = None
+        unit.attempts = 0
+        unit.hedge_of = None
+        unit.twin = None
+        unit.cancelled = False
+        unit.probe = False
+        self._unit_pool.append(unit)
+
     def pop_unit(self) -> Optional[DispatchUnit]:
         """Form the next dispatch unit, batching same-bag jobs if allowed."""
         if not self._heap:
             return None
         _, head = heapq.heappop(self._heap)
-        jobs = [head]
+        if self._unit_pool:
+            unit = self._unit_pool.pop()
+        else:
+            unit = DispatchUnit(seq=0, jobs=[])
+        jobs = unit.jobs
+        jobs.append(head)
         if self.batch_max > 1:
             keep = []
             for entry in sorted(self._heap):
@@ -199,7 +226,7 @@ class FrontEnd:
                 heapq.heapify(self._heap)
         self._unit_seq += 1
         self.stats.note_batch(len(jobs))
-        unit = DispatchUnit(seq=self._unit_seq - 1, jobs=jobs)
+        unit.seq = self._unit_seq - 1
         if self.tracer is not None:
             # Unit formation: the causal layer uses this to time the
             # admission-queue phase and the windowed sampler uses the

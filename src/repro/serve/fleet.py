@@ -35,8 +35,9 @@ sequence — chaos runs are diffable, never flaky.
 from __future__ import annotations
 
 import json
+from collections import deque
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Deque, Dict, List, Optional, Tuple
 
 from ..cell.params import BladeParams
 from ..core.runner import run_experiment
@@ -157,7 +158,9 @@ class BladeState:
         self.tracer = tracer
         self.alive = True
         self.active = active
-        self.queue: List[DispatchUnit] = []
+        # FIFO of queued units; deque so the head pop the blade loop
+        # performs per unit is O(1) at any backlog depth.
+        self.queue: Deque[DispatchUnit] = deque()
         self.running: Optional[DispatchUnit] = None
         self.busy_until = 0.0     # absolute time the running unit finishes
         self.units_run = 0
@@ -212,14 +215,15 @@ class BladeState:
             self.wake.succeed()
 
     def pop_next(self) -> Optional[DispatchUnit]:
-        return self.queue.pop(0) if self.queue else None
+        return self.queue.popleft() if self.queue else None
 
     def steal_newest(self) -> Optional[DispatchUnit]:
         return self.queue.pop() if self.queue else None
 
     def drain(self) -> List[DispatchUnit]:
         """Take every queued unit (for failover / deactivation)."""
-        units, self.queue = self.queue, []
+        units = list(self.queue)
+        self.queue.clear()
         return units
 
     def kill(self) -> None:

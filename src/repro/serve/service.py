@@ -245,6 +245,10 @@ class Service:
             for i in range(config.max_blades)
         ]
         self.stop = env.event()
+        # Blade death events only ever fire from the fault plan's kill
+        # and flap processes; without a plan _segment can wait on the
+        # bare timeout instead of racing it against blade.death.
+        self._can_die = config.faults is not None
         self.arrivals_done = False
         self.lost_jobs = 0
         self._job_seq = 0
@@ -449,6 +453,9 @@ class Service:
     # -- blades ------------------------------------------------------------
     def _segment(self, blade: BladeState, duration: float):
         """Busy-wait ``duration`` unless the blade dies; True = died."""
+        if not self._can_die:
+            yield self.env.timeout(duration)
+            return False
         if blade.death.triggered:
             return True
         timeout = self.env.timeout(duration)
@@ -566,6 +573,14 @@ class Service:
             if expected > 0:
                 res.note_unit_done(b.index, (env.now - picked_at) / expected,
                                    probe=unit.probe)
+            # Clean completion with no other holder (no live twin, no
+            # hedge watcher possible, not a breaker probe): hand the
+            # unit back for reuse.  Hedging keeps detached watcher
+            # processes around that compare unit identity, so pooling
+            # is off while it is enabled.
+            if (unit.twin is None and unit.hedge_of is None
+                    and not unit.probe and not cfg.resilience.hedging):
+                self.frontend.recycle_unit(unit)
 
     def _shed_unreachable(self, unit: DispatchUnit, b: BladeState) -> None:
         """Deadline enforcement: abort jobs that cannot finish in time.

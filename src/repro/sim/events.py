@@ -7,7 +7,11 @@ an :class:`~repro.sim.engine.Environment` owns the event calendar, and a
 to wait on them.
 
 Events here are deliberately minimal and allocation-light (``__slots__``)
-because scheduler experiments schedule millions of them.
+because scheduler experiments schedule millions of them.  The dominant
+waiting pattern is a single waiter (one process blocked on one event), so
+callbacks use a single-slot fast path (``_cb0``) and only allocate a list
+when a second waiter actually attaches — the common case never touches a
+list at all.
 """
 
 from __future__ import annotations
@@ -38,15 +42,23 @@ class Event:
     the calendar with a value) -> *processed* (callbacks executed).  An
     event may succeed (``ok``) or fail with an exception; waiting processes
     observe failure as the exception being raised at their ``yield``.
+
+    The first callback lives in the ``_cb0`` slot; ``callbacks`` stays
+    ``None`` until a second callback attaches.  ``_processed`` (not the
+    callback containers) is the processed-state marker.
     """
 
-    __slots__ = ("env", "callbacks", "_value", "_ok", "_scheduled", "_processed")
+    __slots__ = (
+        "env", "callbacks", "_cb0", "_value", "_ok", "_scheduled",
+        "_processed",
+    )
 
     _PENDING = object()
 
     def __init__(self, env: "Environment") -> None:
         self.env = env
-        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._cb0: Optional[Callable[["Event"], None]] = None
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = None
         self._value: Any = Event._PENDING
         self._ok: bool = True
         self._scheduled = False
@@ -77,7 +89,7 @@ class Event:
     # -- triggering -----------------------------------------------------
     def succeed(self, value: Any = None, priority: int = NORMAL) -> "Event":
         """Trigger the event successfully with ``value``."""
-        if self.triggered:
+        if self._value is not Event._PENDING:
             raise RuntimeError("event has already been triggered")
         self._value = value
         self._ok = True
@@ -89,7 +101,7 @@ class Event:
 
         Waiting processes see ``exc`` raised at their ``yield`` statement.
         """
-        if self.triggered:
+        if self._value is not Event._PENDING:
             raise RuntimeError("event has already been triggered")
         if not isinstance(exc, BaseException):
             raise TypeError(f"{exc!r} is not an exception")
@@ -105,17 +117,47 @@ class Event:
         If the event was already processed the callback runs immediately;
         this makes waiting race-free regardless of ordering.
         """
-        if self.callbacks is None:
+        if self._processed:
             fn(self)
+        elif self._cb0 is None:
+            self._cb0 = fn
         else:
-            self.callbacks.append(fn)
+            cbs = self.callbacks
+            if cbs is None:
+                self.callbacks = [fn]
+            else:
+                cbs.append(fn)
+
+    def remove_callback(self, fn: Callable[["Event"], None]) -> bool:
+        """Detach ``fn`` if attached; returns whether it was removed.
+
+        Keeps the invariant that ``_cb0`` is filled whenever any callback
+        remains, so ordering is preserved across removals.
+        """
+        if self._cb0 is fn:
+            cbs = self.callbacks
+            self._cb0 = cbs.pop(0) if cbs else None
+            return True
+        cbs = self.callbacks
+        if cbs is not None:
+            try:
+                cbs.remove(fn)
+                return True
+            except ValueError:
+                pass
+        return False
 
     def _process(self) -> None:
         """Invoke callbacks.  Called by the environment main loop."""
-        callbacks, self.callbacks = self.callbacks, None
         self._processed = True
-        if callbacks:
-            for fn in callbacks:
+        cb = self._cb0
+        if cb is not None:
+            self._cb0 = None
+            cb(self)
+        cbs = self.callbacks
+        if cbs is not None:
+            self.callbacks = None
+            for fn in cbs:
                 fn(self)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -128,7 +170,12 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that fires ``delay`` simulated seconds after creation."""
+    """An event that fires ``delay`` simulated seconds after creation.
+
+    Timeouts are the dominant event class; prefer
+    :meth:`~repro.sim.engine.Environment.timeout`, which recycles
+    processed instances through a free list instead of allocating.
+    """
 
     __slots__ = ("delay",)
 
@@ -165,6 +212,16 @@ class _Condition(Event):
 
     def _check(self, ev: Event) -> None:
         raise NotImplementedError
+
+    def detach(self) -> None:
+        """Stop watching constituents that have not fired yet.
+
+        Long-lived events (fleet death/stop signals) otherwise accumulate
+        one stale ``_check`` per composite built on them.
+        """
+        for ev in self.events:
+            if not ev._processed:
+                ev.remove_callback(self._check)
 
 
 class AllOf(_Condition):

@@ -74,11 +74,8 @@ class Process(Event):
             )
         # Detach from the awaited event and deliver the interrupt.
         target, self._target = self._target, None
-        if target.callbacks is not None:
-            try:
-                target.callbacks.remove(self._resume)
-            except ValueError:  # pragma: no cover - already detached
-                pass
+        if not target._processed:
+            target.remove_callback(self._resume)
         deliver = Event(self.env)
         deliver.fail(Interrupt(cause), priority=URGENT)
         deliver.add_callback(self._resume)

@@ -556,3 +556,80 @@ class TestRngStreams:
     def test_non_int_seed_rejected(self):
         with pytest.raises(TypeError):
             RngStreams("seed")
+
+
+class TestCalendarKernel:
+    """Edge cases of the bucketed calendar, Timeout pool and batched loop."""
+
+    def test_bucket_seam_preserves_order_across_refills(self):
+        # 200 far-heap entries with 40-way timestamp ties: the refill
+        # batch boundary (64 entries) falls *inside* a tie group, so the
+        # tie-extension rule must pull the rest of the group across the
+        # seam for (time, seq) FIFO order to survive the promotion.
+        env = Environment()
+        fired = []
+        n = 200
+        for i in range(n):
+            t = env.timeout(float((i % 5) + 1))
+            t.add_callback(lambda ev, i=i: fired.append((env.now, i)))
+        env.run()
+        expected = sorted(range(n), key=lambda i: ((i % 5) + 1, i))
+        assert [i for _, i in fired] == expected
+        assert all(now == float((i % 5) + 1) for now, i in fired)
+        assert env.kernel_stats()["calendar_refills"] >= 2
+
+    def test_timeout_pool_reincarnation_is_clean(self):
+        env = Environment()
+        first_life = []
+        t1 = env.timeout(1.0, value="ghost")
+        t1.add_callback(lambda ev: first_life.append(ev.value))
+        ident = id(t1)
+        env.run()
+        assert first_life == ["ghost"]
+        # Drop the only outside reference; the free list may now reuse
+        # the instance (it stays alive in the pool, so the id is stable).
+        del t1
+        t2 = env.timeout(2.0)
+        assert id(t2) == ident
+        assert env.kernel_stats()["pool_hit_rate"] > 0.0
+        # The reincarnation carries nothing over from its first life.
+        assert t2._value is None
+        assert t2._cb0 is None and t2.callbacks is None
+        assert not t2.processed and t2._scheduled
+        second_life = []
+        t2.add_callback(lambda ev: second_life.append(ev.value))
+        env.run()
+        assert second_life == [None]
+        assert first_life == ["ghost"]  # first-life callback never re-fired
+
+    def test_deadlock_raised_mid_batch(self):
+        # The inlined batched loop must still detect the stall — and
+        # restore the garbage collector on the exception path.
+        import gc
+
+        env = Environment()
+
+        def noise():
+            for _ in range(10):
+                yield env.timeout(1.0)
+
+        def stuck():
+            yield env.timeout(1.0)
+            yield env.event()  # never fires
+
+        env.process(noise())
+        p = env.process(stuck())
+        with pytest.raises(RuntimeError, match="deadlock"):
+            env.run_until_complete(p)
+        assert env.events_processed > 10  # noise drained before the stall
+        assert gc.isenabled()
+
+    def test_step_after_batched_drain_raises_empty(self):
+        env = Environment()
+
+        def proc():
+            yield env.timeout(1.0)
+
+        env.run_until_complete(env.process(proc()))
+        with pytest.raises(EmptySchedule):
+            env.step()
