@@ -1,0 +1,49 @@
+"""The tracked workflow-DAG grid — pipelines, bootstop, stage cache.
+
+Runs the raxml-style workflow (check -> infer -> bootstrap fan-out ->
+consensus) through four cells — cache-cold, cache-warm (repeat
+submission), bootstop-on converging, and the diverging control — and
+records the grid to the *tracked* repo-root ``BENCH_dag.json``.  It
+also re-asserts the layer's acceptance invariants: the repeat
+submission hits the stage cache on 100% of stages and lands on a
+digest-identical final result; autoMRE bootstopping cancels at least
+30% of the converging fan-out; job conservation (admitted = completed
++ cancelled + aborted + lost) is exact with zero losses everywhere.
+
+Every non-``_wall`` field is deterministic, so the committed file is a
+regression gate: ``repro bench --check`` (or
+``python benchmarks/check_bench.py``) re-measures and diffs.  A diff in
+this file inside a PR is a deliberate statement that workflow behavior
+changed.
+"""
+
+from conftest import run_once
+
+from repro.obs.bench import measure_dag
+
+
+def test_workflow_dag_grid(benchmark, record_json):
+    payload = run_once(benchmark, measure_dag)
+
+    grid = payload["grid"]
+    assert set(grid) == {"cache-cold", "cache-warm", "bootstop",
+                         "bootstop-diverging"}
+    for name, row in grid.items():
+        assert row["conservation_ok"], f"{name} broke job conservation"
+        assert row["lost"] == 0, f"{name} lost jobs"
+
+    # Cache: the repeat submission short-circuits every stage and the
+    # result is bit-identical to the cold run's.
+    assert payload["warm_hit_rate"] == 1.0
+    assert payload["warm_digest_identical"]
+    assert grid["cache-warm"]["warm_makespan"] < grid["cache-cold"]["makespan"]
+
+    # Bootstop: the converging fan-out stops early (>= 30% cancelled,
+    # the acceptance floor) and faster than the full run; the diverging
+    # control needs more replicates before it converges.
+    assert payload["bootstop_savings"] >= 0.30
+    assert grid["bootstop"]["makespan"] < grid["cache-cold"]["makespan"]
+    assert (grid["bootstop-diverging"]["bootstop_cancelled"]
+            < grid["bootstop"]["bootstop_cancelled"])
+
+    record_json("BENCH_dag", payload, root=True)

@@ -3,10 +3,16 @@
 
 Executable wrapper over :func:`repro.obs.bench.check_baselines` —
 re-measures the tracked scheduler ladder, the fault-tolerance
-scenarios, the serving-layer SLO grid and the kernel throughput grid,
-then diffs them against the committed repo-root ``BENCH_core.json``,
-``BENCH_obs.json``, ``BENCH_faults.json``, ``BENCH_serve.json`` and
-``BENCH_perf.json`` baselines.  Exits 1 on drift.
+scenarios, the serving-layer SLO grid, the workflow-DAG grid and the
+kernel throughput grid, then diffs them against the committed
+repo-root ``BENCH_core.json``, ``BENCH_obs.json``,
+``BENCH_faults.json``, ``BENCH_serve.json``, ``BENCH_dag.json`` and
+``BENCH_perf.json`` baselines.  Exits 1 on drift.  The dag baseline
+also carries semantic gates that hold regardless of what was written:
+a repeat workflow submission must hit the stage cache on 100% of
+stages with a digest-identical result, bootstopping must cancel at
+least 30% of the converging fan-out, and job conservation must be
+exact with zero losses.
 
 Two classes of fields, two comparison rules:
 

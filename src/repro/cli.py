@@ -442,6 +442,60 @@ def build_parser() -> argparse.ArgumentParser:
     add_trace_flag(p)
 
     p = sub.add_parser(
+        "dag",
+        help="run staged workflow pipelines over the serving fleet",
+        description=(
+            "Submit multi-stage workflows (check MSA -> infer ML -> "
+            "bootstrap fan-out -> consensus) through the workflow DAG "
+            "engine: stages dispatch as their dependencies resolve, the "
+            "bootstrap stage fans out into per-replicate sibling jobs, "
+            "an autoMRE-style convergence monitor (--bootstop) cancels "
+            "the redundant tail of the fan-out, and completed stages are "
+            "content-addressed into a fleet-wide result cache so repeat "
+            "submissions short-circuit to cache hits.  Deterministic per "
+            "seed; prints the workflow ledger with exact job "
+            "conservation (admitted = completed + cancelled + aborted + "
+            "lost)."
+        ),
+    )
+    p.add_argument("--workflow", default="raxml", choices=("raxml",),
+                   help="pipeline shape (default raxml: check-msa -> "
+                        "infer-ml -> bootstrap -> consensus)")
+    p.add_argument("--replicates", type=int, default=100, metavar="N",
+                   help="bootstrap fan-out width (default 100)")
+    p.add_argument("--submissions", type=int, default=1, metavar="N",
+                   help="identical workflow submissions, chained back to "
+                        "back (default 1; 2+ exercises the stage cache)")
+    p.add_argument("--conflict", type=float, default=0.15, metavar="F",
+                   help="replicate disagreement probability in [0, 1]: "
+                        "small = converging supports, 1.0 = diverging "
+                        "(default 0.15)")
+    p.add_argument("--bootstop", action="store_true",
+                   help="enable the autoMRE-style convergence monitor "
+                        "that cancels the redundant bootstrap tail")
+    p.add_argument("--cache", default="on", choices=("on", "off"),
+                   help="digest-keyed stage result cache (default on)")
+    p.add_argument("--blades", type=int, default=2,
+                   help="fleet size (default 2)")
+    p.add_argument("--dispatch", default="least-loaded",
+                   choices=[i.name for i in available_dispatch_policies()],
+                   help="blade-selection policy (default least-loaded)")
+    p.add_argument("--scheduler", default="mgps",
+                   choices=available_blade_schedulers(),
+                   help="blade-level scheduler (default mgps)")
+    p.add_argument("--kill-blade", action="append", default=[],
+                   metavar="BLADE:TIME",
+                   help="kill blade index at simulated time (seconds) "
+                        "during the run; repeatable")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--json", action="store_true",
+                   help="emit the full deterministic run record as JSON")
+    p.add_argument("--report", metavar="PATH", default=None,
+                   help="also write the self-contained HTML report "
+                        "(includes the workflow lane)")
+    add_trace_flag(p)
+
+    p = sub.add_parser(
         "chaos",
         help="seeded chaos soak over randomized fleet fault plans",
         description=(
@@ -493,8 +547,9 @@ def build_parser() -> argparse.ArgumentParser:
             "scenarios and the serving-layer SLO grid.  --check diffs "
             "the measurement against the committed BENCH_*.json "
             "baselines (the regression gate); --write refreshes "
-            "BENCH_core.json, BENCH_faults.json, BENCH_serve.json and "
-            "BENCH_perf.json.  Wall-clock fields are informational only, "
+            "BENCH_core.json, BENCH_faults.json, BENCH_serve.json, "
+            "BENCH_dag.json and BENCH_perf.json.  Wall-clock fields are "
+            "informational only, "
             "except the BENCH_perf.json *_per_sec_wall rates which are "
             "enforced as one-sided floors (see --perf-tolerance)."
         ),
@@ -512,7 +567,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "--check fails (default 0.30; also settable via "
                         "REPRO_PERF_TOLERANCE)")
     p.add_argument("--only", metavar="SECTION", action="append",
-                   choices=("core", "faults", "serve", "perf"),
+                   choices=("core", "faults", "serve", "dag", "perf"),
                    default=None,
                    help="measure (and with --write, re-record) only the "
                         "named baseline section instead of all of them; "
@@ -1156,6 +1211,88 @@ def main(argv: Optional[List[str]] = None) -> int:
                   f"finding(s); self-contained, open in any browser)")
         if not digests_match:
             return 1
+    elif args.command == "dag":
+        import dataclasses
+
+        from .serve import (
+            BladeKill,
+            BootstopConfig,
+            DagConfig,
+            FleetFaultPlan,
+            raxml_workflow,
+            run_dag,
+        )
+
+        kills = []
+        for text in args.kill_blade:
+            try:
+                left, right = text.split(":", 1)
+                kills.append(BladeKill(blade=int(left), at=float(right)))
+            except ValueError:
+                print(f"repro dag: error: --kill-blade expects BLADE:TIME, "
+                      f"got {text!r}", file=sys.stderr)
+                return 2
+        tracer = Tracer(enabled=True)
+        metrics = MetricsRegistry()
+        try:
+            cfg = DagConfig(
+                workflow=raxml_workflow(replicates=args.replicates,
+                                        conflict=args.conflict),
+                submissions=args.submissions,
+                seed=args.seed,
+                dispatch=args.dispatch,
+                scheduler=args.scheduler,
+                blades=args.blades,
+                bootstop=BootstopConfig() if args.bootstop else None,
+                cache=args.cache == "on",
+                faults=(FleetFaultPlan(kills=tuple(kills), seed=args.seed)
+                        if kills else None),
+            )
+        except ValueError as exc:
+            print(f"repro dag: error: {exc}", file=sys.stderr)
+            return 2
+        result = run_dag(cfg, tracer=tracer, metrics=metrics)
+        own_traces["dag"] = tracer
+        if args.json:
+            print(result.to_json())
+        else:
+            print(result.summary_text())
+        ok = result.conservation_ok and result.serve.lost_jobs == 0
+        if cfg.faults is not None and cfg.bootstop is None:
+            # Bootstop off: fault timing must not change any result —
+            # the faulty run's final digests must match a clean rerun.
+            # (Bootstop on: fault timing legitimately moves the
+            # convergence point, so only conservation is asserted.)
+            clean = run_dag(dataclasses.replace(cfg, faults=None))
+            match = clean.final_digests == result.final_digests
+            ok = ok and match
+            if not args.json:
+                print("  digests: "
+                      + ("identical to the fault-free run" if match
+                         else "DIVERGED from fault-free"))
+        if args.report:
+            import pathlib
+
+            from .obs import analyze_run, write_report
+
+            if not pathlib.Path(args.report).parent.is_dir():
+                print(f"repro dag: error: directory of {args.report!r} "
+                      f"does not exist", file=sys.stderr)
+                return 2
+            findings = analyze_run(tracer, metrics)
+            write_report(
+                args.report, tracer, metrics, findings,
+                title=f"dag: {cfg.workflow.name} x{cfg.submissions}, "
+                      f"{cfg.dispatch} dispatch",
+                subtitle=f"bootstop "
+                         f"{'on' if cfg.bootstop is not None else 'off'}, "
+                         f"cache {'on' if cfg.cache else 'off'}, seed "
+                         f"{cfg.seed} — drained at {result.makespan:.2f} s",
+            )
+            print(f"wrote report to {args.report} ({len(findings)} "
+                  f"finding(s); self-contained, open in any browser)")
+        if not ok:
+            return 1
     elif args.command == "chaos":
         from .serve.chaos import ChaosConfig, run_chaos
 
@@ -1259,8 +1396,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                   file=sys.stderr)
             return 2
         sections = (set(args.only) if args.only
-                    else {"core", "faults", "serve", "perf"})
+                    else {"core", "faults", "serve", "dag", "perf"})
         current = current_faults = current_serve = current_perf = None
+        current_dag = None
         if "core" in sections:
             current = obs_bench.measure_core()
             for name, row in current["schedulers"].items():
@@ -1299,6 +1437,18 @@ def main(argv: Optional[List[str]] = None) -> int:
                       f"{cells['autoscale']['latency_p99_s']:.1f} s)")
             print(f"      serve: cross-policy digests "
                   f"{'identical' if current_serve['digests_identical'] else 'DIVERGED'}")
+        if "dag" in sections:
+            current_dag = obs_bench.measure_dag()
+            for name, row in current_dag["grid"].items():
+                print(f"{'dag/' + name:>16}: "
+                      f"{row['completed']:3d} done, "
+                      f"{row['cancelled']:3d} cancelled, "
+                      f"cache {row['cache_hit_rate']:.0%}, "
+                      f"makespan {row['makespan']:7.1f} s")
+            print(f"        dag: bootstop savings "
+                  f"{current_dag['bootstop_savings']:.0%}, warm hit rate "
+                  f"{current_dag['warm_hit_rate']:.0%}, digests "
+                  f"{'identical' if current_dag['warm_digest_identical'] else 'DIVERGED'}")
         if "perf" in sections:
             current_perf = obs_bench.measure_throughput()
             for scen, row in current_perf["scenarios"].items():
@@ -1314,6 +1464,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 (obs_bench.CORE_BASELINE, current),
                 (obs_bench.FAULTS_BASELINE, current_faults),
                 (obs_bench.SERVE_BASELINE, current_serve),
+                (obs_bench.DAG_BASELINE, current_dag),
                 (obs_bench.PERF_BASELINE, current_perf),
             ):
                 if payload is None:
@@ -1323,7 +1474,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.check:
             ok, report = obs_bench.check_baselines(
                 current_core=current, current_faults=current_faults,
-                current_serve=current_serve, current_perf=current_perf,
+                current_serve=current_serve, current_dag=current_dag,
+                current_perf=current_perf,
                 perf_floor_tolerance=args.perf_tolerance,
             )
             print(report)

@@ -1,6 +1,6 @@
 """The paper's contribution: EDTLP, LLP and MGPS scheduling on Cell."""
 
-from .cluster import ClusterResult, distribute_bootstraps, run_cluster_experiment
+from .cluster import ClusterResult, run_cluster_experiment
 from .granularity import GranularityGovernor, OffloadDecision
 from .history import UtilizationHistory
 from .llp import LLPConfig, LLPInvocation, LoopParallelModel, split_iterations
@@ -29,7 +29,6 @@ __all__ = [
     "run_bsp_experiment",
     "run_cluster_experiment",
     "ClusterResult",
-    "distribute_bootstraps",
     "ScheduleResult",
     "OffloadRuntime",
     "LinuxRuntime",

@@ -19,7 +19,6 @@ distribution bit for bit.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
 from typing import List, Tuple
 
@@ -29,27 +28,7 @@ from .results import ScheduleResult
 from .runner import run_experiment
 from .schedulers import SchedulerSpec
 
-__all__ = ["ClusterResult", "distribute_bootstraps", "run_cluster_experiment"]
-
-
-def distribute_bootstraps(total: int, n_blades: int) -> List[int]:
-    """Block-distribute ``total`` bootstraps over ``n_blades`` blades.
-
-    .. deprecated::
-        Thin wrapper kept for callers of the original API; the layout
-        now lives in the dispatch registry as the ``static-block``
-        policy's partition (:func:`repro.serve.dispatch.block_partition`).
-        Earlier blades take the remainder (sizes differ by at most one).
-    """
-    from ..serve.dispatch import block_partition
-
-    warnings.warn(
-        "distribute_bootstraps is deprecated; resolve the 'static-block' "
-        "dispatch policy and use its partition() instead",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return [len(block) for block in block_partition(total, n_blades)]
+__all__ = ["ClusterResult", "run_cluster_experiment"]
 
 
 @dataclass(frozen=True)

@@ -12,6 +12,10 @@ The repo keeps two committed baseline files at its root:
 * ``BENCH_serve.json`` — serving-layer SLOs (tail latency, goodput,
   rejection rate) per dispatch policy with and without autoscaling,
   written by ``benchmarks/bench_serve.py``;
+* ``BENCH_dag.json`` — the workflow-DAG grid (cache-cold vs cache-warm
+  vs bootstop-on), gating the stage cache's 100% warm hit rate, digest
+  identity across repeat submissions, the >= 30% bootstop savings and
+  exact job conservation, written by ``repro bench --write --only dag``;
 * ``BENCH_perf.json`` — the wall-clock throughput grid (events/sec and
   jobs per wall-second for the fig8 and serve scenarios), written by
   ``benchmarks/bench_throughput.py`` or ``repro bench --write``.
@@ -59,11 +63,13 @@ __all__ = [
     "OBS_BASELINE",
     "FAULTS_BASELINE",
     "SERVE_BASELINE",
+    "DAG_BASELINE",
     "PERF_BASELINE",
     "REQUIRED_CORE_KEYS",
     "REQUIRED_OBS_KEYS",
     "REQUIRED_FAULTS_KEYS",
     "REQUIRED_SERVE_KEYS",
+    "REQUIRED_DAG_KEYS",
     "REQUIRED_PERF_KEYS",
     "DEFAULT_TOLERANCES",
     "PERF_REGRESSION_TOLERANCE",
@@ -73,6 +79,7 @@ __all__ = [
     "find_repo_root",
     "core_schedulers",
     "measure_core",
+    "measure_dag",
     "measure_faults",
     "measure_serve",
     "measure_throughput",
@@ -90,6 +97,7 @@ CORE_BASELINE = "BENCH_core.json"
 OBS_BASELINE = "BENCH_obs.json"
 FAULTS_BASELINE = "BENCH_faults.json"
 SERVE_BASELINE = "BENCH_serve.json"
+DAG_BASELINE = "BENCH_dag.json"
 PERF_BASELINE = "BENCH_perf.json"
 
 # The workload every tracked benchmark shares (Figure-8-style: few
@@ -122,6 +130,13 @@ REQUIRED_SERVE_KEYS = (
     "policies",
     "digests_identical",
     "breakdown",
+)
+REQUIRED_DAG_KEYS = (
+    "workload",
+    "grid",
+    "bootstop_savings",
+    "warm_hit_rate",
+    "warm_digest_identical",
 )
 REQUIRED_PERF_KEYS = (
     "workload",
@@ -436,8 +451,8 @@ def measure_fleet_faults(
         "worst_p99_s": max(o.p99_s for o in soak.outcomes),
         "deadline_aborts": ds["deadline_aborts"],
         "deadline_conservation_ok": (
-            ds["admitted"] == ds["completed"] + ds["deadline_aborts"]
-            + deadline_run.lost_jobs
+            ds["admitted"] == ds["completed"] + ds["cancelled"]
+            + ds["deadline_aborts"] + deadline_run.lost_jobs
         ),
         "seconds_wall": wall,
     }
@@ -571,6 +586,118 @@ def measure_serve(
         "policies": policies,
         "digests_identical": digests_identical,
         "breakdown": breakdown,
+    }
+
+
+# The tracked workflow scale: a full autoMRE-sized bootstrap fan-out so
+# the bootstop cell has room to demonstrate its >= 30% savings.
+DAG_REPLICATES = 100
+DAG_CONFLICT = 0.15
+
+
+def measure_dag(
+    seed: int = SEED,
+    replicates: int = DAG_REPLICATES,
+    conflict: float = DAG_CONFLICT,
+    time_source=time.perf_counter,
+) -> Dict[str, Any]:
+    """Run the workflow-DAG grid; returns the ``BENCH_dag`` payload.
+
+    Four cells over the raxml-style workflow (check -> infer ->
+    bootstrap fan-out -> consensus):
+
+    * ``cache-cold`` — one submission, bootstop off: the full fan-out
+      runs, every stage is a cache miss;
+    * ``cache-warm`` — two identical sequential submissions sharing a
+      cache: the second must hit on *every* stage (``warm_hit_rate``)
+      and reproduce the first's final digest bit for bit
+      (``warm_digest_identical``) with a near-zero makespan;
+    * ``bootstop`` — converging workload with the autoMRE monitor on:
+      ``bootstop_savings`` is the cancelled fraction of the fan-out,
+      gated at >= 30% with exact job conservation and zero losses;
+    * ``bootstop-diverging`` — the control: independent random
+      topologies (``conflict=1``) keep support values moving longer,
+      so the monitor demonstrably needs more replicates and cancels a
+      smaller share of the fan-out than the converging cell.
+
+    All fields are deterministic except the per-cell ``seconds_wall``.
+    """
+    from ..serve import BootstopConfig, DagConfig, raxml_workflow, run_dag
+
+    def cell(config: DagConfig) -> Tuple[Dict[str, Any], Any]:
+        t0 = time_source()
+        result = run_dag(config)
+        wall = time_source() - t0
+        s = result.serve.summary
+        return {
+            "admitted": s["admitted"],
+            "completed": s["completed"],
+            "cancelled": s["cancelled"],
+            "aborted": s["deadline_aborts"],
+            "lost": result.serve.lost_jobs,
+            "conservation_ok": result.conservation_ok,
+            "cache_hits": result.cache_hits,
+            "cache_misses": result.cache_misses,
+            "cache_hit_rate": result.cache_hit_rate,
+            "wasted_work_avoided_s": result.wasted_work_avoided_s,
+            "bootstop_cancelled": result.bootstop_cancelled,
+            "bootstop_savings": result.bootstop_savings,
+            "makespan": stable_round(result.makespan),
+            "final_digest": result.final_digests[0],
+            "seconds_wall": wall,
+        }, result
+
+    grid: Dict[str, Dict[str, Any]] = {}
+    cold_wf = raxml_workflow(replicates=replicates, conflict=conflict)
+    grid["cache-cold"], cold = cell(DagConfig(workflow=cold_wf, seed=seed))
+
+    warm_row, warm = cell(DagConfig(
+        workflow=raxml_workflow(replicates=replicates, conflict=conflict),
+        submissions=2, seed=seed,
+    ))
+    # The run-level hit rate mixes the cold first submission in; the
+    # warm gate is the *second* workflow alone: every stage cached.
+    rewf = warm.workflows[1]
+    warm_row["warm_hit_rate"] = (
+        rewf["cache_hits"] / rewf["stages_total"]
+        if rewf["stages_total"] else 0.0
+    )
+    warm_row["warm_makespan"] = rewf["makespan_s"]
+    warm_digest_identical = (
+        warm.final_digests[0] == warm.final_digests[1]
+        and warm.final_digests[0] == cold.final_digests[0]
+    )
+    warm_row["warm_digest_identical"] = warm_digest_identical
+    grid["cache-warm"] = warm_row
+
+    grid["bootstop"], stopped = cell(DagConfig(
+        workflow=raxml_workflow(replicates=replicates, conflict=conflict),
+        seed=seed, bootstop=BootstopConfig(),
+    ))
+
+    grid["bootstop-diverging"], _ = cell(DagConfig(
+        workflow=raxml_workflow(replicates=replicates, conflict=1.0),
+        seed=seed, bootstop=BootstopConfig(),
+    ))
+
+    return {
+        "workload": {
+            "seed": seed,
+            "workflow": cold_wf.name,
+            "replicates": replicates,
+            "conflict": conflict,
+            "stages": [st.name for st in cold_wf.stages],
+            "bootstop": BootstopConfig().describe(),
+        },
+        "grid": grid,
+        "bootstop_savings": stopped.bootstop_savings,
+        "bootstop_saved_s": stable_round(stopped.bootstop_saved_s),
+        "warm_hit_rate": warm_row["warm_hit_rate"],
+        "warm_digest_identical": warm_digest_identical,
+        "conservation_ok": all(
+            row["conservation_ok"] for row in grid.values()
+        ),
+        "lost_jobs": sum(row["lost"] for row in grid.values()),
     }
 
 
@@ -855,6 +982,7 @@ def check_baselines(
     current_core: Optional[Dict[str, Any]] = None,
     current_faults: Optional[Dict[str, Any]] = None,
     current_serve: Optional[Dict[str, Any]] = None,
+    current_dag: Optional[Dict[str, Any]] = None,
     current_perf: Optional[Dict[str, Any]] = None,
     perf_floor_tolerance: Optional[float] = None,
 ) -> Tuple[bool, str]:
@@ -865,9 +993,12 @@ def check_baselines(
     cross-checks ``BENCH_obs.json``'s deterministic fields against the
     same run — both files describe the identical workload, so their
     MGPS makespans must agree — and diffs fresh
-    :func:`measure_faults` / :func:`measure_serve` runs against
-    ``BENCH_faults.json`` / ``BENCH_serve.json`` (the latter also
-    re-asserts cross-policy digest identity).  Finally it checks the
+    :func:`measure_faults` / :func:`measure_serve` / :func:`measure_dag`
+    runs against ``BENCH_faults.json`` / ``BENCH_serve.json`` /
+    ``BENCH_dag.json`` (serve re-asserts cross-policy digest identity;
+    dag re-asserts the 100% warm-cache hit rate, warm digest identity,
+    the >= 30% bootstop savings and exact job conservation with zero
+    losses).  Finally it checks the
     ``BENCH_perf.json`` throughput grid: deterministic counts diff like
     any baseline, and the ``*_per_sec_wall`` rates must stay above their
     :func:`check_perf_floors` floor (``perf_floor_tolerance`` overrides
@@ -990,7 +1121,8 @@ def check_baselines(
             if not fleet.get("deadline_conservation_ok", False):
                 lines.append(
                     f"bench: {FAULTS_BASELINE}: fleet_faults deadline "
-                    f"cell broke admitted == completed + aborted + lost"
+                    f"cell broke admitted == completed + cancelled "
+                    f"+ aborted + lost"
                 )
                 ok = False
 
@@ -1030,6 +1162,70 @@ def check_baselines(
                 lines.append(
                     f"bench: {SERVE_BASELINE}: per-job digests diverged "
                     f"across dispatch policies"
+                )
+                ok = False
+
+    dag_path = root / DAG_BASELINE
+    if not dag_path.exists():
+        lines.append(f"bench: missing baseline {dag_path}")
+        ok = False
+    else:
+        dag_base = _load(dag_path)
+        missing = [k for k in REQUIRED_DAG_KEYS if k not in dag_base]
+        if missing:
+            lines.append(
+                f"bench: {DAG_BASELINE} lacks required keys {missing}"
+            )
+            ok = False
+        else:
+            dwl = dag_base.get("workload", {})
+            dcur = current_dag or measure_dag(
+                seed=dwl.get("seed", SEED),
+                replicates=dwl.get("replicates", DAG_REPLICATES),
+                conflict=dwl.get("conflict", DAG_CONFLICT),
+            )
+            dviol = compare(dcur, dag_base)
+            if dviol:
+                lines.append(f"bench: {DAG_BASELINE} drifted")
+                lines.append(render_violations(dviol))
+                ok = False
+            else:
+                lines.append(
+                    f"bench: {DAG_BASELINE} OK (workflow grid within "
+                    f"tolerance)"
+                )
+            # Semantic gates beyond drift: these hold against *any*
+            # baseline, so a stale --write cannot weaken them.
+            if dcur.get("warm_hit_rate") != 1.0:
+                lines.append(
+                    f"bench: {DAG_BASELINE}: repeat submission missed the "
+                    f"stage cache (warm hit rate "
+                    f"{dcur.get('warm_hit_rate', 0.0):.0%}, want 100%)"
+                )
+                ok = False
+            if not dcur.get("warm_digest_identical", False):
+                lines.append(
+                    f"bench: {DAG_BASELINE}: warm workflow digest diverged "
+                    f"from the cache-cold run"
+                )
+                ok = False
+            if dcur.get("bootstop_savings", 0.0) < 0.30:
+                lines.append(
+                    f"bench: {DAG_BASELINE}: bootstop cancelled only "
+                    f"{dcur.get('bootstop_savings', 0.0):.0%} of the "
+                    f"fan-out (want >= 30%)"
+                )
+                ok = False
+            if not dcur.get("conservation_ok", False):
+                lines.append(
+                    f"bench: {DAG_BASELINE}: a workflow cell broke "
+                    f"admitted == completed + cancelled + aborted + lost"
+                )
+                ok = False
+            if dcur.get("lost_jobs", 1) != 0:
+                lines.append(
+                    f"bench: {DAG_BASELINE}: workflow grid lost "
+                    f"{dcur.get('lost_jobs')} jobs (want 0)"
                 )
                 ok = False
 

@@ -692,6 +692,17 @@ _SERVE_OPS_EVENTS = {
     "hedge-win": "hedge copy finished first",
     "hedge-cancel": "losing hedge twin cancelled",
     "deadline-abort": "unit shed: deadline unreachable",
+    "workflow-cancel": "queued job cancelled: bootstop converged",
+}
+
+# Workflow-DAG lifecycle events rendered in the ``#workflows`` lane.
+_WORKFLOW_EVENTS = {
+    "workflow-start": "workflow submitted; first stages released",
+    "stage-ready": "stage dependencies met; fan-out submitted",
+    "cache-hit": "stage served from the digest-keyed result cache",
+    "bootstop-converged": "support values stable: fan-out suffix cancelled",
+    "stage-done": "stage resolved; downstream stages released",
+    "workflow-done": "workflow complete; consensus digest folded",
 }
 
 
@@ -815,6 +826,67 @@ def _serving_html(tracer: Optional[Tracer], registry) -> Optional[str]:
             '<th>detail</th></tr></thead>'
             f'<tbody>{"".join(rows)}</tbody></table>'
         )
+    return "".join(parts)
+
+
+def _workflows_html(tracer: Optional[Tracer], registry) -> Optional[str]:
+    """The workflow-DAG lane, or None when the run served no workflows."""
+    workflows = _value(registry, "serve.dag.workflows")
+    if workflows <= 0:
+        return None
+    hits = _value(registry, "serve.dag.cache_hits")
+    misses = _value(registry, "serve.dag.cache_misses")
+    lookups = hits + misses
+    headline = [
+        ("workflows", _fmt(workflows)),
+        ("stages", _fmt(_value(registry, "serve.dag.stages"))),
+        ("cache hits", _fmt(hits)),
+        ("cache misses", _fmt(misses)),
+        ("hit rate", f"{hits / lookups if lookups else 0.0:.1%}"),
+        ("wasted work avoided",
+         f"{_value(registry, 'serve.dag.wasted_work_avoided_s'):.1f} s"),
+        ("bootstop cancelled",
+         _fmt(_value(registry, "serve.dag.bootstop_cancelled"))),
+        ("bootstop savings",
+         f"{_value(registry, 'serve.dag.bootstop_savings'):.1%}"),
+        ("service-s saved",
+         f"{_value(registry, 'serve.dag.bootstop_saved_s'):.1f} s"),
+    ]
+    note = " &#183; ".join(f"{_esc(k)} {_esc(v)}" for k, v in headline)
+    parts = [f'<p class="chart-note">{note}</p>']
+    # Stage lifecycle log: submissions, cache hits, bootstop, resolution.
+    events = [
+        r for r in (tracer.records if tracer is not None else ())
+        if r.category == "serve" and (r.event in _WORKFLOW_EVENTS
+                                      or r.event == "workflow-cancel")
+    ]
+    if events:
+        rows = []
+        shown = [r for r in events if r.event != "workflow-cancel"]
+        cancels = len(events) - len(shown)
+        for r in shown[:200]:
+            detail = "; ".join(f"{k}={v}" for k, v in sorted(r.data))
+            chip = ("good" if r.event in ("cache-hit", "bootstop-converged",
+                                          "workflow-done")
+                    else "warning")
+            rows.append(
+                f'<tr><td class="mono">{r.time:.1f} s</td>'
+                f'<td><span class="chip {chip}">{_esc(r.event)}</span></td>'
+                f'<td class="mono">{_esc(r.actor)}</td>'
+                f'<td>{_esc(_WORKFLOW_EVENTS[r.event])}'
+                f'<div class="evidence">{_esc(detail)}</div></td></tr>'
+            )
+        parts.append(
+            '<table><thead><tr><th>time</th><th>event</th><th>actor</th>'
+            '<th>detail</th></tr></thead>'
+            f'<tbody>{"".join(rows)}</tbody></table>'
+        )
+        if cancels:
+            parts.append(
+                f'<p class="chart-note">{cancels} workflow-cancel '
+                f'events (one per cancelled replicate) appear in the '
+                f'serving lane&#8217;s ops log.</p>'
+            )
     return "".join(parts)
 
 
@@ -1091,6 +1163,9 @@ def render_report(
     serving = _serving_html(tracer, registry)
     if serving is not None:
         sections.append(("serving", "Serving layer", serving))
+    workflows = _workflows_html(tracer, registry)
+    if workflows is not None:
+        sections.append(("workflows", "Workflow DAG", workflows))
     sections.append(
         ("perf", "Wall-clock profile", _perf_html(profile, registry))
     )

@@ -27,6 +27,10 @@ Layers (client to metal):
 * :mod:`~repro.serve.slo` — per-tenant latency percentiles, goodput,
   rejection and deadline-miss accounting;
 * :mod:`~repro.serve.service` — :func:`run_service`, tying it together;
+* :mod:`~repro.serve.dag` — the workflow tier above jobs:
+  :class:`WorkflowSpec` pipelines with fan-out/fan-in, autoMRE-style
+  bootstopping (:mod:`~repro.serve.bootstop`) and the digest-keyed
+  stage cache (:mod:`~repro.serve.cache`), run by :func:`run_dag`;
 * :mod:`~repro.serve.chaos` — the seeded chaos soak harness
   (:func:`run_chaos`) asserting zero loss and digest invariance under
   randomized fault plans.
@@ -34,6 +38,18 @@ Layers (client to metal):
 
 from .admission import DispatchUnit, FrontEnd, TokenBucket
 from .autoscaler import Autoscaler, AutoscalerConfig
+from .bootstop import BootstopConfig, BootstopMonitor
+from .cache import CacheEntry, ResultCache, content_key
+from .dag import (
+    DagConfig,
+    DagResult,
+    StageSpec,
+    WorkflowEngine,
+    WorkflowSpec,
+    raxml_workflow,
+    replicate_tree,
+    run_dag,
+)
 from .dispatch import (
     DispatchInfo,
     DispatchPolicy,
@@ -85,9 +101,14 @@ __all__ = [
     "BladeKill",
     "BladeSlow",
     "BladeState",
+    "BootstopConfig",
+    "BootstopMonitor",
+    "CacheEntry",
     "ChaosConfig",
     "ChaosReport",
     "CompiledJob",
+    "DagConfig",
+    "DagResult",
     "DispatchInfo",
     "DispatchPolicy",
     "DispatchUnit",
@@ -100,23 +121,31 @@ __all__ = [
     "LEGAL_BREAKER_TRANSITIONS",
     "LinkDegrade",
     "ResilienceConfig",
+    "ResultCache",
     "ServeConfig",
     "ServeResult",
     "ServeStats",
     "Service",
+    "StageSpec",
     "TenantSpec",
     "TokenBucket",
+    "WorkflowEngine",
+    "WorkflowSpec",
     "available_dispatch_policies",
     "block_partition",
     "chaos_tenants",
+    "content_key",
     "count_breaker_cycles",
     "default_tenants",
     "exact_percentile",
     "job_seed",
     "random_fleet_fault_plan",
+    "raxml_workflow",
     "register_dispatch",
+    "replicate_tree",
     "resolve_dispatch",
     "run_chaos",
+    "run_dag",
     "run_service",
     "scheduler_by_name",
 ]

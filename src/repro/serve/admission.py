@@ -104,7 +104,7 @@ class FrontEnd:
         self,
         env: Environment,
         stats: ServeStats,
-        make_job: Callable[[TenantSpec, int, str], Job],
+        make_job: Callable[..., Job],
         queue_capacity: int = 64,
         batch_max: int = 1,
         tracer=None,
@@ -133,9 +133,15 @@ class FrontEnd:
 
     # -- intake ------------------------------------------------------------
     def submit(
-        self, tenant: TenantSpec, variant: int, source: str = ""
+        self, tenant: TenantSpec, variant: int, source: str = "",
+        template=None,
     ) -> Optional[Job]:
-        """Admit or shed one request; returns the Job when admitted."""
+        """Admit or shed one request; returns the Job when admitted.
+
+        ``template`` overrides the tenant's default job template — the
+        workflow engine uses this to submit different pipeline stages
+        under one workflow tenant.
+        """
         now = self.env.now
         self.stats.note_arrival(tenant.name)
         bucket = self._buckets.get(tenant.name)
@@ -149,7 +155,7 @@ class FrontEnd:
         if self.in_system >= self.queue_capacity:
             self._reject(now, tenant, "queue-full")
             return None
-        job = self.make_job(tenant, variant, source)
+        job = self.make_job(tenant, variant, source, template)
         self.in_system += 1
         self._seq += 1
         heapq.heappush(self._heap, (job.order_key(self._seq), job))
@@ -158,7 +164,7 @@ class FrontEnd:
             self.tracer.emit(now, "serve", "frontend", "admit",
                              job=job.job_id, tenant=tenant.name,
                              variant=variant,
-                             template=tenant.template.name)
+                             template=job.template.name)
         if not self.wake.triggered:
             self.wake.succeed()
         return job
@@ -201,10 +207,21 @@ class FrontEnd:
         self._unit_pool.append(unit)
 
     def pop_unit(self) -> Optional[DispatchUnit]:
-        """Form the next dispatch unit, batching same-bag jobs if allowed."""
-        if not self._heap:
+        """Form the next dispatch unit, batching same-bag jobs if allowed.
+
+        Workflow-cancelled jobs are deleted lazily here: they stay in
+        the heap (a heap cannot remove an arbitrary member cheaply) but
+        are skipped at pop time, so a drained fan-out never dispatches.
+        Returns None when every queued job turned out to be cancelled.
+        """
+        head = None
+        while self._heap:
+            _, candidate = heapq.heappop(self._heap)
+            if not candidate.cancelled:
+                head = candidate
+                break
+        if head is None:
             return None
-        _, head = heapq.heappop(self._heap)
         if self._unit_pool:
             unit = self._unit_pool.pop()
         else:
@@ -215,6 +232,8 @@ class FrontEnd:
             keep = []
             for entry in sorted(self._heap):
                 job = entry[1]
+                if job.cancelled:
+                    continue
                 if (len(jobs) < self.batch_max
                         and job.template is head.template
                         and job.variant == head.variant):

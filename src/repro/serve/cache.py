@@ -1,0 +1,108 @@
+"""Fleet-wide digest-keyed result cache for workflow stages.
+
+Every completed workflow stage is content-addressed: its cache key is
+a SHA-256 over everything the stage's results depend on — the workflow
+seed, the blade scheduler, the stage's template shape and fan-out, the
+bootstop rule in force, and (crucially) the *result digests of its
+dependency stages*.  Because upstream digests feed downstream keys,
+the keys chain exactly like the result digests themselves do: a repeat
+submission of an identical workflow hits on every stage, while any
+upstream change invalidates precisely the stages downstream of it.
+
+Entries store the per-job result digests plus the service seconds the
+stage cost, so hits can report *wasted work avoided* — simulated
+compute the fleet did not have to spend.  Bootstrap stages also store
+which replicates actually completed (bootstopping cancels a
+timing-dependent suffix), so a warm run reproduces the cold run's
+replicate set and therefore its exact consensus and final digest.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+from ..obs.metrics import NULL_REGISTRY
+
+__all__ = ["CacheEntry", "ResultCache", "content_key"]
+
+
+def content_key(*parts: Any) -> str:
+    """SHA-256 over the stringified parts, unit-separator joined."""
+    text = "\x1f".join(str(p) for p in parts)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class CacheEntry:
+    """One completed stage: its result digests and what they cost."""
+
+    key: str
+    stage: str
+    digests: Tuple[str, ...]
+    service_time_s: float
+    # Bootstrap stages: the (replicate, digest) pairs that actually
+    # completed before bootstop cancelled the rest — replayed verbatim
+    # on a warm hit so the consensus is digest-identical.
+    replicates: Tuple[Tuple[int, str], ...] = ()
+    cancelled: int = 0
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+
+class ResultCache:
+    """In-memory stage cache shared by every workflow of a run."""
+
+    def __init__(self, metrics=None) -> None:
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        self._entries: Dict[str, CacheEntry] = {}
+        self.hits = 0
+        self.misses = 0
+        self.saved_service_s = 0.0
+        self.metrics.counter(
+            "serve.dag.cache_hits", help="workflow stages served from cache"
+        )
+        self.metrics.counter(
+            "serve.dag.cache_misses", help="workflow stages actually executed"
+        )
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: str) -> Optional[CacheEntry]:
+        """Look up one stage key, counting the hit or miss."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            self.metrics.counter(
+                "serve.dag.cache_misses",
+                help="workflow stages actually executed",
+            ).inc()
+            return None
+        self.hits += 1
+        self.saved_service_s += entry.service_time_s
+        self.metrics.counter(
+            "serve.dag.cache_hits", help="workflow stages served from cache"
+        ).inc()
+        self.metrics.gauge(
+            "serve.dag.wasted_work_avoided_s",
+            help="service seconds short-circuited by stage-cache hits",
+        ).set(self.saved_service_s)
+        return entry
+
+    def put(self, entry: CacheEntry) -> None:
+        self._entries[entry.key] = entry
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+            "wasted_work_avoided_s": self.saved_service_s,
+        }

@@ -324,12 +324,13 @@ def check_plan_invariants(config: ChaosConfig, clean: ServeResult,
     if faulty.lost_jobs != 0:
         violations.append(f"lost {faulty.lost_jobs} job(s)")
     admitted = s["admitted"]
-    accounted = s["completed"] + faulty.lost_jobs + s["deadline_aborts"]
+    accounted = (s["completed"] + s["cancelled"] + faulty.lost_jobs
+                 + s["deadline_aborts"])
     if admitted != accounted:
         violations.append(
             f"conservation broken: admitted {admitted} != completed "
-            f"{s['completed']} + lost {faulty.lost_jobs} + aborted "
-            f"{s['deadline_aborts']}"
+            f"{s['completed']} + cancelled {s['cancelled']} + lost "
+            f"{faulty.lost_jobs} + aborted {s['deadline_aborts']}"
         )
     clean_map = clean.digest_map()
     faulty_map = faulty.digest_map()

@@ -226,6 +226,28 @@ class BladeState:
         self.queue.clear()
         return units
 
+    def purge_cancelled(self) -> int:
+        """Drop queued units with no runnable work left; returns count.
+
+        Workflow cancellation marks *jobs*, not units.  A queued unit
+        whose members are all finished, aborted or cancelled would still
+        charge dispatch overhead at pickup, so the cancel path sweeps it
+        out of the queue here.  Mixed units survive — the blade loop's
+        per-job guards skip their dead members.
+        """
+        if not self.queue:
+            return 0
+        keep = [
+            u for u in self.queue
+            if any(j.finish_time is None and not j.aborted and not j.cancelled
+                   for j in u.jobs)
+        ]
+        removed = len(self.queue) - len(keep)
+        if removed:
+            self.queue.clear()
+            self.queue.extend(keep)
+        return removed
+
     def kill(self) -> None:
         self.alive = False
         self.active = False

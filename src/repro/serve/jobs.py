@@ -128,6 +128,7 @@ class Job:
     blade: Optional[int] = None
     failovers: int = 0
     aborted: bool = False    # shed by deadline enforcement, never completed
+    cancelled: bool = False  # workflow bootstop: admitted, never needed
     digest: str = ""
     done: object = field(default=None, repr=False)  # sim Event for closed loops
 

@@ -184,7 +184,7 @@ class ServeResult:
             f"{self.makespan:.2f} s",
             f"  jobs: {s['arrivals']} offered, {s['admitted']} admitted, "
             f"{s['rejected']} rejected, {s['completed']} completed, "
-            f"{self.lost_jobs} lost",
+            f"{s.get('cancelled', 0)} cancelled, {self.lost_jobs} lost",
             f"  latency p50/p95/p99: {s['latency_p50_s']:.2f} / "
             f"{s['latency_p95_s']:.2f} / {s['latency_p99_s']:.2f} s",
             f"  goodput {s['goodput_jps'] * 3600:.1f} jobs/h, "
@@ -282,13 +282,15 @@ class Service:
         )
 
     def _make_job(
-        self, tenant: TenantSpec, variant: int, source: str = ""
+        self, tenant: TenantSpec, variant: int, source: str = "",
+        template: Optional[JobTemplate] = None,
     ) -> Job:
-        compiled = self._compile(tenant.template, variant)
+        tpl = template if template is not None else tenant.template
+        compiled = self._compile(tpl, variant)
         job = Job(
             job_id=self._job_seq,
             tenant=tenant.name,
-            template=tenant.template,
+            template=tpl,
             variant=variant,
             priority=tenant.priority,
             submit_time=self.env.now,
@@ -323,16 +325,24 @@ class Service:
         return out
 
     # -- lifecycle ---------------------------------------------------------
-    def start(self) -> None:
+    def start(self, arrivals: bool = True) -> None:
+        """Spawn every process of the run.
+
+        ``arrivals=False`` skips the tenant arrival generators and their
+        watcher: an external driver (the workflow engine) submits jobs
+        itself and must set ``arrivals_done`` + call ``_check_stop``
+        when its last submission has been made.
+        """
         env = self.env
-        arrival_procs = []
-        for tenant in self.config.tenants:
-            arrival_procs.extend(tenant_generators(
-                env, tenant, self.streams, self.frontend.submit,
-                self.config.duration_s,
-            ))
-        env.process(self._arrivals_watcher(arrival_procs),
-                    name="serve-arrivals")
+        if arrivals:
+            arrival_procs = []
+            for tenant in self.config.tenants:
+                arrival_procs.extend(tenant_generators(
+                    env, tenant, self.streams, self.frontend.submit,
+                    self.config.duration_s,
+                ))
+            env.process(self._arrivals_watcher(arrival_procs),
+                        name="serve-arrivals")
         for b in self.blades:
             env.process(self._blade_loop(b), name=b.name)
         env.process(self._dispatch_loop(), name="serve-dispatcher")
@@ -371,6 +381,43 @@ class Service:
                 and not self.stop.triggered):
             self.stop.succeed()
 
+    # -- cancellation ------------------------------------------------------
+    def cancel_job(self, job: Job, actor: str = "workflow") -> bool:
+        """Cancel one admitted-but-not-yet-running job (bootstop path).
+
+        Jobs already running, finished, aborted or cancelled are left
+        alone — an in-flight bootstrap replicate completes normally, as
+        in autoMRE.  A successful cancel releases the job's slot in the
+        bounded system queue and resolves its ``done`` event, keeping
+        conservation exact: admitted = completed + cancelled + aborted
+        + lost.  Returns True when the job was actually cancelled.
+        """
+        if (job.finish_time is not None or job.aborted or job.cancelled
+                or job.start_time is not None):
+            return False
+        job.cancelled = True
+        self.stats.note_cancelled(job)
+        if self.tracer is not None:
+            self.tracer.emit(
+                self.env.now, "serve", actor, "workflow-cancel",
+                job=job.job_id, tenant=job.tenant, source=job.source,
+            )
+        self.frontend.job_finished()
+        if job.done is not None and not job.done.triggered:
+            job.done.succeed()
+        self._check_stop()
+        return True
+
+    def purge_cancelled_units(self) -> int:
+        """Sweep fully-cancelled queued units off every blade queue.
+
+        Called once after a batch of :meth:`cancel_job` calls so drained
+        fan-outs stop occupying blade queues (and never charge dispatch
+        overhead).  Jobs still in the front-end heap are deleted lazily
+        by :meth:`FrontEnd.pop_unit`.
+        """
+        return sum(b.purge_cancelled() for b in self.blades)
+
     # -- dispatch ----------------------------------------------------------
     def _dispatch_loop(self):
         env = self.env
@@ -380,9 +427,13 @@ class Service:
                 if not blades:
                     # Total fleet loss: shed explicitly, never hang.
                     unit = self.frontend.pop_unit()
+                    if unit is None:
+                        break
                     self._lose_unit(unit)
                     continue
                 unit = self.frontend.pop_unit()
+                if unit is None:
+                    break
                 blade = self.policy.select(unit, blades)
                 self._place(unit, blade)
             if self.stop.triggered:
@@ -438,6 +489,8 @@ class Service:
 
     def _lose_unit(self, unit: DispatchUnit) -> None:
         for job in unit.jobs:
+            if job.finish_time is not None or job.aborted or job.cancelled:
+                continue  # already accounted; nothing left to lose
             self.lost_jobs += 1
             self.metrics.counter(
                 "serve.lost", help="jobs lost to total fleet failure"
@@ -498,7 +551,8 @@ class Service:
             if cfg.resilience.enforce_deadlines:
                 self._shed_unreachable(unit, b)
             pending = [j for j in unit.jobs
-                       if j.finish_time is None and not j.aborted]
+                       if j.finish_time is None and not j.aborted
+                       and not j.cancelled]
             # Expected (nominal) duration excludes slow factors and link
             # delay on purpose: the observed/expected ratio fed to the
             # health EWMA must surface exactly those pathologies.
@@ -528,7 +582,7 @@ class Service:
                 if unit.cancelled:
                     break
                 job = unit.jobs[idx]
-                if job.finish_time is not None or job.aborted:
+                if job.finish_time is not None or job.aborted or job.cancelled:
                     idx += 1
                     continue
                 job.start_time = env.now
@@ -591,7 +645,7 @@ class Service:
         """
         t = self.env.now + self.config.dispatch_overhead_s
         for job in unit.jobs:
-            if job.finish_time is not None or job.aborted:
+            if job.finish_time is not None or job.aborted or job.cancelled:
                 continue
             t += job.service_time
             if job.deadline is not None and t > job.deadline:
@@ -712,7 +766,8 @@ class Service:
     def _on_blade_death(self, b: BladeState, unit: DispatchUnit,
                         idx: int) -> None:
         remaining = [j for j in unit.jobs[idx:]
-                     if j.finish_time is None and not j.aborted]
+                     if j.finish_time is None and not j.aborted
+                     and not j.cancelled]
         orphans: List[DispatchUnit] = []
         if unit.twin is not None:
             # The other hedge copy is still live somewhere: drop this
@@ -733,9 +788,15 @@ class Service:
                 continue
             if queued.cancelled:
                 continue
-            for job in queued.jobs:
+            live = [j for j in queued.jobs
+                    if j.finish_time is None and not j.aborted
+                    and not j.cancelled]
+            if not live:
+                continue  # fully workflow-cancelled; nothing to rescue
+            for job in live:
                 job.failovers += 1
                 self.stats.note_failover(job)
+            queued.jobs[:] = live
             queued.blade = None
             orphans.append(queued)
         if self.tracer is not None:
@@ -760,9 +821,15 @@ class Service:
                 continue
             if queued.cancelled:
                 continue
-            for job in queued.jobs:
+            live = [j for j in queued.jobs
+                    if j.finish_time is None and not j.aborted
+                    and not j.cancelled]
+            if not live:
+                continue  # fully workflow-cancelled; nothing to rescue
+            for job in live:
                 job.failovers += 1
                 self.stats.note_failover(job)
+            queued.jobs[:] = live
             queued.blade = None
             orphans.append(queued)
         if orphans:

@@ -102,6 +102,10 @@ class ServeStats:
             help="jobs shed because their deadline became unreachable",
         )
         self.metrics.counter(
+            "serve.cancelled",
+            help="admitted jobs cancelled before running (workflow bootstop)",
+        )
+        self.metrics.counter(
             "serve.hedges", help="speculative duplicate dispatches issued"
         )
         self.metrics.counter(
@@ -124,6 +128,7 @@ class ServeStats:
             "serve.blade_rejoins", help="flapped blades re-admitted"
         )
         self.deadline_aborts = 0
+        self.cancelled = 0
         self.hedges = 0
         self.hedge_wins = 0
         self.breaker_opens = 0
@@ -176,6 +181,13 @@ class ServeStats:
         self.metrics.counter(
             "serve.deadline_aborts",
             help="jobs shed because their deadline became unreachable",
+        ).inc()
+
+    def note_cancelled(self, job: Job) -> None:
+        self.cancelled += 1
+        self.metrics.counter(
+            "serve.cancelled",
+            help="admitted jobs cancelled before running (workflow bootstop)",
         ).inc()
 
     def note_hedge(self) -> None:
@@ -270,6 +282,7 @@ class ServeStats:
             "completed": len(lat),
             "deadline_misses": missed,
             "deadline_aborts": self.deadline_aborts,
+            "cancelled": self.cancelled,
             "failovers": self.failovers,
             "hedges": self.hedges,
             "hedge_wins": self.hedge_wins,

@@ -2,47 +2,50 @@
 
 import pytest
 
-from repro.core.cluster import (
-    ClusterResult,
-    distribute_bootstraps,
-    run_cluster_experiment,
-)
+from repro.core.cluster import ClusterResult, run_cluster_experiment
 from repro.core.schedulers import edtlp, mgps
 from repro.serve.dispatch import block_partition
 
 
-# The shim's legacy behavior is still under test; the deprecation itself
-# is asserted once in test_deprecated_shim_warns.
-@pytest.mark.filterwarnings("ignore::DeprecationWarning")
+def _block_sizes(total, n_blades):
+    return [len(b) for b in block_partition(total, n_blades)]
+
+
 class TestDistribution:
+    # The historical contiguous layout now lives only in the dispatch
+    # registry (the ``distribute_bootstraps`` shim is gone); these pin
+    # the block_partition semantics the cluster driver relies on.
     def test_even_split(self):
-        assert distribute_bootstraps(100, 4) == [25, 25, 25, 25]
+        assert _block_sizes(100, 4) == [25, 25, 25, 25]
 
     def test_remainder_to_early_blades(self):
-        assert distribute_bootstraps(10, 3) == [4, 3, 3]
+        assert _block_sizes(10, 3) == [4, 3, 3]
+
+    def test_blocks_are_contiguous_and_disjoint(self):
+        blocks = block_partition(10, 3)
+        flat = [i for block in blocks for i in block]
+        assert flat == list(range(10))
 
     def test_sum_preserved(self):
         for total in (7, 64, 100, 129):
             for n in (1, 2, 3, 5, 7):
-                assert sum(distribute_bootstraps(total, n)) == total
+                assert sum(_block_sizes(total, n)) == total
 
     def test_validation(self):
         with pytest.raises(ValueError):
-            distribute_bootstraps(0, 1)
+            block_partition(0, 1)
         with pytest.raises(ValueError):
-            distribute_bootstraps(5, 0)
+            block_partition(5, 0)
         with pytest.raises(ValueError):
-            distribute_bootstraps(2, 3)
+            block_partition(2, 3)
 
-    def test_deprecated_shim_warns(self):
-        with pytest.warns(DeprecationWarning, match="static-block"):
-            distribute_bootstraps(10, 3)
+    def test_shim_is_gone(self):
+        # The deprecated wrapper must not resurface.
+        import repro.core
+        import repro.core.cluster
 
-    def test_shim_matches_registry_partition(self):
-        # The shim must stay bit-identical to the registry's
-        # static-block partition it now delegates to.
-        blocks = block_partition(10, 3)
-        assert distribute_bootstraps(10, 3) == [len(b) for b in blocks]
+        assert not hasattr(repro.core.cluster, "distribute_bootstraps")
+        assert not hasattr(repro.core, "distribute_bootstraps")
 
 
 class TestDispatchRouting:

@@ -79,6 +79,62 @@ class TestMajorityRule:
             majority_rule_consensus([tree(0)], min_support=1.5)
 
 
+class TestBootstopEdgeCases:
+    """Consensus corners the serving-layer bootstop monitor leans on."""
+
+    def test_tie_support_excluded_at_exactly_half(self):
+        # Two distinct topologies: shared splits get 1.0, the rest tie
+        # at exactly 0.5.  Majority rule is *strict* (f > min_support),
+        # so a 0.5 tie never enters the consensus — only unanimous
+        # splits survive a two-tree consensus.
+        trees = [tree(0), tree(99)]
+        freqs = split_frequencies(trees)
+        assert 0.5 in freqs.values()  # the tie exists
+        cons, sup = majority_rule_consensus(trees)
+        assert all(s == 1.0 for s in sup.values())
+        assert not any(s == 0.5 for s in sup.values())
+
+    def test_tie_admitted_when_threshold_below_half(self):
+        # Lowering min_support under the tie admits 0.5 splits (where
+        # mutually compatible) — the strictness is the threshold's, not
+        # the split's.
+        trees = [tree(0), tree(99)]
+        _, sup = majority_rule_consensus(trees, min_support=0.49)
+        assert any(s == 0.5 for s in sup.values())
+
+    def test_single_replicate_consensus_is_the_tree(self):
+        # A one-tree "consensus" (bootstop at its most extreme) must
+        # reproduce that tree's splits verbatim with unit support.
+        t = tree(12)
+        freqs = split_frequencies([t])
+        assert set(freqs) == _bipartitions(t)
+        assert all(f == 1.0 for f in freqs.values())
+        cons, sup = majority_rule_consensus([t])
+        assert _bipartitions(cons) == _bipartitions(t)
+        assert all(s == 1.0 for s in sup.values())
+
+    def test_identical_trees_converge_at_earliest_checkpoint(self):
+        # Identical replicates: support frequencies never move, so the
+        # monitor converges at the earliest arithmetic opportunity —
+        # min_replicates (baseline checkpoint) + stable_checks windows.
+        from repro.serve.bootstop import BootstopConfig, BootstopMonitor
+
+        cfg = BootstopConfig(min_replicates=20, check_every=5,
+                             threshold=0.05, stable_checks=2)
+        monitor = BootstopMonitor(cfg)
+        t = tree(3)
+        fired = []
+        for i in range(40):
+            if monitor.add(t.copy()):
+                fired.append(i + 1)
+        assert monitor.converged
+        assert monitor.converged_at == 30  # 20 + 2 * 5
+        assert fired == [30]  # True exactly once, never again
+        # Checkpoint trajectory: baseline at 20, then two zero deltas.
+        assert monitor.history[0] == (20, float("inf"))
+        assert [d for _n, d in monitor.history[1:]] == [0.0, 0.0]
+
+
 class TestAnnotateSupport:
     def test_self_support_is_one(self):
         t = tree(7)

@@ -321,6 +321,95 @@ class TestBladeDeath:
             assert faulty.digest_map() == clean.digest_map(), kill_at
 
 
+# -- workflow cancellation ----------------------------------------------------
+
+class TestCancellation:
+    """The cancel/drain path the workflow bootstop exercises."""
+
+    def _run_with_cancel(self, cancel_at=60.0):
+        from repro.serve import Service
+        from repro.sim.engine import Environment
+
+        tenant = TenantSpec("wf", SMALL, arrival="poisson",
+                            arrival_rate=0.01)
+        cfg = ServeConfig(tenants=(tenant,), duration_s=1.0, seed=0,
+                          min_blades=1, max_blades=1, queue_capacity=64)
+        tracer = Tracer(enabled=True)
+        metrics = MetricsRegistry()
+        env = Environment(tracer=tracer, metrics=metrics)
+        service = Service(env, cfg, tracer=tracer, metrics=metrics)
+        service.start(arrivals=False)
+        jobs = []
+
+        verdicts = {}
+
+        def driver():
+            for v in range(8):
+                job = service.frontend.submit(tenant, v, source=f"req{v}")
+                assert job is not None
+                jobs.append(job)
+            yield env.timeout(cancel_at)
+            # By now the single blade is mid-unit: cancel whatever has
+            # not started (running jobs finish, as in autoMRE).
+            for job in jobs:
+                verdicts[job.job_id] = service.cancel_job(job)
+            service.purge_cancelled_units()
+            service.arrivals_done = True
+            service._check_stop()
+
+        env.process(driver(), name="driver")
+        env.run_until_complete(service._main)
+        return service, service.result(), jobs, tracer, metrics, verdicts
+
+    def test_conservation_covers_cancelled_class(self):
+        _svc, result, jobs, _tracer, _metrics, _v = self._run_with_cancel()
+        s = result.summary
+        assert s["admitted"] == 8
+        assert s["completed"] > 0       # the running unit finished
+        assert s["cancelled"] > 0       # the queued suffix did not
+        # The extended identity: every admitted job lands in exactly
+        # one terminal class.
+        assert s["admitted"] == (s["completed"] + s["cancelled"]
+                                 + s["deadline_aborts"] + result.lost_jobs)
+        assert result.lost_jobs == 0
+        for job in jobs:
+            if job.cancelled:
+                assert job.start_time is None   # never ran
+                assert job.finish_time is None  # never completed
+            else:
+                assert job.finish_time is not None
+
+    def test_cancel_refuses_running_and_finished_jobs(self):
+        service, _result, jobs, _t, _m, verdicts = self._run_with_cancel()
+        # At cancel time: queued jobs accepted, started jobs refused.
+        for job in jobs:
+            assert verdicts[job.job_id] == job.cancelled
+        assert all(j.cancelled or j.finish_time is not None for j in jobs)
+        # Post-run every job is terminal, so nothing is cancellable —
+        # including a second cancel of an already-cancelled job.
+        assert not any(service.cancel_job(j) for j in jobs)
+
+    def test_workflow_cancel_traced_and_rendered_in_ops_log(self):
+        from repro.obs.report import render_report
+
+        _svc, result, _jobs, tracer, metrics, _v = self._run_with_cancel()
+        s = result.summary
+        cancels = [r for r in tracer.records
+                   if r.category == "serve" and r.event == "workflow-cancel"]
+        assert len(cancels) == s["cancelled"]
+        # Each cancel names the job it released.
+        assert all(dict(r.data).get("job") for r in cancels)
+        html = render_report(tracer, metrics, title="cancel")
+        assert "workflow-cancel" in html
+        assert "bootstop" in html  # the ops-log explanation text
+
+    def test_counter_matches_summary(self):
+        _svc, result, _jobs, _tracer, metrics, _v = self._run_with_cancel()
+        counter = metrics.get("serve.cancelled")
+        assert counter is not None
+        assert counter.value == result.summary["cancelled"]
+
+
 # -- dispatch invariance ------------------------------------------------------
 
 class TestDigestInvariance:
